@@ -1,0 +1,309 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks, plus the design-choice ablations called out
+// in DESIGN.md. Each benchmark runs the corresponding experiment at a
+// reduced workload scale (the shapes are scale-stable; use cmd/pdqsim
+// -scale 1.0 for full-size runs) and reports headline values as custom
+// benchmark metrics so `go test -bench` output documents the reproduction.
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"pdq/internal/experiments"
+	"pdq/internal/lockq"
+	"pdq/internal/multiq"
+	"pdq/internal/pdq"
+	"pdq/internal/sim"
+)
+
+// benchOpts keeps benchmark iterations fast and deterministic.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.12, Seed: 1999}
+}
+
+// BenchmarkTable1 regenerates the remote read miss latency breakdown
+// (Table 1) and reports the three measured round-trip totals.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := rep.Rows[len(rep.Rows)-1]
+		b.ReportMetric(t.Cells[0].Value, "scoma-cycles")
+		b.ReportMetric(t.Cells[1].Value, "hurricane-cycles")
+		b.ReportMetric(t.Cells[2].Value, "hurricane1-cycles")
+	}
+}
+
+// BenchmarkTable2 regenerates S-COMA application speedups (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rep.Rows {
+			b.ReportMetric(row.Cells[0].Value, row.Label+"-speedup")
+		}
+	}
+}
+
+// BenchmarkFig7Hurricane regenerates Figure 7 (top): Hurricane 1/2/4pp
+// normalized to S-COMA on 8 8-way SMPs.
+func BenchmarkFig7Hurricane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig7Hurricane(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.GeoMean(2), "geomean-4pp")
+	}
+}
+
+// BenchmarkFig7Hurricane1 regenerates Figure 7 (bottom): Hurricane-1
+// 1/2/4pp and Mult normalized to S-COMA.
+func BenchmarkFig7Hurricane1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig7Hurricane1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.GeoMean(2), "geomean-4pp")
+		b.ReportMetric(rep.GeoMean(3), "geomean-mult")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: clustering degree, Hurricane.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		thin, fat, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(thin.GeoMean(2), "16x4way-4pp")
+		b.ReportMetric(fat.GeoMean(2), "4x16way-4pp")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: clustering degree, Hurricane-1+Mult.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		thin, fat, err := experiments.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(thin.GeoMean(3), "16x4way-mult")
+		b.ReportMetric(fat.GeoMean(3), "4x16way-mult")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: block size, Hurricane.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small, big, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(small.GeoMean(2), "32B-4pp")
+		b.ReportMetric(big.GeoMean(2), "128B-4pp")
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: block size, Hurricane-1+Mult.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small, big, err := experiments.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(small.GeoMean(3), "32B-mult")
+		b.ReportMetric(big.GeoMean(3), "128B-mult")
+	}
+}
+
+// BenchmarkHeadline regenerates the abstract's 2.6× result: Hurricane-1
+// Mult over a single dedicated protocol processor on 4 16-way SMPs.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Headline(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Rows[len(rep.Rows)-1].Cells[0].Value, "mult-over-1pp")
+	}
+}
+
+// BenchmarkAblationForwarding regenerates the recall-vs-forwarding
+// protocol-variant comparison (DESIGN.md extension ablation).
+func BenchmarkAblationForwarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.AblationForwarding(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c, ok := rep.CellFor("fft", "exec speedup"); ok {
+			b.ReportMetric(c.Value, "fft-exec-speedup")
+		}
+	}
+}
+
+// BenchmarkAblationCapacity regenerates the finite-remote-cache pressure
+// sweep (DESIGN.md extension ablation).
+func BenchmarkAblationCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.AblationCapacity(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rep.Rows[len(rep.Rows)-1]
+		b.ReportMetric(last.Cells[2].Value, "tightest-slowdown")
+	}
+}
+
+// --- Ablation A: dispatch strategies on an identical hot-key workload ---
+
+const (
+	ablMessages = 50_000
+	ablKeys     = 32
+	ablSkew     = 1.1
+	ablWorkers  = 8
+)
+
+func ablationKeys() []uint64 {
+	rng := sim.NewRand(7)
+	ks := make([]uint64, ablMessages)
+	for i := range ks {
+		ks[i] = uint64(rng.Zipf(ablKeys, ablSkew))
+	}
+	return ks
+}
+
+// busyWork simulates a fine-grain handler body (~a few hundred ns).
+func busyWork() {
+	x := 0
+	for i := 0; i < 400; i++ {
+		x += i
+	}
+	_ = x
+}
+
+// BenchmarkDispatchStrategies compares in-queue synchronization (PDQ)
+// against post-dispatch spin locks and OAM-style abort/retry — the
+// paper's Section 3 argument (Ablation A).
+func BenchmarkDispatchStrategies(b *testing.B) {
+	ks := ablationKeys()
+	b.Run("pdq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := pdq.New(pdq.Config{})
+			p := pdq.Serve(context.Background(), q, ablWorkers)
+			for _, k := range ks {
+				_ = q.Enqueue(pdq.Key(k), func(any) { busyWork() }, nil)
+			}
+			q.Close()
+			p.Wait()
+		}
+		b.ReportMetric(float64(ablMessages), "msgs/op")
+	})
+	b.Run("spinlock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := lockq.New(lockq.SpinLock)
+			done := make(chan struct{})
+			go func() { q.Serve(ablWorkers, 0); close(done) }()
+			for _, k := range ks {
+				_ = q.Enqueue(k, func(any) { busyWork() }, nil)
+			}
+			q.Close()
+			<-done
+		}
+		b.ReportMetric(float64(ablMessages), "msgs/op")
+	})
+	b.Run("oam", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := lockq.New(lockq.Optimistic)
+			done := make(chan struct{})
+			go func() { q.Serve(ablWorkers, 4); close(done) }()
+			for _, k := range ks {
+				_ = q.Enqueue(k, func(any) { busyWork() }, nil)
+			}
+			q.Close()
+			<-done
+		}
+		b.ReportMetric(float64(ablMessages), "msgs/op")
+	})
+}
+
+// BenchmarkSingleVsPartitioned compares the single PDQ against statically
+// partitioned queues under a skewed key distribution — the Section 1
+// load-imbalance argument (Ablation B).
+func BenchmarkSingleVsPartitioned(b *testing.B) {
+	ks := ablationKeys()
+	b.Run("pdq-single-queue", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := pdq.New(pdq.Config{})
+			p := pdq.Serve(context.Background(), q, ablWorkers)
+			for _, k := range ks {
+				_ = q.Enqueue(pdq.Key(k), func(any) { busyWork() }, nil)
+			}
+			q.Close()
+			p.Wait()
+		}
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		var imb float64
+		for i := 0; i < b.N; i++ {
+			q := multiq.New(ablWorkers)
+			done := make(chan struct{})
+			go func() { q.Serve(); close(done) }()
+			for _, k := range ks {
+				_ = q.Enqueue(k, func(any) { busyWork() }, nil)
+			}
+			q.Close()
+			<-done
+			imb = q.Stats().Imbalance()
+		}
+		b.ReportMetric(imb, "imbalance-max/mean")
+	})
+}
+
+// BenchmarkSearchWindow sweeps the PDQ associative-search window size —
+// the Section 3.2 bounded-search design point (Ablation C).
+func BenchmarkSearchWindow(b *testing.B) {
+	ks := ablationKeys()
+	for _, w := range []int{1, 4, 16, 64, -1} {
+		name := "unbounded"
+		if w > 0 {
+			name = string(rune('0'+w/10)) + string(rune('0'+w%10))
+		}
+		b.Run("window-"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := pdq.New(pdq.Config{SearchWindow: w})
+				p := pdq.Serve(context.Background(), q, ablWorkers)
+				for _, k := range ks {
+					_ = q.Enqueue(pdq.Key(k), func(any) { busyWork() }, nil)
+				}
+				q.Close()
+				p.Wait()
+				b.ReportMetric(float64(q.Stats().WindowStalls), "window-stalls")
+			}
+		})
+	}
+}
+
+// BenchmarkPDQEnqueueDequeue measures the raw queue hot path with a
+// single worker (no handler body), isolating dispatcher overhead.
+func BenchmarkPDQEnqueueDequeue(b *testing.B) {
+	q := pdq.New(pdq.Config{})
+	nop := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Enqueue(pdq.Key(i&63), nop, nil)
+		e, ok := q.TryDequeue()
+		if !ok {
+			b.Fatal("dequeue failed")
+		}
+		q.Complete(e)
+	}
+}

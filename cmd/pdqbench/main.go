@@ -1,0 +1,141 @@
+// Command pdqbench measures the runtime PDQ library against the baseline
+// dispatch strategies the paper argues against, on a configurable handler
+// workload: in-queue synchronization (pdq) versus per-resource spin locks
+// (lock), optimistic abort/retry (oam), and statically partitioned queues
+// (multiq).
+//
+// Usage:
+//
+//	pdqbench [-strategy pdq|lock|oam|multiq|all] [-workers 8]
+//	         [-messages 200000] [-keys 64] [-skew 0] [-work 200]
+//
+// skew > 0 draws keys from a Zipf-like distribution (hotspot); work is the
+// simulated handler body in nanoseconds of spinning.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pdq/internal/lockq"
+	"pdq/internal/multiq"
+	"pdq/internal/pdq"
+	"pdq/internal/sim"
+)
+
+type config struct {
+	workers  int
+	messages int
+	keys     int
+	skew     float64
+	work     time.Duration
+	seed     uint64
+}
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "all", "pdq, lock, oam, multiq, or all")
+		workers  = flag.Int("workers", 8, "worker goroutines / partitions")
+		messages = flag.Int("messages", 200_000, "messages to dispatch")
+		keys     = flag.Int("keys", 64, "distinct synchronization keys")
+		skew     = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
+		work     = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
+		seed     = flag.Uint64("seed", 7, "key sequence seed")
+	)
+	flag.Parse()
+	cfg := config{*workers, *messages, *keys, *skew, *work, *seed}
+	names := []string{"pdq", "lock", "oam", "multiq"}
+	if *strategy != "all" {
+		names = []string{*strategy}
+	}
+	for _, name := range names {
+		elapsed, handled, err := runStrategy(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdqbench:", err)
+			os.Exit(1)
+		}
+		rate := float64(handled) / elapsed.Seconds() / 1e6
+		fmt.Printf("%-8s %9d msgs  %10v  %7.2f M msg/s\n", name, handled, elapsed.Round(time.Millisecond), rate)
+	}
+}
+
+// keySeq precomputes the message key sequence so every strategy sees the
+// identical workload.
+func keySeq(cfg config) []uint64 {
+	rng := sim.NewRand(cfg.seed)
+	ks := make([]uint64, cfg.messages)
+	for i := range ks {
+		if cfg.skew > 0 {
+			ks[i] = uint64(rng.Zipf(cfg.keys, cfg.skew))
+		} else {
+			ks[i] = uint64(rng.Intn(cfg.keys))
+		}
+	}
+	return ks
+}
+
+// spin simulates handler work without sleeping (scheduler-independent).
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func runStrategy(name string, cfg config) (time.Duration, uint64, error) {
+	ks := keySeq(cfg)
+	handler := func(any) { spin(cfg.work) }
+	switch name {
+	case "pdq":
+		q := pdq.New(pdq.Config{})
+		start := time.Now()
+		p := pdq.Serve(context.Background(), q, cfg.workers)
+		for _, k := range ks {
+			if err := q.Enqueue(pdq.Key(k), handler, nil); err != nil {
+				return 0, 0, err
+			}
+		}
+		q.Close()
+		p.Wait()
+		return time.Since(start), q.Stats().Completed, nil
+	case "lock", "oam":
+		strat := lockq.SpinLock
+		if name == "oam" {
+			strat = lockq.Optimistic
+		}
+		q := lockq.New(strat)
+		start := time.Now()
+		done := make(chan struct{})
+		go func() { q.Serve(cfg.workers, 4); close(done) }()
+		for _, k := range ks {
+			if err := q.Enqueue(k, handler, nil); err != nil {
+				return 0, 0, err
+			}
+		}
+		q.Close()
+		<-done
+		return time.Since(start), q.Stats().Handled, nil
+	case "multiq":
+		q := multiq.New(cfg.workers)
+		start := time.Now()
+		done := make(chan struct{})
+		go func() { q.Serve(); close(done) }()
+		for _, k := range ks {
+			if err := q.Enqueue(k, handler, nil); err != nil {
+				return 0, 0, err
+			}
+		}
+		q.Close()
+		<-done
+		s := q.Stats()
+		fmt.Printf("         partition imbalance %.2fx (max/mean)\n", s.Imbalance())
+		return time.Since(start), s.Handled, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}

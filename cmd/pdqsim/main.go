@@ -1,0 +1,144 @@
+// Command pdqsim regenerates the PDQ paper's evaluation: every table and
+// figure from Section 5, plus the headline result, on the simulated SMP
+// cluster.
+//
+// Usage:
+//
+//	pdqsim -experiment table1|table2|fig7|fig8|fig9|fig10|fig11|headline|all
+//	       [-scale 1.0] [-seed 1999] [-bars]
+//
+// Output is an aligned ASCII table per experiment; cells annotated with
+// "(p:X)" carry the paper's published value for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdq/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "experiment id: table1, table2, fig7, fig8, fig9, fig10, fig11, headline, ablation, all")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (accesses per processor)")
+		seed  = flag.Uint64("seed", 1999, "workload random seed")
+		bars  = flag.Bool("bars", false, "render figure reports as ASCII bar charts too")
+		par   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *par}
+	if err := run(*exp, opts, *bars); err != nil {
+		fmt.Fprintln(os.Stderr, "pdqsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts experiments.Options, bars bool) error {
+	show := func(reps ...*experiments.Report) {
+		for _, r := range reps {
+			fmt.Println(r)
+			if bars {
+				for c := range r.Columns {
+					fmt.Println(r.Bars(c))
+				}
+			}
+		}
+	}
+	dispatch := map[string]func() error{
+		"table1": func() error {
+			r, err := experiments.Table1()
+			if err != nil {
+				return err
+			}
+			show(r)
+			return nil
+		},
+		"table2": func() error {
+			r, err := experiments.Table2(opts)
+			if err != nil {
+				return err
+			}
+			show(r)
+			return nil
+		},
+		"fig7": func() error {
+			a, err := experiments.Fig7Hurricane(opts)
+			if err != nil {
+				return err
+			}
+			b, err := experiments.Fig7Hurricane1(opts)
+			if err != nil {
+				return err
+			}
+			show(a, b)
+			return nil
+		},
+		"fig8": func() error {
+			a, b, err := experiments.Fig8(opts)
+			if err != nil {
+				return err
+			}
+			show(a, b)
+			return nil
+		},
+		"fig9": func() error {
+			a, b, err := experiments.Fig9(opts)
+			if err != nil {
+				return err
+			}
+			show(a, b)
+			return nil
+		},
+		"fig10": func() error {
+			a, b, err := experiments.Fig10(opts)
+			if err != nil {
+				return err
+			}
+			show(a, b)
+			return nil
+		},
+		"fig11": func() error {
+			a, b, err := experiments.Fig11(opts)
+			if err != nil {
+				return err
+			}
+			show(a, b)
+			return nil
+		},
+		"headline": func() error {
+			r, err := experiments.Headline(opts)
+			if err != nil {
+				return err
+			}
+			show(r)
+			return nil
+		},
+		"ablation": func() error {
+			f, err := experiments.AblationForwarding(opts)
+			if err != nil {
+				return err
+			}
+			c, err := experiments.AblationCapacity(opts)
+			if err != nil {
+				return err
+			}
+			show(f, c)
+			return nil
+		},
+	}
+	if exp == "all" {
+		for _, id := range []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "headline", "ablation"} {
+			if err := dispatch[id](); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fn, ok := dispatch[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return fn()
+}

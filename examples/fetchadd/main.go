@@ -1,0 +1,114 @@
+// Fetchadd reproduces the paper's motivating example (Figures 2 and 3): a
+// fetch&add protocol handler over a set of shared memory words. The
+// lock-based variant (Figure 2, right) acquires a spin lock around every
+// word inside the handler; the PDQ variant (Figure 3) uses the word's
+// address as the synchronization key and needs no lock at all. Both are
+// driven by an identical message stream with a hot-word distribution, and
+// both must produce identical final word values.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"pdq/internal/lockq"
+	"pdq/internal/pdq"
+	"pdq/internal/sim"
+)
+
+const (
+	words    = 256
+	messages = 150_000
+	workers  = 8
+	hotSkew  = 1.2 // most traffic hits a few words, as in real protocols
+)
+
+// replyCost simulates the rest of the handler: reading the word's cache
+// line and composing/sending the reply message (Figure 2's send call) —
+// the part a spin-locked handler forces contending workers to wait out.
+func replyCost() {
+	x := 0
+	for i := 0; i < 1200; i++ {
+		x += i
+	}
+	_ = x
+}
+
+// request is one fetch&add message: target word and increment.
+type request struct {
+	word int
+	inc  int64
+}
+
+func workload() []request {
+	rng := sim.NewRand(99)
+	reqs := make([]request, messages)
+	for i := range reqs {
+		reqs[i] = request{word: rng.Zipf(words, hotSkew), inc: int64(rng.Intn(10) + 1)}
+	}
+	return reqs
+}
+
+func main() {
+	reqs := workload()
+
+	// --- Figure 3: PDQ — synchronize in the queue, not in the handler ---
+	pdqWords := make([]int64, words)
+	q := pdq.New(pdq.Config{})
+	start := time.Now()
+	pool := pdq.Serve(context.Background(), q, workers)
+	for i := range reqs {
+		r := &reqs[i]
+		// The word address is the synchronization key: handlers for the
+		// same word serialize before dispatch; distinct words in parallel.
+		err := q.Enqueue(pdq.Key(r.word), func(any) {
+			pdqWords[r.word] += r.inc // fetch&add body, lock-free
+			replyCost()
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	q.Close()
+	pool.Wait()
+	pdqTime := time.Since(start)
+
+	// --- Figure 2 (right): spin locks inside the handler ---
+	lockWords := make([]int64, words)
+	lq := lockq.New(lockq.SpinLock)
+	start = time.Now()
+	done := make(chan struct{})
+	go func() { lq.Serve(workers, 0); close(done) }()
+	for i := range reqs {
+		r := &reqs[i]
+		err := lq.Enqueue(uint64(r.word), func(any) {
+			lockWords[r.word] += r.inc // protected by the queue's per-key lock
+			replyCost()
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	lq.Close()
+	<-done
+	lockTime := time.Since(start)
+
+	for i := range pdqWords {
+		if pdqWords[i] != lockWords[i] {
+			log.Fatalf("word %d diverged: pdq=%d lock=%d", i, pdqWords[i], lockWords[i])
+		}
+	}
+	qs, ls := q.Stats(), lq.Stats()
+	fmt.Printf("fetch&add over %d words, %d messages, %d workers, Zipf skew %.1f\n",
+		words, messages, workers, hotSkew)
+	fmt.Printf("  PDQ (in-queue sync):   %10v   key conflicts deferred in queue: %d\n",
+		pdqTime.Round(time.Millisecond), qs.KeyConflicts)
+	fmt.Printf("  spin locks in handler: %10v   busy-wait loop iterations:       %d\n",
+		lockTime.Round(time.Millisecond), ls.SpinLoops)
+	fmt.Println("final word values identical across both strategies")
+	fmt.Printf("(GOMAXPROCS %d; with real parallelism, spin waits burn worker cycles\n", runtime.GOMAXPROCS(0))
+	fmt.Println(" that PDQ instead spends executing handlers for other words)")
+}

@@ -1,0 +1,89 @@
+// Imbalance demonstrates the paper's Section 1 argument for a single
+// queue: statically partitioning messages across per-processor queues
+// (as systems built on U-Net / VIA did) leads to load imbalance under a
+// skewed key distribution, while a single PDQ keeps every worker busy —
+// the classic single-queue/multi-server advantage, with per-key ordering
+// still guaranteed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"pdq/internal/multiq"
+	"pdq/internal/pdq"
+	"pdq/internal/sim"
+)
+
+const (
+	workers  = 8
+	messages = 60_000
+	keys     = 64
+)
+
+// handler body: a small deterministic spin, like a fine-grain protocol
+// handler moving a block of data.
+func work() {
+	x := 0
+	for i := 0; i < 10_000; i++ {
+		x += i * i
+	}
+	_ = x
+}
+
+func run(skew float64) {
+	rng := sim.NewRand(5)
+	ks := make([]uint64, messages)
+	for i := range ks {
+		ks[i] = uint64(rng.Zipf(keys, skew))
+	}
+
+	// Statically partitioned queues: key-hashed, one worker each.
+	mq := multiq.New(workers)
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { mq.Serve(); close(done) }()
+	for _, k := range ks {
+		if err := mq.Enqueue(k, func(any) { work() }, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mq.Close()
+	<-done
+	mqTime := time.Since(start)
+
+	// Single PDQ, same worker count, same message stream.
+	q := pdq.New(pdq.Config{})
+	start = time.Now()
+	pool := pdq.Serve(context.Background(), q, workers)
+	for _, k := range ks {
+		if err := q.Enqueue(pdq.Key(k), func(any) { work() }, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q.Close()
+	pool.Wait()
+	pdqTime := time.Since(start)
+
+	s := mq.Stats()
+	fmt.Printf("skew %.1f:\n", skew)
+	fmt.Printf("  partitioned queues: %9v  (busiest partition %.2fx the mean)\n",
+		mqTime.Round(time.Millisecond), s.Imbalance())
+	fmt.Printf("  single PDQ:         %9v  (%.2fx faster)\n",
+		pdqTime.Round(time.Millisecond), float64(mqTime)/float64(pdqTime))
+}
+
+func main() {
+	fmt.Printf("%d messages, %d workers/partitions, %d keys\n\n", messages, workers, keys)
+	for _, skew := range []float64{0, 0.9} {
+		run(skew)
+	}
+	fmt.Println("\nWith uniform keys the two organizations tie; skew piles work onto a")
+	fmt.Println("few partitions (the busiest-partition factor above) while the single")
+	fmt.Println("queue keeps every worker fed — Michael et al.'s observation, which")
+	fmt.Println("motivates PDQ's single-queue design. Wall-clock gaps require real")
+	fmt.Printf("hardware parallelism (GOMAXPROCS here: %d).\n", runtime.GOMAXPROCS(0))
+}

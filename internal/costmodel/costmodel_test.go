@@ -1,0 +1,166 @@
+package costmodel
+
+import (
+	"testing"
+
+	"pdq/internal/sim"
+)
+
+// paperTable1 is Table 1 verbatim: rows in order, cycles at 64 B.
+var paperTable1 = map[System][]sim.Time{
+	SCOMA:      {5, 12, 0, 100, 1, 8, 136, 100, 1, 8, 6, 63},
+	Hurricane:  {5, 16, 36, 100, 3, 61, 140, 100, 4, 50, 6, 63},
+	Hurricane1: {5, 87, 141, 100, 51, 121, 205, 100, 50, 63, 178, 63},
+}
+
+var paperTotals = map[System]sim.Time{SCOMA: 440, Hurricane: 584, Hurricane1: 1164}
+
+func TestTable1RowsExactAt64B(t *testing.T) {
+	for sys, want := range paperTable1 {
+		rows := For(sys).Breakdown(64, 100)
+		if len(rows) != len(want) {
+			t.Fatalf("%v: %d rows, want %d", sys, len(rows), len(want))
+		}
+		for i, w := range want {
+			if rows[i].Cycles != w {
+				t.Errorf("%v row %d (%s): %d cycles, want %d",
+					sys, i, rows[i].Action, rows[i].Cycles, w)
+			}
+		}
+	}
+}
+
+func TestTable1TotalsExact(t *testing.T) {
+	for sys, want := range paperTotals {
+		if got := For(sys).RemoteReadLatency(64, 100); got != want {
+			t.Errorf("%v total = %d, want %d", sys, got, want)
+		}
+	}
+}
+
+func TestPaperRatios(t *testing.T) {
+	// Section 5.1: Hurricane total +33% over S-COMA; Hurricane-1 +165%.
+	sc := float64(For(SCOMA).RemoteReadLatency(64, 100))
+	hu := float64(For(Hurricane).RemoteReadLatency(64, 100))
+	h1 := float64(For(Hurricane1).RemoteReadLatency(64, 100))
+	if r := hu/sc - 1; r < 0.30 || r > 0.36 {
+		t.Errorf("Hurricane roundtrip overhead = %.0f%%, paper says 33%%", r*100)
+	}
+	if r := h1/sc - 1; r < 1.60 || r > 1.70 {
+		t.Errorf("Hurricane-1 roundtrip overhead = %.0f%%, paper says 165%%", r*100)
+	}
+	// Request/response occupancy +315% for Hurricane (dispatch + handler +
+	// resume on the caching node).
+	occ := func(c Costs) float64 {
+		return float64(c.RequestOccupancy(64) + c.ResponseOccupancy(64) + c.Resume.At(64))
+	}
+	if r := occ(For(Hurricane))/occ(For(SCOMA)) - 1; r < 3.0 || r > 3.3 {
+		t.Errorf("Hurricane req/resp occupancy overhead = %.0f%%, paper says 315%%", r*100)
+	}
+}
+
+func TestBlockScalingMonotoneAndAnchored(t *testing.T) {
+	for _, sys := range []System{SCOMA, Hurricane, Hurricane1} {
+		c := For(sys)
+		l32 := c.RemoteReadLatency(32, 100)
+		l64 := c.RemoteReadLatency(64, 100)
+		l128 := c.RemoteReadLatency(128, 100)
+		if !(l32 < l64 && l64 < l128) {
+			t.Errorf("%v latency not monotone in block size: %d %d %d", sys, l32, l64, l128)
+		}
+		if l64 != paperTotals[sys] {
+			t.Errorf("%v 64B anchor broken: %d", sys, l64)
+		}
+		// Per-byte terms: reply occupancy grows by exactly 1.5 c/B.
+		d := c.ReplyOccupancy(128) - c.ReplyOccupancy(64)
+		if d != sim.Time(1.5*64) {
+			t.Errorf("%v reply scaling = %d per 64B, want 96", sys, d)
+		}
+	}
+}
+
+func TestSoftwareAmortizationWithLargeBlocks(t *testing.T) {
+	// Figure 10/11 intuition: larger blocks shrink the *relative* gap
+	// between software and hardware (fixed software overhead amortized
+	// over a larger transfer).
+	gap := func(bs int) float64 {
+		return float64(For(Hurricane1).RemoteReadLatency(bs, 100)) /
+			float64(For(SCOMA).RemoteReadLatency(bs, 100))
+	}
+	if !(gap(32) > gap(64) && gap(64) > gap(128)) {
+		t.Errorf("relative software gap not shrinking: %.2f %.2f %.2f",
+			gap(32), gap(64), gap(128))
+	}
+}
+
+func TestControlOccupancyOrdering(t *testing.T) {
+	// Control handlers: hardware << embedded software << commodity SMP.
+	sc := For(SCOMA).ControlOccupancy(64)
+	hu := For(Hurricane).ControlOccupancy(64)
+	h1 := For(Hurricane1).ControlOccupancy(64)
+	if !(sc < hu && hu < h1) {
+		t.Errorf("control occupancy ordering violated: %d %d %d", sc, hu, h1)
+	}
+	if float64(h1)/float64(sc) < 5 {
+		t.Errorf("software/hardware control gap too small: %d vs %d", h1, sc)
+	}
+}
+
+func TestMultOverheads(t *testing.T) {
+	m := For(Hurricane1Mult)
+	d := For(Hurricane1)
+	if m.MultDispatch.At(64) == 0 || m.MultResume.At(64) == 0 {
+		t.Fatal("Mult must carry scheduling overheads")
+	}
+	if d.MultDispatch.At(64) != 0 {
+		t.Fatal("dedicated Hurricane-1 must not pay Mult overheads")
+	}
+	// Base handler costs identical: same device.
+	if m.ReplyOccupancy(64) != d.ReplyOccupancy(64) {
+		t.Fatal("Mult base occupancies must match Hurricane-1")
+	}
+}
+
+func TestOccupancyHelpers(t *testing.T) {
+	c := For(Hurricane)
+	if c.RequestOccupancy(64) != 52 { // 16 + 36
+		t.Errorf("request occupancy = %d, want 52", c.RequestOccupancy(64))
+	}
+	if c.ReplyOccupancy(64) != 204 { // 3 + 61 + 140
+		t.Errorf("reply occupancy = %d, want 204", c.ReplyOccupancy(64))
+	}
+	if c.ResponseOccupancy(64) != 54 { // 4 + 50
+		t.Errorf("response occupancy = %d, want 54", c.ResponseOccupancy(64))
+	}
+	if c.ProcessorTail(64) != 69 { // 6 + 63
+		t.Errorf("tail = %d, want 69", c.ProcessorTail(64))
+	}
+	if c.HomeControlOccupancy(64) != 64 { // 3 + 61
+		t.Errorf("home control = %d, want 64", c.HomeControlOccupancy(64))
+	}
+	if c.WritebackOccupancy(64) != 97 { // 3 + 30 + 64
+		t.Errorf("writeback = %d, want 97", c.WritebackOccupancy(64))
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	names := map[System]string{
+		SCOMA: "S-COMA", Hurricane: "Hurricane",
+		Hurricane1: "Hurricane-1", Hurricane1Mult: "Hurricane-1 Mult",
+		System(99): "unknown",
+	}
+	for s, w := range names {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestUnknownSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("For(unknown) should panic")
+		}
+	}()
+	For(System(99))
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"pdq/internal/costmodel"
+	"pdq/internal/machine"
+	"pdq/internal/workload"
+)
+
+// AblationForwarding compares the recall-to-home protocol (the paper's
+// baseline, four hops to serve a remotely-owned block) against the
+// three-hop request-forwarding extension on the two workloads with the
+// most producer/consumer ownership migration (em3d, fft). Reported per
+// app: remote-miss latency under recall, under forwarding, and the
+// execution-time speedup forwarding buys.
+func AblationForwarding(opts Options) (*Report, error) {
+	opts = opts.normalize()
+	rep := &Report{
+		ID:      "ablation-forwarding",
+		Title:   "Recall-to-home vs three-hop forwarding (Hurricane 2pp, 8 8-way SMPs)",
+		Columns: []string{"recall lat", "forward lat", "exec speedup"},
+	}
+	for _, app := range []string{"em3d", "fft", "radix"} {
+		recall, err := runForwarding(app, false, opts)
+		if err != nil {
+			return nil, err
+		}
+		fwd, err := runForwarding(app, true, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Row{Label: app, Cells: []Cell{
+			{Value: recall.FaultLatency.Mean()},
+			{Value: fwd.FaultLatency.Mean()},
+			{Value: fwd.Speedup(recall)},
+		}})
+	}
+	rep.Notes = append(rep.Notes,
+		"Forwarding shortens remotely-owned misses from 4 network hops to 3 (Section 5.2's producer/consumer case).")
+	return rep, nil
+}
+
+// AblationCapacity measures the cost of a finite remote cache: the same
+// workload with an unbounded Stache cache (the paper's configuration)
+// versus progressively tighter per-node block caches.
+func AblationCapacity(opts Options) (*Report, error) {
+	opts = opts.normalize()
+	rep := &Report{
+		ID:      "ablation-capacity",
+		Title:   "Finite remote-cache pressure (Hurricane 2pp, barnes, 8 8-way SMPs)",
+		Columns: []string{"faults", "evictions", "slowdown"},
+	}
+	base, err := runCapacity("barnes", 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, capBlocks := range []int{0, 2048, 512, 128} {
+		res, err := runCapacity("barnes", capBlocks, opts)
+		if err != nil {
+			return nil, err
+		}
+		label := "unbounded"
+		if capBlocks > 0 {
+			label = itoa(capBlocks) + " blocks"
+		}
+		rep.Rows = append(rep.Rows, Row{Label: label, Cells: []Cell{
+			{Value: float64(res.Faults)},
+			{Value: float64(res.Proto.Evictions)},
+			{Value: float64(res.ExecTime) / float64(base.ExecTime)},
+		}})
+	}
+	rep.Notes = append(rep.Notes,
+		"The paper's Stache caches remote data in main memory (effectively unbounded); this quantifies what that buys.")
+	return rep, nil
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func runForwarding(app string, forwarding bool, opts Options) (machine.Result, error) {
+	prof, err := workload.ByName(app)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	cfg := machine.DefaultConfig(costmodel.Hurricane)
+	cfg.ProtoProcs = 2
+	cfg.Forwarding = forwarding
+	shape := workload.Shape{Nodes: cfg.Nodes, ProcsPerNode: cfg.ProcsPerNode, BlockSize: cfg.BlockSize}
+	cl, err := machine.New(cfg, func(node, lp int) machine.AccessSource {
+		return workload.NewSource(prof, shape, node, lp, opts.Seed, opts.Scale)
+	})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return cl.Run()
+}
+
+func runCapacity(app string, capBlocks int, opts Options) (machine.Result, error) {
+	prof, err := workload.ByName(app)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	cfg := machine.DefaultConfig(costmodel.Hurricane)
+	cfg.ProtoProcs = 2
+	cfg.RemoteCacheBlocks = capBlocks
+	shape := workload.Shape{Nodes: cfg.Nodes, ProcsPerNode: cfg.ProcsPerNode, BlockSize: cfg.BlockSize}
+	cl, err := machine.New(cfg, func(node, lp int) machine.AccessSource {
+		return workload.NewSource(prof, shape, node, lp, opts.Seed, opts.Scale)
+	})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return cl.Run()
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pdq/internal/costmodel"
+)
+
+// quick returns fast options for tests: small workloads, fixed seed.
+func quick() Options { return Options{Scale: 0.12, Seed: 1999} }
+
+func TestTable1Exact(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 13 { // 12 action rows + measured total
+		t.Fatalf("%d rows, want 13", len(rep.Rows))
+	}
+	totals := rep.Rows[len(rep.Rows)-1]
+	want := []float64{440, 584, 1164}
+	for i, w := range want {
+		if totals.Cells[i].Value != w {
+			t.Errorf("%s measured total = %.0f, want %.0f",
+				rep.Columns[i], totals.Cells[i].Value, w)
+		}
+	}
+	if !strings.Contains(rep.String(), "440") {
+		t.Error("rendering lost the totals")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rep, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := map[string]float64{}
+	for _, row := range rep.Rows {
+		sp[row.Label] = row.Cells[0].Value
+	}
+	// The ordering classes from the paper must hold: water-sp near-linear,
+	// barnes/fmm/em3d moderate, fft/radix poor, cholesky worst.
+	if !(sp["water-sp"] > sp["barnes"] && sp["barnes"] > sp["fft"] && sp["fft"] > sp["cholesky"]) {
+		t.Fatalf("speedup ordering broken: %+v", sp)
+	}
+	if sp["water-sp"] < 40 || sp["cholesky"] > 15 {
+		t.Fatalf("speedup magnitudes implausible: %+v", sp)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	hur, err := Fig7Hurricane(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := Fig7Hurricane1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(r *Report, app, col string) float64 {
+		c, ok := r.CellFor(app, col)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", app, col)
+		}
+		return c.Value
+	}
+	for _, app := range []string{"barnes", "cholesky", "em3d", "fft", "fmm", "radix"} {
+		// S-COMA beats every single-processor software system.
+		if get(hur, app, "1pp") >= 1.0 {
+			t.Errorf("%s: Hurricane 1pp (%f) should lose to S-COMA", app, get(hur, app, "1pp"))
+		}
+		if get(h1, app, "1pp") >= get(hur, app, "1pp") {
+			t.Errorf("%s: Hurricane-1 1pp should lose to Hurricane 1pp", app)
+		}
+		// Protocol processors never hurt.
+		if get(hur, app, "4pp") < get(hur, app, "1pp") || get(h1, app, "4pp") < get(h1, app, "1pp") {
+			t.Errorf("%s: adding protocol processors degraded performance", app)
+		}
+	}
+	// water-sp is insensitive everywhere (within 91% of S-COMA, Sec 5.2).
+	for _, col := range []string{"1pp", "2pp", "4pp"} {
+		if get(hur, "water-sp", col) < 0.91 || get(h1, "water-sp", col) < 0.91 {
+			t.Errorf("water-sp dipped below 0.91 at %s", col)
+		}
+	}
+	// Bandwidth-bound apps gain far more from 4pp than latency-bound ones.
+	gainFFT := get(hur, "fft", "4pp") / get(hur, "fft", "1pp")
+	gainBarnes := get(hur, "barnes", "4pp") / get(hur, "barnes", "1pp")
+	if gainFFT < gainBarnes {
+		t.Errorf("fft 4pp gain (%f) should exceed barnes (%f)", gainFFT, gainBarnes)
+	}
+	// Mult exists and lands between 1pp and 4pp dedicated at 8-way.
+	for _, app := range []string{"fft", "em3d"} {
+		m := get(h1, app, "Mult")
+		if m <= get(h1, app, "1pp") || m > get(h1, app, "4pp")+0.05 {
+			t.Errorf("%s: Mult (%f) out of expected band", app, m)
+		}
+	}
+}
+
+func TestHeadlineFactor(t *testing.T) {
+	rep, err := Headline(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.Label != "geometric mean" {
+		t.Fatal("missing geometric mean row")
+	}
+	got := last.Cells[0].Value
+	// Paper reports 2.6×; shape tolerance: within [1.8, 3.6] at test scale.
+	if got < 1.8 || got > 3.6 {
+		t.Fatalf("headline factor = %.2f, paper says 2.6", got)
+	}
+}
+
+func TestClusteringHelpsMult(t *testing.T) {
+	a, b, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Increasing clustering degree (4-way → 16-way) must improve Mult
+	// relative to S-COMA on bandwidth-bound apps (Section 5.2).
+	for _, app := range []string{"cholesky", "fft"} {
+		m4, _ := a.CellFor(app, "Mult")
+		m16, _ := b.CellFor(app, "Mult")
+		if m16.Value <= m4.Value {
+			t.Errorf("%s: Mult at 16-way (%f) should beat 4-way (%f)", app, m16.Value, m4.Value)
+		}
+	}
+}
+
+func TestBlockSizeEffects(t *testing.T) {
+	small, big, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large blocks amortize software overhead for coarse-grain apps...
+	for _, app := range []string{"cholesky", "fft", "radix"} {
+		s, _ := small.CellFor(app, "1pp")
+		b, _ := big.CellFor(app, "1pp")
+		if b.Value <= s.Value {
+			t.Errorf("%s: 128B 1pp (%f) should beat 32B (%f)", app, b.Value, s.Value)
+		}
+	}
+	// ...but false sharing hurts the fine-grain apps (barnes, fmm).
+	for _, app := range []string{"barnes", "fmm"} {
+		s, _ := small.CellFor(app, "1pp")
+		b, _ := big.CellFor(app, "1pp")
+		if b.Value >= s.Value {
+			t.Errorf("%s: 128B 1pp (%f) should trail 32B (%f) due to false sharing",
+				app, b.Value, s.Value)
+		}
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{
+		ID: "x", Title: "t", Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "r1", Cells: []Cell{{Value: 2}, {Value: 8}}},
+			{Label: "r2", Cells: []Cell{{Value: 8}, {Value: 2}}},
+		},
+	}
+	if g := r.GeoMean(0); g != 4 {
+		t.Fatalf("geomean = %f, want 4", g)
+	}
+	if _, ok := r.CellFor("r1", "nope"); ok {
+		t.Fatal("bogus column found")
+	}
+	if _, ok := r.CellFor("nope", "a"); ok {
+		t.Fatal("bogus row found")
+	}
+	if !strings.Contains(r.Bars(0), "#") {
+		t.Fatal("bars render empty")
+	}
+	empty := &Report{}
+	if empty.GeoMean(0) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+}
+
+func TestProbe(t *testing.T) {
+	res, err := Probe("water-sp", costmodel.Hurricane, 2, 2, 2, 64, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime <= 0 || res.System != costmodel.Hurricane {
+		t.Fatalf("probe result malformed: %+v", res)
+	}
+	if _, err := Probe("bogus", costmodel.SCOMA, 1, 2, 2, 64, quick()); err == nil {
+		t.Fatal("bogus app accepted")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Scale != 1.0 || o.Seed == 0 || o.Parallelism < 1 {
+		t.Fatalf("normalize failed: %+v", o)
+	}
+}
+
+func TestAblationForwarding(t *testing.T) {
+	rep, err := AblationForwarding(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		recall, fwd, speedup := row.Cells[0].Value, row.Cells[1].Value, row.Cells[2].Value
+		if fwd >= recall {
+			t.Errorf("%s: forwarding latency %.0f not below recall %.0f", row.Label, fwd, recall)
+		}
+		if speedup < 0.95 {
+			t.Errorf("%s: forwarding slowed execution: %.2f", row.Label, speedup)
+		}
+	}
+}
+
+func TestAblationCapacity(t *testing.T) {
+	rep, err := AblationCapacity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Rows[0]
+	last := rep.Rows[len(rep.Rows)-1]
+	if first.Cells[1].Value != 0 {
+		t.Fatal("unbounded cache evicted")
+	}
+	if last.Cells[1].Value == 0 {
+		t.Fatal("tightest cache never evicted")
+	}
+	if last.Cells[2].Value < first.Cells[2].Value {
+		t.Fatal("capacity pressure should not speed execution up")
+	}
+}

@@ -1,0 +1,252 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5): Table 1 (remote read miss latency breakdown),
+// Table 2 (application speedups under S-COMA), Figure 7 (baseline system
+// comparison), Figures 8-9 (clustering degree), Figures 10-11 (block
+// size), and the headline result (Hurricane-1 Mult = 2.6× a single
+// dedicated protocol processor on 4 16-way SMPs). Each runner returns a
+// Report carrying measured values next to the paper's published values
+// where the paper states them.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"pdq/internal/costmodel"
+	"pdq/internal/machine"
+	"pdq/internal/workload"
+)
+
+// Options tune experiment execution.
+type Options struct {
+	// Scale multiplies the per-processor access counts (1.0 = full runs,
+	// small values for quick tests).
+	Scale float64
+	// Seed drives all workload randomness.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions are full-scale, deterministic runs.
+func DefaultOptions() Options { return Options{Scale: 1.0, Seed: 1999} }
+
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1999
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Cell is one measured (and optionally paper-published) value.
+type Cell struct {
+	Value    float64
+	Paper    float64 // 0 = the paper does not publish this cell
+	HasPaper bool
+}
+
+// Row is one labeled line of a report.
+type Row struct {
+	Label string
+	Cells []Cell
+}
+
+// Report is a reproduced table or figure.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+	Format  string // "%.0f" or "%.2f"
+}
+
+func (r *Report) format() string {
+	if r.Format == "" {
+		return "%.2f"
+	}
+	return r.Format
+}
+
+// String renders the report as an aligned ASCII table; cells with paper
+// values render as "measured (paper P)".
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	width := 24
+	for _, row := range r.Rows {
+		if len(row.Label) > width {
+			width = len(row.Label)
+		}
+	}
+	cellW := 10
+	for _, c := range r.Columns {
+		if len(c)+2 > cellW {
+			cellW = len(c) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, "%*s", cellW+10, c)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, row.Label)
+		for _, c := range row.Cells {
+			v := fmt.Sprintf(r.format(), c.Value)
+			if c.HasPaper {
+				v += fmt.Sprintf(" (p:"+r.format()+")", c.Paper)
+			}
+			fmt.Fprintf(&b, "%*s", cellW+10, v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Bars renders one column of the report as an ASCII bar chart (used for
+// figure-style reports where 1.0 = parity with S-COMA).
+func (r *Report) Bars(col int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s: %s [%s] --\n", r.ID, r.Title, r.Columns[col])
+	const unit = 30 // characters per 1.0
+	for _, row := range r.Rows {
+		if col >= len(row.Cells) {
+			continue
+		}
+		v := row.Cells[col].Value
+		n := int(v * unit)
+		if n < 0 {
+			n = 0
+		}
+		if n > 90 {
+			n = 90
+		}
+		fmt.Fprintf(&b, "%-26s %s %.2f\n", row.Label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of a column across rows.
+func (r *Report) GeoMean(col int) float64 {
+	prod, n := 1.0, 0
+	for _, row := range r.Rows {
+		if col < len(row.Cells) && row.Cells[col].Value > 0 {
+			prod *= row.Cells[col].Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// CellFor returns the cell at (rowLabel, column name).
+func (r *Report) CellFor(rowLabel, col string) (Cell, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return Cell{}, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == rowLabel && ci < len(row.Cells) {
+			return row.Cells[ci], true
+		}
+	}
+	return Cell{}, false
+}
+
+// runKey identifies one simulation in a batch.
+type runKey struct {
+	app    string
+	system costmodel.System
+	pps    int
+	nodes  int
+	procs  int
+	block  int
+}
+
+func (k runKey) String() string {
+	return fmt.Sprintf("%s/%s-%dpp/%dx%d/%dB", k.app, k.system, k.pps, k.nodes, k.procs, k.block)
+}
+
+// runBatch executes all requested simulations in parallel and returns
+// results keyed by runKey.
+func runBatch(keys []runKey, opts Options) (map[runKey]machine.Result, error) {
+	opts = opts.normalize()
+	results := make(map[runKey]machine.Result, len(keys))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k runKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := runOne(k, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", k, err)
+				}
+				return
+			}
+			results[k] = res
+		}(k)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// runOne executes a single (app, machine) simulation.
+func runOne(k runKey, opts Options) (machine.Result, error) {
+	prof, err := workload.ByName(k.app)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	cfg := machine.DefaultConfig(k.system)
+	cfg.Nodes = k.nodes
+	cfg.ProcsPerNode = k.procs
+	cfg.ProtoProcs = k.pps
+	cfg.BlockSize = k.block
+	shape := workload.Shape{Nodes: k.nodes, ProcsPerNode: k.procs, BlockSize: k.block}
+	cl, err := machine.New(cfg, func(node, lp int) machine.AccessSource {
+		return workload.NewSource(prof, shape, node, lp, opts.Seed, opts.Scale)
+	})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return cl.Run()
+}
+
+// appNames returns the Table 2 application order.
+func appNames() []string {
+	var names []string
+	for _, p := range workload.Apps() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}

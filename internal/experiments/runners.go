@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pdq/internal/costmodel"
+	"pdq/internal/machine"
+	"pdq/internal/netsim"
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+	"pdq/internal/workload"
+)
+
+// paperTable2 holds the published S-COMA speedups on 8 8-way SMPs.
+var paperTable2 = map[string]float64{
+	"barnes": 31, "cholesky": 5, "em3d": 34, "fft": 19,
+	"fmm": 31, "radix": 12, "water-sp": 61,
+}
+
+// Table1 reproduces the remote read miss latency breakdown. The model
+// rows come from the cost model (exact by construction); the Total row is
+// additionally *measured* by running one remote read miss through the
+// full simulator with NI serialization zeroed (Table 1 is contention-free
+// and folds NI handling into its send/receive actions).
+func Table1() (*Report, error) {
+	systems := []costmodel.System{costmodel.SCOMA, costmodel.Hurricane, costmodel.Hurricane1}
+	rep := &Report{
+		ID:      "table1",
+		Title:   "Remote read miss latency breakdown (400-MHz cycles, 64-byte protocol)",
+		Columns: []string{"S-COMA", "Hurricane", "Hurricane-1"},
+		Format:  "%.0f",
+	}
+	paperRows := map[string][]float64{} // filled from the paper's table
+	actions := []string{}
+	for si, sys := range systems {
+		c := costmodel.For(sys)
+		for _, row := range c.Breakdown(64, 100) {
+			label := row.Category + ": " + row.Action
+			if si == 0 {
+				actions = append(actions, label)
+				paperRows[label] = make([]float64, len(systems))
+			}
+			paperRows[label][si] = float64(row.Cycles)
+		}
+	}
+	for _, a := range actions {
+		row := Row{Label: a}
+		for si := range systems {
+			v := paperRows[a][si]
+			row.Cells = append(row.Cells, Cell{Value: v, Paper: v, HasPaper: true})
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	// Measured totals through the simulator.
+	paperTotals := []float64{440, 584, 1164}
+	total := Row{Label: "Total (measured end-to-end)"}
+	for si, sys := range systems {
+		lat, err := measureSingleRead(sys)
+		if err != nil {
+			return nil, err
+		}
+		total.Cells = append(total.Cells, Cell{Value: lat, Paper: paperTotals[si], HasPaper: true})
+	}
+	rep.Rows = append(rep.Rows, total)
+	rep.Notes = append(rep.Notes,
+		"Total row is measured by simulating a single remote read miss on a 2-node cluster.")
+	return rep, nil
+}
+
+// measureSingleRead runs one remote read through the machine and returns
+// its fault latency in cycles.
+func measureSingleRead(sys costmodel.System) (float64, error) {
+	cfg := machine.DefaultConfig(sys)
+	cfg.Nodes = 2
+	cfg.ProcsPerNode = 1
+	cfg.PageBlocks = 0
+	cfg.Net = netsim.Config{Latency: 100, HeaderCycles: 0, CyclesPerByte: 0}
+	cl, err := machine.New(cfg, func(node, lp int) machine.AccessSource {
+		if node == 0 {
+			return &oneShot{addr: proto.MakeAddr(1, 0)}
+		}
+		return &oneShot{done: true}
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := cl.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.FaultLatency.Mean(), nil
+}
+
+// Table2 reproduces application speedups under S-COMA on 8 8-way SMPs,
+// relative to an estimated uniprocessor run.
+func Table2(opts Options) (*Report, error) {
+	opts = opts.normalize()
+	var keys []runKey
+	for _, app := range appNames() {
+		keys = append(keys, runKey{app: app, system: costmodel.SCOMA, pps: 1, nodes: 8, procs: 8, block: 64})
+	}
+	results, err := runBatch(keys, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "table2",
+		Title:   "Applications and S-COMA speedups, cluster of 8 8-way SMPs (64 procs)",
+		Columns: []string{"speedup"},
+		Format:  "%.0f",
+	}
+	shape := workload.Shape{Nodes: 8, ProcsPerNode: 8, BlockSize: 64}
+	for _, k := range keys {
+		prof, _ := workload.ByName(k.app)
+		t1 := prof.UniprocTime(shape, opts.Scale)
+		sp := float64(t1) / float64(results[k].ExecTime)
+		rep.Rows = append(rep.Rows, Row{Label: k.app, Cells: []Cell{
+			{Value: sp, Paper: paperTable2[k.app], HasPaper: true},
+		}})
+	}
+	rep.Notes = append(rep.Notes,
+		"Uniprocessor time is the expected serial execution of all work with local data.")
+	return rep, nil
+}
+
+// figure runs a normalized-speedup comparison: for every app, each listed
+// (system, pps) configuration's speedup over S-COMA on the same shape and
+// block size. paper maps "app/config" to published values where stated.
+func figure(id, title string, nodes, procs, block int, configs []sysCfg, paper map[string]float64, opts Options) (*Report, error) {
+	opts = opts.normalize()
+	var keys []runKey
+	for _, app := range appNames() {
+		keys = append(keys, runKey{app: app, system: costmodel.SCOMA, pps: 1, nodes: nodes, procs: procs, block: block})
+		for _, c := range configs {
+			keys = append(keys, runKey{app: app, system: c.sys, pps: c.pps, nodes: nodes, procs: procs, block: block})
+		}
+	}
+	results, err := runBatch(keys, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: id, Title: title}
+	for _, c := range configs {
+		rep.Columns = append(rep.Columns, c.label())
+	}
+	for _, app := range appNames() {
+		ref := results[runKey{app: app, system: costmodel.SCOMA, pps: 1, nodes: nodes, procs: procs, block: block}]
+		row := Row{Label: app}
+		for _, c := range configs {
+			r := results[runKey{app: app, system: c.sys, pps: c.pps, nodes: nodes, procs: procs, block: block}]
+			cell := Cell{Value: r.Speedup(ref)}
+			if p, ok := paper[app+"/"+c.label()]; ok {
+				cell.Paper = p
+				cell.HasPaper = true
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("Speedups normalized to S-COMA on %d %d-way SMPs, %d-byte blocks; >1 beats the all-hardware DSM.",
+			nodes, procs, block))
+	return rep, nil
+}
+
+// sysCfg is one plotted configuration.
+type sysCfg struct {
+	sys costmodel.System
+	pps int
+}
+
+func (c sysCfg) label() string {
+	if c.sys == costmodel.Hurricane1Mult {
+		return "Mult"
+	}
+	return fmt.Sprintf("%dpp", c.pps)
+}
+
+var hurricaneCfgs = []sysCfg{
+	{costmodel.Hurricane, 1}, {costmodel.Hurricane, 2}, {costmodel.Hurricane, 4},
+}
+
+var hurricane1Cfgs = []sysCfg{
+	{costmodel.Hurricane1, 1}, {costmodel.Hurricane1, 2}, {costmodel.Hurricane1, 4},
+	{costmodel.Hurricane1Mult, 0},
+}
+
+// Fig7Hurricane reproduces Figure 7 (top): Hurricane vs S-COMA, 8×8-way.
+func Fig7Hurricane(opts Options) (*Report, error) {
+	return figure("fig7a", "Baseline: Hurricane vs S-COMA (8 8-way SMPs)",
+		8, 8, 64, hurricaneCfgs, map[string]float64{
+			"cholesky/2pp": 1.23, "cholesky/4pp": 1.32, "fft/4pp": 1.36,
+		}, opts)
+}
+
+// Fig7Hurricane1 reproduces Figure 7 (bottom): Hurricane-1 (+Mult).
+func Fig7Hurricane1(opts Options) (*Report, error) {
+	return figure("fig7b", "Baseline: Hurricane-1 vs S-COMA (8 8-way SMPs)",
+		8, 8, 64, hurricane1Cfgs, nil, opts)
+}
+
+// Fig8 reproduces Figure 8: clustering degree for Hurricane.
+func Fig8(opts Options) (*Report, *Report, error) {
+	a, err := figure("fig8a", "Clustering: Hurricane, 16 4-way SMPs", 16, 4, 64, hurricaneCfgs, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := figure("fig8b", "Clustering: Hurricane, 4 16-way SMPs", 4, 16, 64, hurricaneCfgs, nil, opts)
+	return a, b, err
+}
+
+// Fig9 reproduces Figure 9: clustering degree for Hurricane-1 (+Mult).
+func Fig9(opts Options) (*Report, *Report, error) {
+	a, err := figure("fig9a", "Clustering: Hurricane-1, 16 4-way SMPs", 16, 4, 64, hurricane1Cfgs, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := figure("fig9b", "Clustering: Hurricane-1, 4 16-way SMPs", 4, 16, 64, hurricane1Cfgs, nil, opts)
+	return a, b, err
+}
+
+// Fig10 reproduces Figure 10: block size for Hurricane.
+func Fig10(opts Options) (*Report, *Report, error) {
+	a, err := figure("fig10a", "Block size: Hurricane, 32-byte blocks", 8, 8, 32, hurricaneCfgs, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := figure("fig10b", "Block size: Hurricane, 128-byte blocks", 8, 8, 128, hurricaneCfgs, nil, opts)
+	return a, b, err
+}
+
+// Fig11 reproduces Figure 11: block size for Hurricane-1 (+Mult).
+func Fig11(opts Options) (*Report, *Report, error) {
+	a, err := figure("fig11a", "Block size: Hurricane-1, 32-byte blocks", 8, 8, 32, hurricane1Cfgs, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := figure("fig11b", "Block size: Hurricane-1, 128-byte blocks", 8, 8, 128, hurricane1Cfgs, nil, opts)
+	return a, b, err
+}
+
+// Headline reproduces the abstract's result: on a cluster of 4 16-way
+// SMPs, Hurricane-1 Mult improves application performance by ~2.6× over a
+// single dedicated protocol processor (Hurricane-1 1pp).
+func Headline(opts Options) (*Report, error) {
+	opts = opts.normalize()
+	var keys []runKey
+	for _, app := range appNames() {
+		keys = append(keys,
+			runKey{app: app, system: costmodel.Hurricane1, pps: 1, nodes: 4, procs: 16, block: 64},
+			runKey{app: app, system: costmodel.Hurricane1Mult, pps: 0, nodes: 4, procs: 16, block: 64})
+	}
+	results, err := runBatch(keys, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "headline",
+		Title:   "Hurricane-1 Mult vs single dedicated protocol processor (4 16-way SMPs)",
+		Columns: []string{"Mult/1pp"},
+	}
+	for _, app := range appNames() {
+		one := results[runKey{app: app, system: costmodel.Hurricane1, pps: 1, nodes: 4, procs: 16, block: 64}]
+		mult := results[runKey{app: app, system: costmodel.Hurricane1Mult, pps: 0, nodes: 4, procs: 16, block: 64}]
+		rep.Rows = append(rep.Rows, Row{Label: app, Cells: []Cell{{Value: mult.Speedup(one)}}})
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "geometric mean",
+		Cells: []Cell{{Value: rep.GeoMean(0), Paper: 2.6, HasPaper: true}}})
+	rep.Notes = append(rep.Notes, "Paper (abstract): average improvement factor of 2.6.")
+	return rep, nil
+}
+
+// oneShot is an access source issuing a single read (or nothing).
+type oneShot struct {
+	addr  proto.Addr
+	done  bool
+	fired bool
+}
+
+// Next implements machine.AccessSource.
+func (s *oneShot) Next() (c sim.Time, a proto.Addr, w bool, ok bool) {
+	if s.done || s.fired {
+		return 0, 0, false, false
+	}
+	s.fired = true
+	return 10, s.addr, false, true
+}
+
+// Probe runs one (app, system) simulation and returns the full machine
+// result — a diagnostic hook used by cmd/pdqsim -probe and by tests that
+// need raw counters rather than report cells.
+func Probe(app string, sys costmodel.System, pps, nodes, procs, block int, opts Options) (machine.Result, error) {
+	opts = opts.normalize()
+	return runOne(runKey{app: app, system: sys, pps: pps, nodes: nodes, procs: procs, block: block}, opts)
+}
+
+// ProbeConfigured is Probe with the protocol extensions exposed:
+// three-hop forwarding and a finite remote cache.
+func ProbeConfigured(app string, sys costmodel.System, pps, nodes, procs, block int, forwarding bool, cacheBlocks int, opts Options) (machine.Result, error) {
+	opts = opts.normalize()
+	prof, err := workload.ByName(app)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	cfg := machine.DefaultConfig(sys)
+	cfg.Nodes = nodes
+	cfg.ProcsPerNode = procs
+	cfg.ProtoProcs = pps
+	cfg.BlockSize = block
+	cfg.Forwarding = forwarding
+	cfg.RemoteCacheBlocks = cacheBlocks
+	shape := workload.Shape{Nodes: nodes, ProcsPerNode: procs, BlockSize: block}
+	cl, err := machine.New(cfg, func(node, lp int) machine.AccessSource {
+		return workload.NewSource(prof, shape, node, lp, opts.Seed, opts.Scale)
+	})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return cl.Run()
+}

@@ -1,0 +1,205 @@
+// Package lockq implements the baseline dispatch strategies that the PDQ
+// paper argues against (Sections 1–3): a plain FIFO message queue whose
+// handlers synchronize *after* dispatch, around individual resources.
+//
+// Two post-dispatch strategies are provided:
+//
+//   - SpinLock: the handler acquires a per-key spin lock, busy-waiting on
+//     contention — Figure 2 (right) of the paper, and the model of
+//     parallelized TCP/IP stacks. Busy-waiting wastes worker cycles that
+//     could serve other messages.
+//   - Optimistic: in the style of Optimistic Active Messages, the handler
+//     try-locks its key; on failure the message is re-enqueued (aborted and
+//     retried later), paying a re-queue/thread-management penalty instead
+//     of spinning.
+//
+// The package exists so benchmarks and examples can compare in-queue
+// synchronization (package pdq) against both alternatives on identical
+// workloads.
+package lockq
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Strategy selects how handlers synchronize after dispatch.
+type Strategy uint8
+
+const (
+	// SpinLock busy-waits on a per-key lock inside the handler.
+	SpinLock Strategy = iota
+	// Optimistic try-locks; on conflict the message is re-enqueued.
+	Optimistic
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	if s == Optimistic {
+		return "optimistic"
+	}
+	return "spinlock"
+}
+
+// Message pairs a key with a handler, as in package pdq, but the key is
+// only a lock index here — the queue itself ignores it.
+type Message struct {
+	Key     uint64
+	Data    any
+	Handler func(data any)
+}
+
+// Stats counts baseline queue activity.
+type Stats struct {
+	Enqueued  uint64 // messages accepted
+	Handled   uint64 // handlers executed to completion
+	SpinLoops uint64 // busy-wait iterations across all workers
+	Aborts    uint64 // optimistic conflicts that re-enqueued the message
+}
+
+// ErrClosed is returned by Enqueue after Close.
+var ErrClosed = errors.New("lockq: queue closed")
+
+// numLocks stripes the per-key locks; collisions only add contention,
+// which is conservative for a baseline.
+const numLocks = 1024
+
+// Queue is a plain FIFO with post-dispatch synchronization.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []Message
+	closed  bool
+	strat   Strategy
+	retryNS int
+
+	locks [numLocks]atomic.Uint32
+
+	enqueued  atomic.Uint64
+	handled   atomic.Uint64
+	spinLoops atomic.Uint64
+	aborts    atomic.Uint64
+}
+
+// New returns an empty baseline queue using the given strategy.
+func New(s Strategy) *Queue {
+	q := &Queue{strat: s}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends a message.
+func (q *Queue) Enqueue(key uint64, handler func(data any), data any) error {
+	if handler == nil {
+		return errors.New("lockq: nil handler")
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.items = append(q.items, Message{Key: key, Data: data, Handler: handler})
+	q.enqueued.Add(1)
+	q.cond.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// requeue puts an aborted message back at the tail even if closed, so a
+// drain still completes every accepted message.
+func (q *Queue) requeue(m Message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// dequeue blocks for the next message; ok=false when closed and empty.
+func (q *Queue) dequeue() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return Message{}, false
+		}
+		q.cond.Wait()
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true
+}
+
+// Close stops enqueues; workers drain the remainder and exit.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Stats returns a snapshot of activity counters.
+func (q *Queue) Stats() Stats {
+	return Stats{
+		Enqueued:  q.enqueued.Load(),
+		Handled:   q.handled.Load(),
+		SpinLoops: q.spinLoops.Load(),
+		Aborts:    q.aborts.Load(),
+	}
+}
+
+func lockIndex(key uint64) uint64 {
+	// splitmix-style scramble so adjacent keys stripe well.
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	return key % numLocks
+}
+
+// Serve runs n workers until the queue is closed and drained, then returns.
+// Overhead, if positive, is an artificial per-abort penalty in spins of the
+// scheduler, modeling OAM's thread-management cost; zero is fine for tests.
+func (q *Queue) Serve(n int, abortPenalty int) {
+	if n < 1 {
+		n = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			q.worker(abortPenalty)
+		}()
+	}
+	wg.Wait()
+}
+
+func (q *Queue) worker(abortPenalty int) {
+	for {
+		m, ok := q.dequeue()
+		if !ok {
+			return
+		}
+		li := lockIndex(m.Key)
+		switch q.strat {
+		case Optimistic:
+			if !q.locks[li].CompareAndSwap(0, 1) {
+				q.aborts.Add(1)
+				for i := 0; i < abortPenalty; i++ {
+					runtime.Gosched() // thread-management penalty
+				}
+				q.requeue(m)
+				continue
+			}
+		default: // SpinLock: busy-wait, wasting this worker's cycles.
+			for !q.locks[li].CompareAndSwap(0, 1) {
+				q.spinLoops.Add(1)
+				runtime.Gosched()
+			}
+		}
+		m.Handler(m.Data)
+		q.locks[li].Store(0)
+		q.handled.Add(1)
+	}
+}

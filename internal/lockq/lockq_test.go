@@ -1,0 +1,97 @@
+package lockq
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSpinLockHandlesAll(t *testing.T) {
+	q := New(SpinLock)
+	var count atomic.Int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(uint64(i%13), func(any) { count.Add(1) }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Serve(4, 0)
+	if count.Load() != n {
+		t.Fatalf("handled %d, want %d", count.Load(), n)
+	}
+	if s := q.Stats(); s.Handled != n || s.Enqueued != n {
+		t.Fatalf("stats mismatch: %+v", s)
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	q := New(SpinLock)
+	var active, violations atomic.Int32
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(0, func(any) { // one hot key
+			if active.Add(1) != 1 {
+				violations.Add(1)
+			}
+			active.Add(-1)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Serve(8, 0)
+	if violations.Load() != 0 {
+		t.Fatalf("%d mutual exclusion violations", violations.Load())
+	}
+	if q.Stats().SpinLoops == 0 {
+		t.Log("note: no spin contention observed (scheduling-dependent)")
+	}
+}
+
+func TestOptimisticHandlesAllUnderContention(t *testing.T) {
+	q := New(Optimistic)
+	var count atomic.Int64
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(uint64(i%2), func(any) { count.Add(1) }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Serve(6, 2)
+	if count.Load() != n {
+		t.Fatalf("handled %d, want %d (aborted messages must be retried)", count.Load(), n)
+	}
+}
+
+func TestClosedRejects(t *testing.T) {
+	q := New(SpinLock)
+	q.Close()
+	if err := q.Enqueue(1, func(any) {}, nil); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := q.Enqueue(1, nil, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if SpinLock.String() != "spinlock" || Optimistic.String() != "optimistic" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestLockIndexStripes(t *testing.T) {
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 4096; k++ {
+		seen[lockIndex(k)] = true
+	}
+	if len(seen) < numLocks/2 {
+		t.Fatalf("lock striping too weak: %d distinct of %d", len(seen), numLocks)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if lockIndex(k) >= numLocks {
+			t.Fatal("lock index out of range")
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package machine
+
+import (
+	"fmt"
+
+	"pdq/internal/costmodel"
+	"pdq/internal/membus"
+	"pdq/internal/netsim"
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+	"pdq/internal/stache"
+)
+
+// Config describes one simulated cluster configuration.
+type Config struct {
+	// Nodes is the number of SMP nodes.
+	Nodes int
+	// ProcsPerNode is the number of compute processors per node (the
+	// clustering degree).
+	ProcsPerNode int
+	// System selects the machine organization and cost model.
+	System costmodel.System
+	// ProtoProcs is the number of protocol processors per node for
+	// S-COMA (always 1), Hurricane (embedded), and Hurricane-1
+	// (dedicated). Ignored for Hurricane-1 Mult.
+	ProtoProcs int
+	// BlockSize is the coherence block size in bytes (32, 64, or 128).
+	BlockSize int
+	// SearchWindow bounds the PDQ associative search (0 = default 64).
+	SearchWindow int
+	// Net and Bus configure the substrates.
+	Net netsim.Config
+	Bus membus.Config
+	// ControlMsgBytes is the payload size of control messages.
+	ControlMsgBytes int
+	// PageBlocks is the page size in blocks for first-touch page
+	// operations (sequential-key handlers); 0 disables page ops.
+	PageBlocks uint64
+	// PageOpCost is the page-operation occupancy in cycles.
+	PageOpCost sim.Time
+	// Forwarding enables the three-hop request-forwarding protocol
+	// variant (see internal/stache/forward.go); default is recall-to-home.
+	Forwarding bool
+	// RemoteCacheBlocks bounds each node's remote block cache; 0 means
+	// unbounded (the paper's Stache caches remote data in main memory).
+	RemoteCacheBlocks int
+	// Trace, if non-nil, receives every protocol event as it is handled:
+	// the node, simulated time, event, occupancy charged, and outcome
+	// class. Tracing is for debugging and visualization; it does not
+	// perturb timing.
+	Trace TraceFunc
+}
+
+// TraceFunc observes handled protocol events (see Config.Trace).
+type TraceFunc func(node int, at sim.Time, ev stache.Event, occupancy sim.Time, class stache.OccClass)
+
+// DefaultConfig returns the paper's baseline machine parameters: a
+// cluster of 8 8-way SMPs with a 64-byte protocol.
+func DefaultConfig(system costmodel.System) Config {
+	return Config{
+		Nodes:           8,
+		ProcsPerNode:    8,
+		System:          system,
+		ProtoProcs:      1,
+		BlockSize:       64,
+		Net:             netsim.DefaultConfig(),
+		Bus:             membus.DefaultConfig(),
+		ControlMsgBytes: 16,
+		PageBlocks:      64,
+		PageOpCost:      600,
+	}
+}
+
+// validate normalizes and checks a configuration.
+func (c *Config) validate() error {
+	if c.Nodes < 1 || c.Nodes > 64 {
+		return fmt.Errorf("machine: nodes = %d out of range [1,64]", c.Nodes)
+	}
+	if c.ProcsPerNode < 1 {
+		return fmt.Errorf("machine: need at least one processor per node")
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64
+	}
+	if c.System == costmodel.SCOMA {
+		c.ProtoProcs = 1 // the hardware FSM is a single server
+	}
+	if c.System == costmodel.Hurricane1Mult {
+		c.ProtoProcs = 0 // handlers run on compute processors
+	} else if c.ProtoProcs < 1 {
+		c.ProtoProcs = 1
+	}
+	if c.ControlMsgBytes <= 0 {
+		c.ControlMsgBytes = 16
+	}
+	return nil
+}
+
+// AccessSource generates one processor's work: compute intervals followed
+// by shared-memory accesses. ok=false ends the processor's run.
+type AccessSource interface {
+	Next() (compute sim.Time, addr proto.Addr, write bool, ok bool)
+}
+
+// SourceFactory builds the access source for a (node, local processor).
+type SourceFactory func(node, localProc int) AccessSource
+
+// Result summarizes one simulation run.
+type Result struct {
+	System    costmodel.System
+	ExecTime  sim.Time // max processor finish time (application run time)
+	DrainTime sim.Time // when the last protocol event finished
+
+	Faults       uint64
+	FaultLatency sim.Accumulator // fault issue to processor resume
+	StallFrac    float64         // mean fraction of time processors stalled
+
+	PPBusy     sim.Time // protocol-processor busy cycles (all nodes)
+	PPUtil     float64  // busy / (servers × ExecTime)
+	Interrupts uint64   // Mult bus interrupts delivered
+
+	PDQ   PDQStats     // merged across nodes
+	Proto stache.Stats // merged across nodes
+	Net   netsim.Stats
+}
+
+// Speedup returns ref.ExecTime / r.ExecTime: how much faster r is than ref.
+func (r Result) Speedup(ref Result) float64 {
+	if r.ExecTime == 0 {
+		return 0
+	}
+	return float64(ref.ExecTime) / float64(r.ExecTime)
+}
+
+// Cluster is one simulated machine instance.
+type Cluster struct {
+	eng   *sim.Engine
+	cfg   Config
+	costs costmodel.Costs
+	net   *netsim.Network
+	nodes []*Node
+
+	doneProcs  int
+	totalProcs int
+	execTime   sim.Time
+}
+
+// New builds a cluster; factory provides each processor's workload.
+func New(cfg Config, factory SourceFactory) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		eng:   sim.NewEngine(),
+		cfg:   cfg,
+		costs: costmodel.For(cfg.System),
+	}
+	cl.net = netsim.New(cl.eng, cfg.Nodes, cfg.Net)
+	for id := 0; id < cfg.Nodes; id++ {
+		n := newNode(cl, id)
+		cl.nodes = append(cl.nodes, n)
+		cl.net.Bind(id, n.deliver)
+	}
+	for _, n := range cl.nodes {
+		for lp := 0; lp < cfg.ProcsPerNode; lp++ {
+			src := factory(n.id, lp)
+			n.procs = append(n.procs, newProc(n, lp, src))
+		}
+	}
+	cl.totalProcs = cfg.Nodes * cfg.ProcsPerNode
+	return cl, nil
+}
+
+// Engine exposes the event engine (for tests and drivers).
+func (cl *Cluster) Engine() *sim.Engine { return cl.eng }
+
+// Node returns node id's state (for tests).
+func (cl *Cluster) Node(id int) *Node { return cl.nodes[id] }
+
+// procDone is called when a processor exhausts its source.
+func (cl *Cluster) procDone() {
+	cl.doneProcs++
+	if cl.doneProcs == cl.totalProcs {
+		cl.execTime = cl.eng.Now()
+	}
+}
+
+// Run executes the simulation to quiescence and returns the results.
+func (cl *Cluster) Run() (Result, error) {
+	for _, n := range cl.nodes {
+		for _, p := range n.procs {
+			p.start()
+		}
+	}
+	drain := cl.eng.Run()
+	if cl.doneProcs != cl.totalProcs {
+		return Result{}, fmt.Errorf("machine: %s deadlocked: %d/%d processors finished at t=%d (%s)",
+			cl.cfg.System, cl.doneProcs, cl.totalProcs, cl.eng.Now(), cl.diagnose())
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		return Result{}, fmt.Errorf("machine: coherence invariant violated: %w", err)
+	}
+	return cl.collect(drain), nil
+}
+
+// diagnose summarizes stuck state for deadlock reports.
+func (cl *Cluster) diagnose() string {
+	s := ""
+	for _, n := range cl.nodes {
+		stuck := 0
+		for _, p := range n.procs {
+			if p.state != psDone {
+				stuck++
+			}
+		}
+		if stuck > 0 || n.q.length > 0 {
+			s += fmt.Sprintf("[node %d: %d stuck procs, qlen %d, inflight %d] ",
+				n.id, stuck, n.q.length, n.q.inflightAll)
+		}
+	}
+	return s
+}
+
+// CheckInvariants validates coherence invariants across the cluster.
+func (cl *Cluster) CheckInvariants() error {
+	ns := make([]*stache.Node, len(cl.nodes))
+	for i, n := range cl.nodes {
+		ns[i] = n.pr
+	}
+	return stache.CheckInvariants(ns)
+}
+
+func (cl *Cluster) collect(drain sim.Time) Result {
+	r := Result{System: cl.cfg.System, ExecTime: cl.execTime, DrainTime: drain, Net: cl.net.Stats()}
+	var stallSum float64
+	servers := 0
+	for _, n := range cl.nodes {
+		for _, p := range n.procs {
+			r.Faults += p.faults
+			r.FaultLatency.Merge(p.latency)
+			if p.finish > 0 {
+				stallSum += float64(p.stallTime) / float64(p.finish)
+			}
+		}
+		r.PPBusy += n.ppBusy
+		r.Interrupts += n.busStats().Interrupts
+		mergePDQ(&r.PDQ, n.q.stats)
+		mergeProto(&r.Proto, n.pr.Stats())
+		if cl.cfg.System == costmodel.Hurricane1Mult {
+			servers += len(n.procs)
+		} else {
+			servers += len(n.servers)
+		}
+	}
+	r.StallFrac = stallSum / float64(cl.totalProcs)
+	if cl.execTime > 0 && servers > 0 {
+		r.PPUtil = float64(r.PPBusy) / (float64(cl.execTime) * float64(servers))
+	}
+	return r
+}
+
+func mergePDQ(dst *PDQStats, s PDQStats) {
+	dst.Enqueued += s.Enqueued
+	dst.Dispatched += s.Dispatched
+	dst.KeyConflicts += s.KeyConflicts
+	dst.WindowStalls += s.WindowStalls
+	dst.SeqBarriers += s.SeqBarriers
+	if s.MaxLen > dst.MaxLen {
+		dst.MaxLen = s.MaxLen
+	}
+	dst.DispatchWait.Merge(s.DispatchWait)
+}
+
+func mergeProto(dst *stache.Stats, s stache.Stats) {
+	dst.Faults += s.Faults
+	dst.Merged += s.Merged
+	dst.HomeRequests += s.HomeRequests
+	dst.DataReplies += s.DataReplies
+	dst.CtlReplies += s.CtlReplies
+	dst.Invalidations += s.Invalidations
+	dst.InvAcks += s.InvAcks
+	dst.Recalls += s.Recalls
+	dst.Writebacks += s.Writebacks
+	dst.Defers += s.Defers
+	dst.Completions += s.Completions
+	dst.PageOps += s.PageOps
+	dst.Forwards += s.Forwards
+	dst.FwdReplies += s.FwdReplies
+	dst.Evictions += s.Evictions
+}

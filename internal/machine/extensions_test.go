@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"testing"
+
+	"pdq/internal/costmodel"
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+	"pdq/internal/stache"
+)
+
+// migratorySource bounces write ownership of a small block set between
+// nodes — the worst case for recall-based serving and the best case for
+// three-hop forwarding.
+type migratorySource struct {
+	rng    *sim.Rand
+	nodes  int
+	node   int
+	blocks int
+	home   int
+	count  int
+}
+
+func (s *migratorySource) Next() (sim.Time, proto.Addr, bool, bool) {
+	if s.count <= 0 {
+		return 0, 0, false, false
+	}
+	s.count--
+	idx := uint64(s.rng.Intn(s.blocks))
+	return s.rng.ExpTime(400), proto.MakeAddr(s.home, idx), s.rng.Pick(0.7), true
+}
+
+func runMigratory(t *testing.T, forwarding bool) Result {
+	t.Helper()
+	cfg := DefaultConfig(costmodel.Hurricane)
+	cfg.Nodes = 4
+	cfg.ProcsPerNode = 2
+	cfg.ProtoProcs = 2
+	cfg.Forwarding = forwarding
+	cl, err := New(cfg, func(node, lp int) AccessSource {
+		return &migratorySource{
+			rng: sim.NewStream(77, uint64(node*4+lp)), nodes: 4, node: node,
+			blocks: 24, home: 3, count: 150,
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestForwardingReducesMigratoryLatency(t *testing.T) {
+	recall := runMigratory(t, false)
+	fwd := runMigratory(t, true)
+	if fwd.Proto.Forwards == 0 {
+		t.Fatal("forwarding run never forwarded")
+	}
+	if recall.Proto.Forwards != 0 || recall.Proto.Recalls == 0 {
+		t.Fatalf("recall run used forwarding: %+v", recall.Proto)
+	}
+	// Three hops beat four on the migratory path.
+	if fwd.FaultLatency.Mean() >= recall.FaultLatency.Mean() {
+		t.Fatalf("forwarding latency %.0f not better than recall %.0f",
+			fwd.FaultLatency.Mean(), recall.FaultLatency.Mean())
+	}
+}
+
+func TestFiniteCacheRunsCoherently(t *testing.T) {
+	for _, forwarding := range []bool{false, true} {
+		cfg := DefaultConfig(costmodel.Hurricane)
+		cfg.Nodes = 3
+		cfg.ProcsPerNode = 3
+		cfg.ProtoProcs = 2
+		cfg.Forwarding = forwarding
+		cfg.RemoteCacheBlocks = 8 // small enough to force constant evictions
+		cl, err := New(cfg, func(node, lp int) AccessSource {
+			return &synthSource{rng: sim.NewStream(55, uint64(node*8+lp)),
+				nodes: 3, blocks: 64, mean: 250, wfrac: 0.4, count: 200, exclude: node}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatalf("forwarding=%v: %v", forwarding, err)
+		}
+		if res.Proto.Evictions == 0 {
+			t.Fatalf("forwarding=%v: no evictions despite tiny cache", forwarding)
+		}
+		for i := 0; i < 3; i++ {
+			if c := cl.Node(i).pr.CachedBlocks(); c > 8 {
+				t.Fatalf("node %d holds %d blocks, capacity 8", i, c)
+			}
+		}
+	}
+}
+
+func TestCapacityPressureIncreasesFaults(t *testing.T) {
+	run := func(capBlocks int) Result {
+		cfg := DefaultConfig(costmodel.Hurricane)
+		cfg.Nodes = 2
+		cfg.ProcsPerNode = 2
+		cfg.RemoteCacheBlocks = capBlocks
+		cl, err := New(cfg, func(node, lp int) AccessSource {
+			return &synthSource{rng: sim.NewStream(66, uint64(node*4+lp)),
+				nodes: 2, blocks: 40, mean: 300, wfrac: 0.1, count: 250, exclude: node}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	tight, roomy := run(4), run(0)
+	if tight.Faults <= roomy.Faults {
+		t.Fatalf("capacity pressure should add re-fetch faults: tight=%d roomy=%d",
+			tight.Faults, roomy.Faults)
+	}
+	if roomy.Proto.Evictions != 0 {
+		t.Fatal("unbounded cache must not evict")
+	}
+}
+
+func TestTraceHookObservesEvents(t *testing.T) {
+	var events int
+	var sawReply, sawFault bool
+	cfg := DefaultConfig(costmodel.Hurricane)
+	cfg.Nodes = 2
+	cfg.ProcsPerNode = 1
+	cfg.Trace = func(node int, at sim.Time, ev stache.Event, occ sim.Time, class stache.OccClass) {
+		events++
+		if class == stache.OccReplyData {
+			sawReply = true
+		}
+		if ev.Op == stache.OpFaultRead {
+			sawFault = true
+		}
+		if occ <= 0 || at < 0 {
+			t.Errorf("bad trace record: occ=%d at=%d", occ, at)
+		}
+	}
+	cl, err := New(cfg, func(node, lp int) AccessSource {
+		if node == 0 {
+			return &scriptedSource{steps: []step{{10, proto.MakeAddr(1, 0), false}}}
+		}
+		return emptySource{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 || !sawReply || !sawFault {
+		t.Fatalf("trace incomplete: events=%d reply=%v fault=%v", events, sawReply, sawFault)
+	}
+}

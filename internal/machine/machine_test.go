@@ -1,0 +1,366 @@
+package machine
+
+import (
+	"testing"
+
+	"pdq/internal/costmodel"
+	"pdq/internal/netsim"
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+)
+
+// scriptedSource replays a fixed list of (compute, addr, write) steps.
+type scriptedSource struct {
+	steps []step
+	i     int
+}
+
+type step struct {
+	compute sim.Time
+	addr    proto.Addr
+	write   bool
+}
+
+func (s *scriptedSource) Next() (sim.Time, proto.Addr, bool, bool) {
+	if s.i >= len(s.steps) {
+		return 0, 0, false, false
+	}
+	st := s.steps[s.i]
+	s.i++
+	return st.compute, st.addr, st.write, true
+}
+
+// emptySource finishes immediately.
+type emptySource struct{}
+
+func (emptySource) Next() (sim.Time, proto.Addr, bool, bool) { return 0, 0, false, false }
+
+// synthSource generates `count` random accesses over a block pool with a
+// given write fraction and mean compute interval.
+type synthSource struct {
+	rng     *sim.Rand
+	nodes   int
+	blocks  int
+	mean    float64
+	wfrac   float64
+	count   int
+	exclude int // do not target this home (-1: none)
+}
+
+func (s *synthSource) Next() (sim.Time, proto.Addr, bool, bool) {
+	if s.count <= 0 {
+		return 0, 0, false, false
+	}
+	s.count--
+	home := s.rng.Intn(s.nodes)
+	for home == s.exclude {
+		home = s.rng.Intn(s.nodes)
+	}
+	addr := proto.MakeAddr(home, uint64(s.rng.Intn(s.blocks)))
+	return s.rng.ExpTime(s.mean), addr, s.rng.Pick(s.wfrac), true
+}
+
+// quietNet zeroes NI serialization so only Table 1 terms and wire latency
+// remain (contention-free validation).
+func quietNet() netsim.Config {
+	return netsim.Config{Latency: 100, HeaderCycles: 0, CyclesPerByte: 0}
+}
+
+func TestSingleRemoteReadMatchesTable1(t *testing.T) {
+	want := map[costmodel.System]sim.Time{
+		costmodel.SCOMA:      440,
+		costmodel.Hurricane:  584,
+		costmodel.Hurricane1: 1164,
+	}
+	for sys, total := range want {
+		cfg := DefaultConfig(sys)
+		cfg.Nodes = 2
+		cfg.ProcsPerNode = 1
+		cfg.Net = quietNet()
+		cfg.PageBlocks = 0 // isolate the read path
+		cl, err := New(cfg, func(node, lp int) AccessSource {
+			if node == 0 {
+				return &scriptedSource{steps: []step{{10, proto.MakeAddr(1, 0), false}}}
+			}
+			return emptySource{}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Faults != 1 {
+			t.Fatalf("%v: faults = %d, want 1", sys, res.Faults)
+		}
+		if got := sim.Time(res.FaultLatency.Mean()); got != total {
+			t.Errorf("%v: remote read latency = %d cycles, want %d (Table 1)", sys, got, total)
+		}
+	}
+}
+
+func TestAllSystemsRunAndStayCoherent(t *testing.T) {
+	for _, sys := range []costmodel.System{
+		costmodel.SCOMA, costmodel.Hurricane, costmodel.Hurricane1, costmodel.Hurricane1Mult,
+	} {
+		for _, pps := range []int{1, 2, 4} {
+			cfg := DefaultConfig(sys)
+			cfg.Nodes = 3
+			cfg.ProcsPerNode = 3
+			cfg.ProtoProcs = pps
+			cl, err := New(cfg, func(node, lp int) AccessSource {
+				return &synthSource{
+					rng:     sim.NewStream(7, uint64(node*10+lp)),
+					nodes:   3,
+					blocks:  8,
+					mean:    400,
+					wfrac:   0.4,
+					count:   120,
+					exclude: -1,
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cl.Run()
+			if err != nil {
+				t.Fatalf("%v %dpp: %v", sys, pps, err)
+			}
+			if res.ExecTime <= 0 || res.Faults == 0 {
+				t.Fatalf("%v %dpp: empty result %+v", sys, pps, res)
+			}
+			if res.PDQ.Dispatched != res.PDQ.Enqueued {
+				t.Fatalf("%v %dpp: PDQ did not drain: %+v", sys, pps, res.PDQ)
+			}
+			if sys == costmodel.SCOMA && pps > 1 {
+				break // S-COMA is always single-server
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := DefaultConfig(costmodel.Hurricane)
+		cfg.Nodes = 2
+		cfg.ProcsPerNode = 2
+		cfg.ProtoProcs = 2
+		cl, err := New(cfg, func(node, lp int) AccessSource {
+			return &synthSource{rng: sim.NewStream(99, uint64(node*8+lp)),
+				nodes: 2, blocks: 16, mean: 300, wfrac: 0.3, count: 150, exclude: -1}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ExecTime != b.ExecTime || a.Faults != b.Faults || a.Net.Sent != b.Net.Sent {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestParallelProtocolProcessorsHelpUnderLoad(t *testing.T) {
+	// A bandwidth-bound workload (short compute, hot home node) must run
+	// faster with 4 protocol processors than with 1 on Hurricane-1.
+	run := func(pps int) sim.Time {
+		cfg := DefaultConfig(costmodel.Hurricane1)
+		cfg.Nodes = 4
+		cfg.ProcsPerNode = 4
+		cfg.ProtoProcs = pps
+		cl, err := New(cfg, func(node, lp int) AccessSource {
+			return &synthSource{rng: sim.NewStream(5, uint64(node*16+lp)),
+				nodes: 4, blocks: 256, mean: 150, wfrac: 0.3, count: 200, exclude: node}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExecTime
+	}
+	t1, t4 := run(1), run(4)
+	if float64(t4) > 0.8*float64(t1) {
+		t.Fatalf("4pp (%d) not meaningfully faster than 1pp (%d)", t4, t1)
+	}
+}
+
+func TestSCOMAFasterThanHurricane1(t *testing.T) {
+	run := func(sys costmodel.System) sim.Time {
+		cfg := DefaultConfig(sys)
+		cfg.Nodes = 2
+		cfg.ProcsPerNode = 4
+		cfg.ProtoProcs = 1
+		cl, err := New(cfg, func(node, lp int) AccessSource {
+			return &synthSource{rng: sim.NewStream(3, uint64(node*8+lp)),
+				nodes: 2, blocks: 64, mean: 250, wfrac: 0.3, count: 200, exclude: node}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExecTime
+	}
+	if ts, th := run(costmodel.SCOMA), run(costmodel.Hurricane1); ts >= th {
+		t.Fatalf("S-COMA (%d) should outrun Hurricane-1 1pp (%d)", ts, th)
+	}
+}
+
+func TestMultDeliversInterrupts(t *testing.T) {
+	// Node 1's processor computes for a long time while node 0 hammers
+	// blocks homed at node 1: home handlers on node 1 can only run via
+	// bus interrupts.
+	cfg := DefaultConfig(costmodel.Hurricane1Mult)
+	cfg.Nodes = 2
+	cfg.ProcsPerNode = 1
+	cl, err := New(cfg, func(node, lp int) AccessSource {
+		if node == 0 {
+			return &synthSource{rng: sim.NewStream(11, 1),
+				nodes: 2, blocks: 32, mean: 300, wfrac: 0.5, count: 100, exclude: 0}
+		}
+		// One giant compute step: never faults, never idles.
+		return &scriptedSource{steps: []step{{2_000_000, proto.MakeAddr(1, 0xffff), false}}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupts == 0 {
+		t.Fatal("Mult with all processors busy must deliver bus interrupts")
+	}
+	if res.Faults == 0 || res.Faults > 100 {
+		t.Fatalf("faults = %d, want within (0,100] (hits do not fault)", res.Faults)
+	}
+}
+
+func TestMultStalledProcessorsServeHandlers(t *testing.T) {
+	cfg := DefaultConfig(costmodel.Hurricane1Mult)
+	cfg.Nodes = 2
+	cfg.ProcsPerNode = 2
+	cl, err := New(cfg, func(node, lp int) AccessSource {
+		return &synthSource{rng: sim.NewStream(13, uint64(node*4+lp)),
+			nodes: 2, blocks: 16, mean: 200, wfrac: 0.4, count: 150, exclude: node}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served uint64
+	for i := 0; i < 2; i++ {
+		for _, p := range cl.Node(i).procs {
+			served += p.served
+		}
+	}
+	if served == 0 {
+		t.Fatal("no handlers were executed by compute processors under Mult")
+	}
+	if served != res.PDQ.Dispatched {
+		t.Fatalf("served %d != dispatched %d (Mult has no other servers)", served, res.PDQ.Dispatched)
+	}
+}
+
+func TestPageOpsRunAsSequentialBarriers(t *testing.T) {
+	cfg := DefaultConfig(costmodel.Hurricane)
+	cfg.Nodes = 2
+	cfg.ProcsPerNode = 2
+	cfg.PageBlocks = 4
+	cl, err := New(cfg, func(node, lp int) AccessSource {
+		return &synthSource{rng: sim.NewStream(21, uint64(node*4+lp)),
+			nodes: 2, blocks: 32, mean: 300, wfrac: 0.2, count: 80, exclude: node}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDQ.SeqBarriers == 0 || res.Proto.PageOps == 0 {
+		t.Fatalf("expected sequential page operations: %+v", res.PDQ)
+	}
+	if res.PDQ.SeqBarriers != res.Proto.PageOps {
+		t.Fatalf("barriers %d != page ops %d", res.PDQ.SeqBarriers, res.Proto.PageOps)
+	}
+}
+
+func TestKeyConflictsObservedOnHotBlock(t *testing.T) {
+	// Many nodes hammering one block must produce PDQ key conflicts at the
+	// home node (serialized handlers) while the protocol stays correct.
+	cfg := DefaultConfig(costmodel.Hurricane)
+	cfg.Nodes = 4
+	cfg.ProcsPerNode = 2
+	cfg.ProtoProcs = 4
+	cl, err := New(cfg, func(node, lp int) AccessSource {
+		return &synthSource{rng: sim.NewStream(31, uint64(node*8+lp)),
+			nodes: 1, blocks: 1, mean: 100, wfrac: 0.5, count: 60, exclude: -1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDQ.KeyConflicts == 0 {
+		t.Fatal("hot-block workload should cause PDQ key conflicts")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(costmodel.Hurricane)
+	cfg.Nodes = 0
+	if _, err := New(cfg, func(int, int) AccessSource { return emptySource{} }); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	cfg = DefaultConfig(costmodel.Hurricane)
+	cfg.ProcsPerNode = 0
+	if _, err := New(cfg, func(int, int) AccessSource { return emptySource{} }); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+	// S-COMA clamps to one server; Mult to zero.
+	cfg = DefaultConfig(costmodel.SCOMA)
+	cfg.ProtoProcs = 4
+	cl, err := New(cfg, func(int, int) AccessSource { return emptySource{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Node(0).servers) != 1 {
+		t.Fatal("S-COMA must have exactly one protocol server")
+	}
+	cfg = DefaultConfig(costmodel.Hurricane1Mult)
+	cfg.ProtoProcs = 4
+	cl, err = New(cfg, func(int, int) AccessSource { return emptySource{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Node(0).servers) != 0 {
+		t.Fatal("Mult must have no dedicated servers")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := Result{ExecTime: 100}
+	b := Result{ExecTime: 50}
+	if b.Speedup(a) != 2.0 {
+		t.Fatalf("speedup = %f, want 2", b.Speedup(a))
+	}
+	if (Result{}).Speedup(a) != 0 {
+		t.Fatal("zero exec time should give zero speedup")
+	}
+}

@@ -1,0 +1,226 @@
+package machine
+
+import (
+	"fmt"
+
+	"pdq/internal/costmodel"
+	"pdq/internal/membus"
+	"pdq/internal/netsim"
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+	"pdq/internal/stache"
+)
+
+// Node is one SMP node: compute processors, a PDQ device, protocol
+// processors (organization-dependent), the Stache protocol state, and a
+// memory bus (used for Mult interrupt delivery).
+type Node struct {
+	id      int
+	cl      *Cluster
+	pr      *stache.Node
+	q       *simPDQ
+	bus     *membus.Bus
+	servers []*ppServer
+	procs   []*Proc
+
+	touched        map[proto.Addr]bool // first-touch page tracking
+	intrPending    bool
+	idleProcs      []*Proc // Mult: registered idle pollers
+	activeHandlers int     // Mult: handlers currently executing on procs
+	ppBusy         sim.Time
+}
+
+// ppServer is a dedicated protocol processor (S-COMA FSM, Hurricane
+// embedded processor, or Hurricane-1 dedicated SMP processor).
+type ppServer struct {
+	n    *Node
+	id   int
+	busy bool
+}
+
+func newNode(cl *Cluster, id int) *Node {
+	n := &Node{
+		id:      id,
+		cl:      cl,
+		pr:      stache.NewNode(id, cl.cfg.Nodes),
+		q:       newSimPDQ(cl.cfg.SearchWindow),
+		bus:     membus.New(cl.eng, id, cl.cfg.Bus),
+		touched: make(map[proto.Addr]bool),
+	}
+	if cl.cfg.Forwarding {
+		n.pr.EnableForwarding()
+	}
+	if cl.cfg.RemoteCacheBlocks > 0 {
+		n.pr.SetCacheCapacity(cl.cfg.RemoteCacheBlocks)
+	}
+	for i := 0; i < cl.cfg.ProtoProcs; i++ {
+		n.servers = append(n.servers, &ppServer{n: n, id: i})
+	}
+	return n
+}
+
+func (n *Node) busStats() membus.Stats { return n.bus.StatsAt(n.cl.eng.Now()) }
+
+// mult reports whether this node uses multiplexed protocol scheduling.
+func (n *Node) mult() bool { return n.cl.cfg.System == costmodel.Hurricane1Mult }
+
+// deliver is the network sink: an arriving message becomes a PDQ entry.
+func (n *Node) deliver(m netsim.Message) {
+	ev := m.Payload.(stache.Event)
+	n.q.enqueue(ev, false, n.cl.eng.Now())
+	n.kick()
+}
+
+// enqueueFault inserts a block-access fault (preceded, on first touch of a
+// remote page, by a sequential-key page-allocation operation).
+func (n *Node) enqueueFault(p *Proc, addr proto.Addr, write bool) {
+	now := n.cl.eng.Now()
+	if bp := n.cl.cfg.PageBlocks; bp > 0 && addr.Home() != n.id {
+		page := addr.Page(bp)
+		if !n.touched[page] {
+			n.touched[page] = true
+			n.q.enqueue(stache.Event{Op: stache.OpPageOp, Addr: page, Src: n.id, Dst: n.id}, true, now)
+		}
+	}
+	op := stache.OpFaultRead
+	if write {
+		op = stache.OpFaultWrite
+	}
+	n.q.enqueue(stache.Event{Op: op, Addr: addr, Src: n.id, Dst: n.id, Proc: p.local}, false, now)
+	n.kick()
+}
+
+// kick advances dispatch: it fills idle dedicated servers, or wakes Mult
+// pollers and falls back to a bus interrupt when every processor is busy
+// computing (the paper's interrupt policy, Section 4.2).
+func (n *Node) kick() {
+	now := n.cl.eng.Now()
+	if !n.mult() {
+		for _, s := range n.servers {
+			if s.busy {
+				continue
+			}
+			e, ok := n.q.dispatch(now)
+			if !ok {
+				return
+			}
+			s.run(e)
+		}
+		return
+	}
+	// Mult: hand dispatchable entries to registered idle processors.
+	for len(n.idleProcs) > 0 {
+		e, ok := n.q.dispatch(now)
+		if !ok {
+			break
+		}
+		p := n.idleProcs[len(n.idleProcs)-1]
+		n.idleProcs = n.idleProcs[:len(n.idleProcs)-1]
+		p.registered = false
+		p.serve(e)
+	}
+	if !n.q.empty() && n.activeHandlers == 0 && len(n.idleProcs) == 0 && !n.intrPending {
+		// All processors busy computing: deliver a bus interrupt
+		// round-robin (200 cycles) so message handling is timely.
+		n.intrPending = true
+		n.bus.Interrupt(len(n.procs), n.onInterrupt)
+	}
+}
+
+// onInterrupt suspends the targeted computing processor and puts it to
+// work draining the queue.
+func (n *Node) onInterrupt(target int) {
+	n.intrPending = false
+	p := n.procs[target]
+	if p.state == psComputing {
+		p.suspendForInterrupt()
+	}
+	n.kick() // re-evaluate: serve, or re-deliver to the next processor
+}
+
+// run executes one dispatched entry on a dedicated protocol processor.
+func (s *ppServer) run(e *qEntry) {
+	s.busy = true
+	n := s.n
+	out := n.pr.Handle(e.ev)
+	occ := n.occupancy(out)
+	n.trace(e.ev, occ, out.Class)
+	n.ppBusy += occ
+	n.cl.eng.After(occ, func() {
+		n.apply(out, e)
+		n.q.complete(e)
+		s.busy = false
+		n.kick()
+	})
+}
+
+// trace reports a handled event to the configured TraceFunc, if any.
+func (n *Node) trace(ev stache.Event, occ sim.Time, class stache.OccClass) {
+	if fn := n.cl.cfg.Trace; fn != nil {
+		fn(n.id, n.cl.eng.Now(), ev, occ, class)
+	}
+}
+
+// occupancy maps a handler outcome to protocol-processor busy time using
+// the Table 1 cost model. Fan-out sends beyond the first add half a
+// control-handler occupancy each (building and injecting one more
+// message).
+func (n *Node) occupancy(out stache.Outcome) sim.Time {
+	c := n.cl.costs
+	bs := n.cl.cfg.BlockSize
+	var occ sim.Time
+	switch out.Class {
+	case stache.OccRequest:
+		occ = c.RequestOccupancy(bs)
+	case stache.OccMergeFault:
+		occ = c.ReqDispatch.At(bs)
+	case stache.OccReplyData:
+		occ = c.ReplyOccupancy(bs)
+	case stache.OccHomeControl:
+		occ = c.HomeControlOccupancy(bs)
+	case stache.OccControl:
+		occ = c.ControlOccupancy(bs)
+	case stache.OccResponse:
+		occ = c.ResponseOccupancy(bs)
+	case stache.OccResponseCtl:
+		occ = c.RespDispatch.At(bs) + 8
+	case stache.OccRecall:
+		occ = c.ReplyOccupancy(bs)
+	case stache.OccWriteback:
+		occ = c.WritebackOccupancy(bs)
+	case stache.OccWritebackReply:
+		occ = c.WritebackOccupancy(bs) + c.ReplyData.At(bs)
+	case stache.OccDefer:
+		occ = c.ReplyDispatch.At(bs)
+	case stache.OccPage:
+		occ = n.cl.cfg.PageOpCost
+	default:
+		panic(fmt.Sprintf("machine: unknown occupancy class %d", out.Class))
+	}
+	if extra := len(out.Sends) - 1; extra > 0 {
+		occ += sim.Time(extra) * (c.ControlOccupancy(bs) / 2)
+	}
+	return occ
+}
+
+// apply realizes a handler outcome: transmit sends, re-enqueue deferred
+// events, and complete local faults.
+func (n *Node) apply(out stache.Outcome, e *qEntry) {
+	now := n.cl.eng.Now()
+	if out.Defer {
+		n.q.enqueue(e.ev, e.seq, now)
+		return
+	}
+	for _, s := range out.Sends {
+		size := n.cl.cfg.ControlMsgBytes
+		if s.Op.IsData() {
+			size += n.cl.cfg.BlockSize
+		}
+		n.cl.net.Send(netsim.Message{Src: s.Src, Dst: s.Dst, Size: size, Payload: s})
+	}
+	tail := n.cl.costs.ProcessorTail(n.cl.cfg.BlockSize)
+	for _, procID := range out.Completed {
+		p := n.procs[procID]
+		n.cl.eng.After(tail, p.faultReady)
+	}
+}

@@ -1,0 +1,147 @@
+// Package machine composes the substrates into the paper's evaluated
+// systems: cluster nodes with compute processors, a per-node PDQ device
+// feeding protocol processors, the Stache protocol, the memory bus, and
+// the network. Four machine organizations are supported — S-COMA,
+// Hurricane (embedded protocol processors), Hurricane-1 (dedicated SMP
+// protocol processors), and Hurricane-1 Mult (idle compute processors run
+// handlers, with bus interrupts as fallback) — all parameterized by the
+// Table 1 cost model in package costmodel.
+//
+// Timing note: Table 1 occupancies already include memory access time, so
+// protocol handlers do not separately charge the bus model; queueing
+// arises at protocol processors (PDQ dispatch), at network interfaces, and
+// from PDQ key serialization, which is where the paper locates it.
+package machine
+
+import (
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+	"pdq/internal/stache"
+)
+
+// qEntry is one simulated-PDQ entry.
+type qEntry struct {
+	ev   stache.Event
+	seq  bool // sequential synchronization key (page operations)
+	at   sim.Time
+	prev *qEntry
+	next *qEntry
+}
+
+// PDQStats counts simulated-PDQ activity on one node.
+type PDQStats struct {
+	Enqueued     uint64
+	Dispatched   uint64
+	KeyConflicts uint64 // scan skips due to in-flight same-key handlers
+	WindowStalls uint64 // scans that exhausted the search window
+	SeqBarriers  uint64 // sequential entries dispatched
+	MaxLen       int
+	DispatchWait sim.Accumulator // enqueue-to-dispatch time
+}
+
+// simPDQ is the discrete-event model of the PDQ hardware: a FIFO of
+// entries with a bounded associative search window, per-key (block
+// address) in-flight exclusion, and sequential-key barriers. It mirrors
+// the semantics of the runtime library in internal/pdq.
+type simPDQ struct {
+	head, tail  *qEntry
+	length      int
+	inflight    map[proto.Addr]int
+	inflightAll int
+	barrier     bool
+	window      int
+	stats       PDQStats
+}
+
+func newSimPDQ(window int) *simPDQ {
+	if window == 0 {
+		window = 64
+	}
+	return &simPDQ{inflight: make(map[proto.Addr]int), window: window}
+}
+
+func (q *simPDQ) enqueue(ev stache.Event, seq bool, now sim.Time) {
+	e := &qEntry{ev: ev, seq: seq, at: now}
+	if q.tail == nil {
+		q.head, q.tail = e, e
+	} else {
+		e.prev = q.tail
+		q.tail.next = e
+		q.tail = e
+	}
+	q.length++
+	q.stats.Enqueued++
+	if q.length > q.stats.MaxLen {
+		q.stats.MaxLen = q.length
+	}
+}
+
+func (q *simPDQ) empty() bool { return q.length == 0 }
+
+// dispatch returns the first dispatchable entry within the search window,
+// marking its key in flight. ok=false means nothing can dispatch now.
+func (q *simPDQ) dispatch(now sim.Time) (*qEntry, bool) {
+	if q.barrier {
+		return nil, false
+	}
+	scanned := 0
+	for e := q.head; e != nil; e = e.next {
+		if q.window > 0 && scanned >= q.window {
+			q.stats.WindowStalls++
+			return nil, false
+		}
+		scanned++
+		if e.seq {
+			if e == q.head && q.inflightAll == 0 {
+				q.unlink(e)
+				q.barrier = true
+				q.inflightAll++
+				q.stats.Dispatched++
+				q.stats.SeqBarriers++
+				q.stats.DispatchWait.AddTime(now - e.at)
+				return e, true
+			}
+			return nil, false // barrier blocks everything behind it
+		}
+		if q.inflight[e.ev.Addr] == 0 {
+			q.unlink(e)
+			q.inflight[e.ev.Addr]++
+			q.inflightAll++
+			q.stats.Dispatched++
+			q.stats.DispatchWait.AddTime(now - e.at)
+			return e, true
+		}
+		q.stats.KeyConflicts++
+	}
+	return nil, false
+}
+
+// complete releases the entry's key (or barrier).
+func (q *simPDQ) complete(e *qEntry) {
+	if e.seq {
+		q.barrier = false
+	} else {
+		c := q.inflight[e.ev.Addr]
+		if c <= 1 {
+			delete(q.inflight, e.ev.Addr)
+		} else {
+			q.inflight[e.ev.Addr] = c - 1
+		}
+	}
+	q.inflightAll--
+}
+
+func (q *simPDQ) unlink(e *qEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		q.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		q.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	q.length--
+}

@@ -1,0 +1,124 @@
+package machine
+
+import (
+	"testing"
+
+	"pdq/internal/proto"
+	"pdq/internal/stache"
+)
+
+// ev builds a keyed test event.
+func ev(addr uint64) stache.Event {
+	return stache.Event{Op: stache.OpGetS, Addr: proto.Addr(addr)}
+}
+
+func TestSimPDQKeySerialization(t *testing.T) {
+	q := newSimPDQ(0)
+	q.enqueue(ev(1), false, 0)
+	q.enqueue(ev(1), false, 0)
+	q.enqueue(ev(2), false, 0)
+	e1, ok := q.dispatch(0)
+	if !ok || e1.ev.Addr != 1 {
+		t.Fatal("first key-1 entry should dispatch")
+	}
+	e2, ok := q.dispatch(0)
+	if !ok || e2.ev.Addr != 2 {
+		t.Fatal("key-2 should dispatch past the blocked key-1 entry")
+	}
+	if _, ok := q.dispatch(0); ok {
+		t.Fatal("second key-1 entry dispatched while first in flight")
+	}
+	q.complete(e1)
+	e3, ok := q.dispatch(0)
+	if !ok || e3.ev.Addr != 1 {
+		t.Fatal("second key-1 entry should dispatch after completion")
+	}
+	q.complete(e2)
+	q.complete(e3)
+	if !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+	if q.stats.KeyConflicts == 0 {
+		t.Fatal("conflict not counted")
+	}
+}
+
+func TestSimPDQSequentialBarrier(t *testing.T) {
+	q := newSimPDQ(0)
+	q.enqueue(ev(1), false, 0)
+	q.enqueue(stache.Event{Op: stache.OpPageOp, Addr: 99}, true, 0)
+	q.enqueue(ev(2), false, 0)
+
+	e1, _ := q.dispatch(0)
+	if _, ok := q.dispatch(0); ok {
+		t.Fatal("dispatch crossed a pending barrier")
+	}
+	q.complete(e1)
+	seq, ok := q.dispatch(0)
+	if !ok || !seq.seq {
+		t.Fatal("barrier should dispatch on idle machine")
+	}
+	if _, ok := q.dispatch(0); ok {
+		t.Fatal("dispatch during barrier execution")
+	}
+	q.complete(seq)
+	e2, ok := q.dispatch(0)
+	if !ok || e2.ev.Addr != 2 {
+		t.Fatal("post-barrier entry should dispatch")
+	}
+	q.complete(e2)
+	if q.stats.SeqBarriers != 1 {
+		t.Fatal("barrier not counted")
+	}
+}
+
+func TestSimPDQWindowStall(t *testing.T) {
+	q := newSimPDQ(2)
+	q.enqueue(ev(1), false, 0)
+	q.enqueue(ev(1), false, 0)
+	q.enqueue(ev(1), false, 0)
+	q.enqueue(ev(2), false, 0) // invisible once the window fills with conflicts
+	e1, _ := q.dispatch(0)
+	if _, ok := q.dispatch(0); ok {
+		t.Fatal("dispatched beyond the search window")
+	}
+	if q.stats.WindowStalls == 0 {
+		t.Fatal("window stall not counted")
+	}
+	q.complete(e1)
+	if _, ok := q.dispatch(0); !ok {
+		t.Fatal("dispatch should resume after conflict clears")
+	}
+}
+
+func TestSimPDQDispatchWaitTracking(t *testing.T) {
+	q := newSimPDQ(0)
+	q.enqueue(ev(5), false, 100)
+	e, ok := q.dispatch(250)
+	if !ok {
+		t.Fatal("dispatch failed")
+	}
+	q.complete(e)
+	if w := q.stats.DispatchWait.Mean(); w != 150 {
+		t.Fatalf("dispatch wait = %f, want 150", w)
+	}
+	if q.stats.MaxLen != 1 || q.stats.Enqueued != 1 || q.stats.Dispatched != 1 {
+		t.Fatalf("stats wrong: %+v", q.stats)
+	}
+}
+
+func TestSimPDQFIFOWithinKey(t *testing.T) {
+	q := newSimPDQ(0)
+	for i := 0; i < 4; i++ {
+		e := ev(7)
+		e.Proc = i
+		q.enqueue(e, false, 0)
+	}
+	for want := 0; want < 4; want++ {
+		e, ok := q.dispatch(0)
+		if !ok || e.ev.Proc != want {
+			t.Fatalf("dispatch order violated at %d", want)
+		}
+		q.complete(e)
+	}
+}

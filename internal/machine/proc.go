@@ -1,0 +1,251 @@
+package machine
+
+import (
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+)
+
+// procState is a compute processor's scheduling state.
+type procState uint8
+
+const (
+	// psComputing: executing application work.
+	psComputing procState = iota
+	// psStalled: waiting for its own block-access fault to complete.
+	psStalled
+	// psServing: executing protocol handlers (Mult only).
+	psServing
+	// psDone: application work exhausted.
+	psDone
+)
+
+// Proc is one SMP compute processor. Under Hurricane-1 Mult it doubles as
+// a protocol processor whenever it is idle (stalled on its own miss, or
+// finished) or when a bus interrupt suspends its computation.
+type Proc struct {
+	n     *Node
+	local int
+	src   AccessSource
+
+	state procState
+	epoch uint64 // invalidates stale scheduled wakeups
+
+	// current access being worked toward
+	curAddr  proto.Addr
+	curWrite bool
+
+	// stall bookkeeping
+	stallStart sim.Time
+	faultDone  bool // own fault completed while serving a handler
+
+	// Mult scheduling
+	registered  bool     // on the node's idle-poller list
+	session     bool     // counted in node.activeHandlers
+	interrupted bool     // computation suspended by a bus interrupt
+	resumeLeft  sim.Time // compute cycles remaining when interrupted
+	computeEnd  sim.Time
+
+	// results
+	finish    sim.Time
+	faults    uint64
+	stallTime sim.Time
+	served    uint64 // handlers executed (Mult)
+	latency   sim.Accumulator
+}
+
+func newProc(n *Node, local int, src AccessSource) *Proc {
+	return &Proc{n: n, local: local, src: src}
+}
+
+func (p *Proc) eng() *sim.Engine { return p.n.cl.eng }
+
+// done reports whether the processor has exhausted its workload.
+func (p *Proc) done() bool { return p.finish > 0 }
+
+// start begins the processor's work loop.
+func (p *Proc) start() { p.next() }
+
+// next fetches the next access from the source and computes toward it.
+func (p *Proc) next() {
+	compute, addr, write, ok := p.src.Next()
+	if !ok {
+		p.state = psDone
+		p.finish = p.eng().Now()
+		p.n.cl.procDone()
+		if p.n.mult() {
+			// A finished processor is permanently idle: volunteer it.
+			p.registerIdle()
+			p.n.kick()
+		}
+		return
+	}
+	p.curAddr, p.curWrite = addr, write
+	p.state = psComputing
+	p.epoch++
+	ep := p.epoch
+	p.computeEnd = p.eng().Now() + compute
+	p.eng().After(compute, func() {
+		if p.epoch == ep {
+			p.access()
+		}
+	})
+}
+
+// access attempts the current access; a miss raises a block-access fault.
+func (p *Proc) access() {
+	var ok bool
+	if p.curWrite {
+		ok = p.n.pr.Writable(p.curAddr)
+	} else {
+		ok = p.n.pr.Readable(p.curAddr)
+	}
+	if ok {
+		p.next()
+		return
+	}
+	p.state = psStalled
+	p.stallStart = p.eng().Now()
+	p.faultDone = false
+	detect := p.n.cl.costs.DetectMiss.At(p.n.cl.cfg.BlockSize)
+	addr, write := p.curAddr, p.curWrite
+	p.eng().After(detect, func() { p.n.enqueueFault(p, addr, write) })
+	if p.n.mult() {
+		// While stalled, poll the PDQ and execute handlers.
+		p.registerIdle()
+		p.n.kick()
+	}
+}
+
+// faultReady is invoked (after the processor tail: resume + reissue +
+// load) when the processor's outstanding fault has been satisfied.
+func (p *Proc) faultReady() {
+	now := p.eng().Now()
+	p.faults++
+	p.stallTime += now - p.stallStart
+	p.latency.AddTime(now - p.stallStart)
+	switch p.state {
+	case psStalled:
+		p.unregisterIdle()
+		p.next()
+	case psServing:
+		// Finish the current handler first; afterServe resumes work.
+		p.faultDone = true
+	default:
+		panic("machine: faultReady in unexpected state")
+	}
+}
+
+// registerIdle puts the processor on the node's poller list.
+func (p *Proc) registerIdle() {
+	if p.registered {
+		return
+	}
+	p.registered = true
+	p.n.idleProcs = append(p.n.idleProcs, p)
+}
+
+func (p *Proc) unregisterIdle() {
+	if !p.registered {
+		return
+	}
+	p.registered = false
+	for i, q := range p.n.idleProcs {
+		if q == p {
+			p.n.idleProcs = append(p.n.idleProcs[:i], p.n.idleProcs[i+1:]...)
+			return
+		}
+	}
+}
+
+// beginSession marks the processor as actively handling protocol work so
+// the node's interrupt policy sees it.
+func (p *Proc) beginSession() {
+	if !p.session {
+		p.session = true
+		p.n.activeHandlers++
+	}
+}
+
+func (p *Proc) endSession() {
+	if p.session {
+		p.session = false
+		p.n.activeHandlers--
+	}
+}
+
+// suspendForInterrupt pauses computation in response to a bus interrupt
+// (Mult). The remaining compute time resumes after the queue drains.
+func (p *Proc) suspendForInterrupt() {
+	p.epoch++ // cancel the scheduled access event
+	p.interrupted = true
+	left := p.computeEnd - p.eng().Now()
+	if left < 0 {
+		left = 0
+	}
+	p.resumeLeft = left
+	p.state = psServing
+	p.beginSession()
+	p.afterServe() // dispatch real work, or resume immediately
+}
+
+// serve executes one dispatched PDQ entry on this processor (Mult). The
+// caller has already removed p from the idle list (or p is mid-session).
+func (p *Proc) serve(e *qEntry) {
+	p.state = psServing
+	p.beginSession()
+	n := p.n
+	out := n.pr.Handle(e.ev)
+	occ := n.occupancy(out) + n.cl.costs.MultDispatch.At(n.cl.cfg.BlockSize)
+	n.trace(e.ev, occ, out.Class)
+	n.ppBusy += occ
+	p.served++
+	p.eng().After(occ, func() {
+		n.apply(out, e)
+		n.q.complete(e)
+		p.afterServe()
+		n.kick()
+	})
+}
+
+// afterServe decides what an idle-capable processor does after a handler
+// completes (or on interrupt entry): serve more work, resume computation,
+// or re-register as an idle poller.
+func (p *Proc) afterServe() {
+	n := p.n
+	if p.faultDone {
+		// Our own miss completed while we were serving: resume work.
+		p.faultDone = false
+		p.endSession()
+		p.next()
+		return
+	}
+	if e, ok := n.q.dispatch(p.eng().Now()); ok {
+		p.serve(e)
+		return
+	}
+	if p.interrupted {
+		// Queue drained: resume the suspended computation, paying the
+		// scheduling/cache-pollution resume penalty.
+		p.interrupted = false
+		p.endSession()
+		p.state = psComputing
+		p.epoch++
+		ep := p.epoch
+		resume := n.cl.costs.MultResume.At(n.cl.cfg.BlockSize) + p.resumeLeft
+		p.computeEnd = p.eng().Now() + resume
+		p.eng().After(resume, func() {
+			if p.epoch == ep {
+				p.access()
+			}
+		})
+		return
+	}
+	// Still waiting on our own fault, or finished: back to polling.
+	p.endSession()
+	if p.done() {
+		p.state = psDone
+	} else {
+		p.state = psStalled
+	}
+	p.registerIdle()
+}

@@ -1,0 +1,138 @@
+// Package membus models a node's split-transaction memory bus and
+// interleaved main memory, after the paper's simulated SMP nodes: a
+// 100 MHz bus shared by 400 MHz processors (4 CPU cycles per bus cycle),
+// highly interleaved memory, and a round-robin interrupt arbiter used by
+// the Hurricane-1 Mult scheduling policy.
+//
+// The bus is a FIFO resource; transactions occupy it for an
+// address+data-burst time derived from the transfer size. Memory
+// interleaving is modeled by a small bank-parallel resource so independent
+// block fetches can overlap while contending transfers queue.
+package membus
+
+import (
+	"fmt"
+
+	"pdq/internal/sim"
+)
+
+// Config sets bus and memory timing in 400 MHz CPU cycles.
+type Config struct {
+	// CyclesPerBusCycle is the CPU:bus clock ratio (paper: 400/100 = 4).
+	CyclesPerBusCycle sim.Time
+	// ArbCycles is per-transaction arbitration+address time in bus cycles.
+	ArbCycles sim.Time
+	// BytesPerBusCycle is the data width per bus cycle (8 = 64-bit bus).
+	BytesPerBusCycle int
+	// MemBanks is the number of independent memory banks.
+	MemBanks int
+	// MemAccessCycles is a bank's access latency in CPU cycles.
+	MemAccessCycles sim.Time
+	// InterruptCycles is the cost of delivering a bus interrupt
+	// (paper: 200 cycles).
+	InterruptCycles sim.Time
+}
+
+// DefaultConfig matches the paper's SMP node.
+func DefaultConfig() Config {
+	return Config{
+		CyclesPerBusCycle: 4,
+		ArbCycles:         2,
+		BytesPerBusCycle:  8,
+		MemBanks:          4,
+		MemAccessCycles:   28,
+		InterruptCycles:   200,
+	}
+}
+
+// Bus models one node's memory bus and memory banks.
+type Bus struct {
+	eng    *sim.Engine
+	cfg    Config
+	bus    *sim.Resource
+	banks  *sim.Resource
+	intSeq int // round-robin interrupt pointer
+
+	transactions uint64
+	interrupts   uint64
+}
+
+// New creates a bus for one node.
+func New(eng *sim.Engine, node int, cfg Config) *Bus {
+	if cfg.CyclesPerBusCycle < 1 {
+		cfg.CyclesPerBusCycle = 1
+	}
+	if cfg.BytesPerBusCycle < 1 {
+		cfg.BytesPerBusCycle = 8
+	}
+	if cfg.MemBanks < 1 {
+		cfg.MemBanks = 1
+	}
+	return &Bus{
+		eng:   eng,
+		cfg:   cfg,
+		bus:   sim.NewResource(eng, fmt.Sprintf("bus-%d", node), 1),
+		banks: sim.NewResource(eng, fmt.Sprintf("mem-%d", node), cfg.MemBanks),
+	}
+}
+
+// occupancy returns bus occupancy for transferring size bytes.
+func (b *Bus) occupancy(size int) sim.Time {
+	busCycles := b.cfg.ArbCycles
+	if size > 0 {
+		busCycles += sim.Time((size + b.cfg.BytesPerBusCycle - 1) / b.cfg.BytesPerBusCycle)
+	}
+	return busCycles * b.cfg.CyclesPerBusCycle
+}
+
+// Transaction acquires the bus for a transfer of size bytes, then runs fn.
+// Returns the scheduled completion time.
+func (b *Bus) Transaction(size int, fn func()) sim.Time {
+	b.transactions++
+	return b.bus.Acquire(b.occupancy(size), fn)
+}
+
+// MemoryRead models a block fetch: bank access overlapped behind a bus
+// data transfer. fn runs when the data is on the requester's side.
+func (b *Bus) MemoryRead(size int, fn func()) {
+	b.banks.Acquire(b.cfg.MemAccessCycles, func() {
+		b.Transaction(size, fn)
+	})
+}
+
+// MemoryWrite models a block store to memory.
+func (b *Bus) MemoryWrite(size int, fn func()) {
+	b.Transaction(size, func() {
+		b.banks.Acquire(b.cfg.MemAccessCycles, fn)
+	})
+}
+
+// Interrupt delivers a bus interrupt to one of n processors round-robin,
+// calling fn(target) after the delivery cost.
+func (b *Bus) Interrupt(n int, fn func(target int)) {
+	if n < 1 {
+		n = 1
+	}
+	target := b.intSeq % n
+	b.intSeq++
+	b.interrupts++
+	b.eng.After(b.cfg.InterruptCycles, func() { fn(target) })
+}
+
+// Stats summarizes bus activity.
+type Stats struct {
+	Transactions uint64
+	Interrupts   uint64
+	Bus          sim.ResourceStats
+	Memory       sim.ResourceStats
+}
+
+// StatsAt snapshots counters for a simulation horizon.
+func (b *Bus) StatsAt(horizon sim.Time) Stats {
+	return Stats{
+		Transactions: b.transactions,
+		Interrupts:   b.interrupts,
+		Bus:          b.bus.StatsAt(horizon),
+		Memory:       b.banks.StatsAt(horizon),
+	}
+}

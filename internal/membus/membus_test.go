@@ -1,0 +1,123 @@
+package membus
+
+import (
+	"testing"
+
+	"pdq/internal/sim"
+)
+
+func TestTransactionOccupancy(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 0, DefaultConfig())
+	var done sim.Time
+	eng.At(0, func() {
+		// 64B: arb 2 + 8 data bus cycles = 10 bus cycles * 4 = 40 CPU cycles.
+		b.Transaction(64, func() { done = eng.Now() })
+	})
+	eng.Run()
+	if done != 40 {
+		t.Fatalf("64B transaction completed at %d, want 40", done)
+	}
+}
+
+func TestControlTransaction(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 0, DefaultConfig())
+	var done sim.Time
+	eng.At(0, func() { b.Transaction(0, func() { done = eng.Now() }) })
+	eng.Run()
+	if done != 8 { // arb only: 2 bus cycles * 4
+		t.Fatalf("control transaction at %d, want 8", done)
+	}
+}
+
+func TestBusSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 0, DefaultConfig())
+	var times []sim.Time
+	eng.At(0, func() {
+		b.Transaction(64, func() { times = append(times, eng.Now()) })
+		b.Transaction(64, func() { times = append(times, eng.Now()) })
+	})
+	eng.Run()
+	if times[0] != 40 || times[1] != 80 {
+		t.Fatalf("bus did not serialize: %v", times)
+	}
+}
+
+func TestMemoryReadOverlapsBanks(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	b := New(eng, 0, cfg)
+	var times []sim.Time
+	eng.At(0, func() {
+		b.MemoryRead(64, func() { times = append(times, eng.Now()) })
+		b.MemoryRead(64, func() { times = append(times, eng.Now()) })
+	})
+	eng.Run()
+	// Both bank accesses (28) overlap; bus transfers serialize: 68, 108.
+	if times[0] != 68 || times[1] != 108 {
+		t.Fatalf("memory reads = %v, want [68 108]", times)
+	}
+}
+
+func TestMemoryWrite(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 0, DefaultConfig())
+	var done sim.Time
+	eng.At(0, func() { b.MemoryWrite(64, func() { done = eng.Now() }) })
+	eng.Run()
+	if done != 68 { // bus 40 then bank 28
+		t.Fatalf("write completed at %d, want 68", done)
+	}
+}
+
+func TestInterruptRoundRobin(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 0, DefaultConfig())
+	var targets []int
+	var at []sim.Time
+	eng.At(0, func() {
+		for i := 0; i < 5; i++ {
+			b.Interrupt(4, func(p int) { targets = append(targets, p); at = append(at, eng.Now()) })
+		}
+	})
+	eng.Run()
+	want := []int{0, 1, 2, 3, 0}
+	for i, w := range want {
+		if targets[i] != w {
+			t.Fatalf("targets = %v, want %v", targets, want)
+		}
+	}
+	if at[0] != 200 {
+		t.Fatalf("interrupt delivered at %d, want 200", at[0])
+	}
+	if b.StatsAt(200).Interrupts != 5 {
+		t.Fatal("interrupt count wrong")
+	}
+}
+
+func TestConfigClamps(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 0, Config{})
+	if b.cfg.CyclesPerBusCycle != 1 || b.cfg.BytesPerBusCycle != 8 || b.cfg.MemBanks != 1 {
+		t.Fatalf("clamps failed: %+v", b.cfg)
+	}
+	done := false
+	eng.At(0, func() { b.Interrupt(0, func(int) { done = true }) })
+	eng.Run()
+	if !done {
+		t.Fatal("interrupt with zero processors should clamp")
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 0, DefaultConfig())
+	eng.At(0, func() { b.Transaction(64, nil) })
+	h := eng.Run()
+	s := b.StatsAt(h)
+	if s.Transactions != 1 || s.Bus.Served != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,168 @@
+// Package multiq implements the statically partitioned multi-queue
+// organization that Section 1 of the PDQ paper contrasts with a single
+// parallel dispatch queue: node resources are partitioned among N
+// independent FIFO queues, one worker each, with messages routed by key.
+//
+// Per-key mutual exclusion and FIFO order hold by construction (a key
+// always lands in the same queue, served by one worker), but a skewed key
+// distribution leaves some workers idle while others queue up — the load
+// imbalance observed by Michael et al. that motivates PDQ's
+// single-queue/multi-server design.
+package multiq
+
+import (
+	"errors"
+	"sync"
+)
+
+// Message pairs a key with a handler, as in package pdq.
+type Message struct {
+	Key     uint64
+	Data    any
+	Handler func(data any)
+}
+
+// Stats reports per-partition load so imbalance is measurable.
+type Stats struct {
+	Enqueued     uint64   // total accepted messages
+	Handled      uint64   // total executed handlers
+	PerPartition []uint64 // handled per partition
+	MaxPartition uint64   // max of PerPartition
+	MinPartition uint64   // min of PerPartition
+}
+
+// Imbalance returns max/mean handled per partition; 1.0 is perfect balance.
+func (s Stats) Imbalance() float64 {
+	if len(s.PerPartition) == 0 || s.Handled == 0 {
+		return 1
+	}
+	mean := float64(s.Handled) / float64(len(s.PerPartition))
+	return float64(s.MaxPartition) / mean
+}
+
+// ErrClosed is returned by Enqueue after Close.
+var ErrClosed = errors.New("multiq: queue closed")
+
+type partition struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []Message
+	closed  bool
+	handled uint64
+}
+
+// Queue is a set of statically partitioned FIFOs.
+type Queue struct {
+	parts    []*partition
+	enqueued sync.Mutex // guards enqCount only; partitions lock separately
+	enqCount uint64
+}
+
+// New creates a queue with n partitions (n >= 1).
+func New(n int) *Queue {
+	if n < 1 {
+		n = 1
+	}
+	q := &Queue{parts: make([]*partition, n)}
+	for i := range q.parts {
+		p := &partition{}
+		p.cond = sync.NewCond(&p.mu)
+		q.parts[i] = p
+	}
+	return q
+}
+
+// Partitions returns the partition count.
+func (q *Queue) Partitions() int { return len(q.parts) }
+
+func scramble(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	return key
+}
+
+// Enqueue routes the message to its key's partition.
+func (q *Queue) Enqueue(key uint64, handler func(data any), data any) error {
+	if handler == nil {
+		return errors.New("multiq: nil handler")
+	}
+	p := q.parts[scramble(key)%uint64(len(q.parts))]
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.items = append(p.items, Message{Key: key, Data: data, Handler: handler})
+	p.cond.Signal()
+	p.mu.Unlock()
+	q.enqueued.Lock()
+	q.enqCount++
+	q.enqueued.Unlock()
+	return nil
+}
+
+// Close stops enqueues on every partition.
+func (q *Queue) Close() {
+	for _, p := range q.parts {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Serve runs one worker per partition until close+drain.
+func (q *Queue) Serve() {
+	var wg sync.WaitGroup
+	wg.Add(len(q.parts))
+	for _, p := range q.parts {
+		go func(p *partition) {
+			defer wg.Done()
+			for {
+				p.mu.Lock()
+				for len(p.items) == 0 && !p.closed {
+					p.cond.Wait()
+				}
+				if len(p.items) == 0 {
+					p.mu.Unlock()
+					return
+				}
+				m := p.items[0]
+				p.items = p.items[1:]
+				p.mu.Unlock()
+				m.Handler(m.Data)
+				p.mu.Lock()
+				p.handled++
+				p.mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Stats returns the per-partition load counters.
+func (q *Queue) Stats() Stats {
+	s := Stats{PerPartition: make([]uint64, len(q.parts))}
+	q.enqueued.Lock()
+	s.Enqueued = q.enqCount
+	q.enqueued.Unlock()
+	s.MinPartition = ^uint64(0)
+	for i, p := range q.parts {
+		p.mu.Lock()
+		h := p.handled
+		p.mu.Unlock()
+		s.PerPartition[i] = h
+		s.Handled += h
+		if h > s.MaxPartition {
+			s.MaxPartition = h
+		}
+		if h < s.MinPartition {
+			s.MinPartition = h
+		}
+	}
+	if s.MinPartition == ^uint64(0) {
+		s.MinPartition = 0
+	}
+	return s
+}

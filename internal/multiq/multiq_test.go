@@ -1,0 +1,104 @@
+package multiq
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestHandlesAll(t *testing.T) {
+	q := New(4)
+	var count atomic.Int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(uint64(i), func(any) { count.Add(1) }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Serve()
+	if count.Load() != n {
+		t.Fatalf("handled %d, want %d", count.Load(), n)
+	}
+	s := q.Stats()
+	if s.Handled != n || s.Enqueued != n {
+		t.Fatalf("stats mismatch: %+v", s)
+	}
+}
+
+func TestPerKeyFIFOAndExclusion(t *testing.T) {
+	q := New(3)
+	var violations atomic.Int32
+	last := make([]atomic.Int64, 5)
+	const per = 400
+	for i := 0; i < per; i++ {
+		for k := 0; k < 5; k++ {
+			k, i := k, i
+			if err := q.Enqueue(uint64(k), func(any) {
+				if last[k].Swap(int64(i+1)) != int64(i) {
+					violations.Add(1)
+				}
+			}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	q.Close()
+	q.Serve()
+	if violations.Load() != 0 {
+		t.Fatalf("%d order violations", violations.Load())
+	}
+}
+
+func TestSkewCausesImbalance(t *testing.T) {
+	q := New(8)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		// 90% of traffic on one key: the partition owning it does ~90% of
+		// the work while seven workers idle.
+		key := uint64(0)
+		if i%10 == 9 {
+			key = uint64(i)
+		}
+		if err := q.Enqueue(key, func(any) {}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Serve()
+	s := q.Stats()
+	if s.Imbalance() < 3 {
+		t.Fatalf("imbalance = %.2f, expected heavy skew (>3x mean)", s.Imbalance())
+	}
+}
+
+func TestUniformIsBalanced(t *testing.T) {
+	q := New(4)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(uint64(i), func(any) {}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Serve()
+	if im := q.Stats().Imbalance(); im > 1.3 {
+		t.Fatalf("imbalance = %.2f on uniform keys, want near 1", im)
+	}
+}
+
+func TestClampAndClose(t *testing.T) {
+	q := New(0)
+	if q.Partitions() != 1 {
+		t.Fatalf("partitions = %d, want clamp to 1", q.Partitions())
+	}
+	q.Close()
+	if err := q.Enqueue(1, func(any) {}, nil); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := q.Enqueue(1, nil, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if q.Stats().Imbalance() != 1 {
+		t.Fatal("empty queue should report imbalance 1")
+	}
+}

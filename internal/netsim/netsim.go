@@ -1,0 +1,139 @@
+// Package netsim models the cluster interconnect of the PDQ paper's
+// evaluation: a point-to-point network with a constant 100-cycle latency
+// that does not model fabric contention, but does model contention at the
+// per-node network interfaces (WWT-II's assumption, Section 5).
+//
+// Every node owns a send-side and a receive-side NI resource. A message
+// serializes through the sender's NI (header plus per-byte cost), flies for
+// the constant latency, serializes through the receiver's NI, and is then
+// delivered to the receiver's message sink.
+package netsim
+
+import (
+	"fmt"
+
+	"pdq/internal/sim"
+)
+
+// Config sets the network timing parameters, in 400 MHz CPU cycles.
+type Config struct {
+	// Latency is the constant point-to-point flight time (paper: 100).
+	Latency sim.Time
+	// HeaderCycles is the per-message NI serialization overhead.
+	HeaderCycles sim.Time
+	// CyclesPerByte is the NI serialization cost per payload byte
+	// (0.25 cycles/byte ≈ 1.6 GB/s at 400 MHz).
+	CyclesPerByte float64
+}
+
+// DefaultConfig matches the paper's network assumptions.
+func DefaultConfig() Config {
+	return Config{Latency: 100, HeaderCycles: 8, CyclesPerByte: 0.25}
+}
+
+// Message is an opaque payload with a byte size used for NI serialization.
+type Message struct {
+	Src, Dst int
+	Size     int
+	Payload  any
+}
+
+// Sink consumes messages delivered to a node.
+type Sink func(m Message)
+
+// Network connects n nodes.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	send  []*sim.Resource
+	recv  []*sim.Resource
+	sinks []Sink
+
+	sent      uint64
+	delivered uint64
+	bytes     uint64
+	latency   sim.Accumulator // enqueue-to-delivery per message
+}
+
+// New creates a network of n nodes on eng.
+func New(eng *sim.Engine, n int, cfg Config) *Network {
+	if n < 1 {
+		panic("netsim: need at least one node")
+	}
+	nw := &Network{eng: eng, cfg: cfg,
+		send:  make([]*sim.Resource, n),
+		recv:  make([]*sim.Resource, n),
+		sinks: make([]Sink, n),
+	}
+	for i := 0; i < n; i++ {
+		nw.send[i] = sim.NewResource(eng, fmt.Sprintf("ni-send-%d", i), 1)
+		nw.recv[i] = sim.NewResource(eng, fmt.Sprintf("ni-recv-%d", i), 1)
+	}
+	return nw
+}
+
+// Nodes returns the node count.
+func (nw *Network) Nodes() int { return len(nw.sinks) }
+
+// Bind installs the message sink for node id. Must be called for every
+// node before traffic reaches it.
+func (nw *Network) Bind(id int, s Sink) { nw.sinks[id] = s }
+
+// serviceTime is the NI occupancy for a message of the given size.
+func (nw *Network) serviceTime(size int) sim.Time {
+	return nw.cfg.HeaderCycles + sim.Time(float64(size)*nw.cfg.CyclesPerByte)
+}
+
+// Send queues m at the source NI. Delivery happens after send-side
+// serialization, flight latency, and receive-side serialization; the
+// receiving sink runs inside an engine event.
+func (nw *Network) Send(m Message) {
+	if m.Src < 0 || m.Src >= len(nw.sinks) || m.Dst < 0 || m.Dst >= len(nw.sinks) {
+		panic(fmt.Sprintf("netsim: bad route %d->%d", m.Src, m.Dst))
+	}
+	nw.sent++
+	nw.bytes += uint64(m.Size)
+	start := nw.eng.Now()
+	svc := nw.serviceTime(m.Size)
+	if m.Src == m.Dst {
+		// Local loopback skips the wire but still pays NI handling once.
+		nw.send[m.Src].Acquire(svc, func() { nw.deliver(m, start) })
+		return
+	}
+	nw.send[m.Src].Acquire(svc, func() {
+		nw.eng.After(nw.cfg.Latency, func() {
+			nw.recv[m.Dst].Acquire(svc, func() { nw.deliver(m, start) })
+		})
+	})
+}
+
+func (nw *Network) deliver(m Message, start sim.Time) {
+	nw.delivered++
+	nw.latency.AddTime(nw.eng.Now() - start)
+	sink := nw.sinks[m.Dst]
+	if sink == nil {
+		panic(fmt.Sprintf("netsim: node %d has no sink", m.Dst))
+	}
+	sink(m)
+}
+
+// Stats summarizes traffic.
+type Stats struct {
+	Sent, Delivered uint64
+	Bytes           uint64
+	MeanLatency     float64
+	MaxLatency      float64
+}
+
+// Stats returns a traffic snapshot.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		Sent: nw.sent, Delivered: nw.delivered, Bytes: nw.bytes,
+		MeanLatency: nw.latency.Mean(), MaxLatency: nw.latency.Max(),
+	}
+}
+
+// NIStats exposes per-node NI resource statistics for a horizon.
+func (nw *Network) NIStats(node int, horizon sim.Time) (send, recv sim.ResourceStats) {
+	return nw.send[node].StatsAt(horizon), nw.recv[node].StatsAt(horizon)
+}

@@ -1,0 +1,79 @@
+package pdq_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"pdq/internal/pdq"
+)
+
+// ExampleQueue demonstrates per-key serialization with a worker pool:
+// counters keyed by id need no locks because equal keys never run
+// concurrently.
+func ExampleQueue() {
+	counters := make([]int, 4)
+	q := pdq.New(pdq.Config{})
+	pool := pdq.Serve(context.Background(), q, 4)
+	for i := 0; i < 400; i++ {
+		k := i % 4
+		_ = q.Enqueue(pdq.Key(k), func(any) { counters[k]++ }, nil)
+	}
+	q.Close()
+	pool.Wait()
+	fmt.Println(counters)
+	// Output: [100 100 100 100]
+}
+
+// ExampleQueue_sequential shows the sequential key acting as a barrier:
+// the audit observes every earlier deposit and none of the later ones.
+func ExampleQueue_sequential() {
+	balance := 0
+	audited := 0
+	q := pdq.New(pdq.Config{})
+	for i := 0; i < 10; i++ {
+		_ = q.Enqueue(1, func(any) { balance += 5 }, nil)
+	}
+	_ = q.EnqueueSequential(func(any) { audited = balance }, nil)
+	for i := 0; i < 10; i++ {
+		_ = q.Enqueue(1, func(any) { balance += 5 }, nil)
+	}
+	pool := pdq.Serve(context.Background(), q, 8)
+	q.Close()
+	pool.Wait()
+	fmt.Println(audited, balance)
+	// Output: 50 100
+}
+
+// ExampleQueue_tryDequeue drives the queue manually — the software
+// analogue of a protocol processor reading its dispatch register.
+func ExampleQueue_tryDequeue() {
+	q := pdq.New(pdq.Config{})
+	_ = q.Enqueue(7, func(data any) { fmt.Println("handled", data) }, "msg")
+	e, ok := q.TryDequeue()
+	if ok {
+		m := e.Message()
+		m.Handler(m.Data)
+		q.Complete(e)
+	}
+	fmt.Println("pending:", q.Len())
+	// Output:
+	// handled msg
+	// pending: 0
+}
+
+// ExampleQueue_nosync shows a handler that requires no synchronization
+// dispatching past a key conflict.
+func ExampleQueue_nosync() {
+	var ticks atomic.Int32
+	q := pdq.New(pdq.Config{})
+	_ = q.Enqueue(1, func(any) {}, nil)
+	_ = q.Enqueue(1, func(any) {}, nil) // blocked behind the first
+	_ = q.EnqueueNoSync(func(any) { ticks.Add(1) }, nil)
+	e1, _ := q.TryDequeue()
+	ns, ok := q.TryDequeue() // the nosync entry, despite the key conflict
+	fmt.Println(ok, ns.Message().Mode)
+	q.Complete(e1)
+	q.Complete(ns)
+	// Output: true nosync
+}

@@ -1,0 +1,243 @@
+package pdq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mux multiplexes several named parallel dispatch queues over one set of
+// workers — the virtualization the paper marks as an active research area
+// (Section 3.2: "virtualizing the PDQ hardware to provide multiple
+// protected message queues per processor"). Each virtual queue keeps full
+// PDQ semantics in isolation (its own keys, barriers, and search window);
+// the mux adds protection (queues cannot observe or block each other,
+// beyond sharing worker capacity) and round-robin fairness across queues
+// so one busy protocol cannot starve another.
+//
+// Wakeups use an edge-triggered token channel rather than a condition
+// variable: member queues signal the mux from under their own locks, and
+// the mux's dispatch path locks queues under the mux lock, so a
+// lock-based signal would invert that order. A buffered token coalesces
+// signals; consumers re-scan after every token, and dispatchers re-arm
+// the token so bursts cascade to the other workers.
+//
+// A Mux is safe for concurrent use.
+type Mux struct {
+	mu     sync.Mutex // guards queues, names, rr, closed, stats
+	queues []*Queue
+	names  map[string]*Queue
+	rr     int // round-robin scan start
+	closed bool
+
+	wakeCh     chan struct{}
+	dispatched uint64
+}
+
+// NewMux returns an empty mux; virtual queues are created on first use
+// via Queue.
+func NewMux() *Mux {
+	return &Mux{
+		names:  make(map[string]*Queue),
+		wakeCh: make(chan struct{}, 1),
+	}
+}
+
+// ErrMuxClosed is returned when creating a queue on a closed mux.
+var ErrMuxClosed = errors.New("pdq: mux closed")
+
+// Queue returns the virtual queue with the given name, creating it with
+// cfg if absent (cfg is ignored for existing queues).
+func (m *Mux) Queue(name string, cfg Config) (*Queue, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q, ok := m.names[name]; ok {
+		return q, nil
+	}
+	if m.closed {
+		return nil, ErrMuxClosed
+	}
+	q := New(cfg)
+	q.notify = m.wake // wake the mux on any dispatchability change
+	m.names[name] = q
+	m.queues = append(m.queues, q)
+	return q, nil
+}
+
+// Names returns the registered queue names (unordered).
+func (m *Mux) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.names))
+	for n := range m.names {
+		names = append(names, n)
+	}
+	return names
+}
+
+// wake deposits a wakeup token (coalescing). It never blocks and never
+// takes m.mu — it is called from under member queues' locks.
+func (m *Mux) wake() {
+	select {
+	case m.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// TryDequeue scans the virtual queues round-robin and returns the first
+// dispatchable entry along with its owning queue (pass it to that queue's
+// Complete). ok=false means nothing is dispatchable right now.
+func (m *Mux) TryDequeue() (q *Queue, e *Entry, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.queues)
+	for i := 0; i < n; i++ {
+		cand := m.queues[(m.rr+i)%n]
+		if e, ok := cand.TryDequeue(); ok {
+			m.rr = (m.rr + i + 1) % n // fairness: resume after this queue
+			m.dispatched++
+			return cand, e, true
+		}
+	}
+	return nil, nil, false
+}
+
+// Dequeue blocks until an entry is dispatchable on some virtual queue, or
+// the mux is closed and every queue has drained (ok=false).
+func (m *Mux) Dequeue() (*Queue, *Entry, bool) {
+	for {
+		if q, e, ok := m.TryDequeue(); ok {
+			return q, e, true
+		}
+		if m.drained() {
+			m.wake() // cascade: release other blocked consumers too
+			return nil, nil, false
+		}
+		<-m.wakeCh
+	}
+}
+
+// drained reports whether the mux is closed and every member queue is
+// closed with nothing pending or in flight.
+func (m *Mux) drained() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.closed {
+		return false
+	}
+	for _, q := range m.queues {
+		q.mu.Lock()
+		done := q.closed && q.pending == 0
+		q.mu.Unlock()
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// Close closes the mux and every member queue. Pending entries still
+// dispatch; blocked Dequeue calls return once everything drains.
+func (m *Mux) Close() {
+	m.mu.Lock()
+	m.closed = true
+	queues := append([]*Queue(nil), m.queues...)
+	m.mu.Unlock()
+	for _, q := range queues {
+		q.Close()
+	}
+	m.wake()
+}
+
+// MuxStats summarizes mux-level activity.
+type MuxStats struct {
+	Queues     int
+	Dispatched uint64
+}
+
+// Stats returns mux counters (per-queue stats live on each Queue).
+func (m *Mux) Stats() MuxStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MuxStats{Queues: len(m.queues), Dispatched: m.dispatched}
+}
+
+// String renders a short diagnostic line.
+func (s MuxStats) String() string {
+	return fmt.Sprintf("queues=%d dispatched=%d", s.Queues, s.Dispatched)
+}
+
+// ServeMux runs n workers that dispatch from every virtual queue with
+// round-robin fairness. Workers exit when ctx is cancelled or the mux is
+// closed and drained.
+func ServeMux(ctx context.Context, m *Mux, n int) *MuxPool {
+	if n < 1 {
+		n = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	p := &MuxPool{m: m, cancel: cancel, workers: n, stopCh: make(chan struct{})}
+	go func() {
+		<-ctx.Done()
+		p.stopped.Store(true)
+		close(p.stopCh) // wakes every worker at once, bypassing the token
+		m.wake()
+	}()
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// MuxPool controls the workers started by ServeMux.
+type MuxPool struct {
+	m       *Mux
+	wg      sync.WaitGroup
+	cancel  context.CancelFunc
+	stopped atomic.Bool
+	stopCh  chan struct{}
+	workers int
+}
+
+func (p *MuxPool) worker() {
+	defer p.wg.Done()
+	m := p.m
+	for {
+		if p.stopped.Load() {
+			m.wake() // cascade the shutdown to sibling workers
+			return
+		}
+		q, e, ok := m.TryDequeue()
+		if !ok {
+			if m.drained() {
+				m.wake()
+				return
+			}
+			select {
+			case <-m.wakeCh:
+			case <-p.stopCh:
+			}
+			continue
+		}
+		// More entries may be dispatchable: let a sibling look while we
+		// execute this handler.
+		m.wake()
+		msg := e.Message()
+		msg.Handler(msg.Data)
+		q.Complete(e)
+	}
+}
+
+// Workers reports the worker count.
+func (p *MuxPool) Workers() int { return p.workers }
+
+// Stop cancels the workers and waits for them to exit.
+func (p *MuxPool) Stop() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// Wait blocks until all workers exit (after Mux.Close and drain).
+func (p *MuxPool) Wait() { p.wg.Wait() }

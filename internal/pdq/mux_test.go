@@ -1,0 +1,207 @@
+package pdq
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMuxProcessesAllQueues(t *testing.T) {
+	m := NewMux()
+	var counts [3]atomic.Int64
+	names := []string{"netA", "netB", "netC"}
+	const per = 2000
+	for qi, name := range names {
+		q, err := m.Queue(name, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qi := qi
+		for i := 0; i < per; i++ {
+			if err := q.Enqueue(Key(i%13), func(any) { counts[qi].Add(1) }, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p := ServeMux(context.Background(), m, 4)
+	m.Close()
+	p.Wait()
+	for qi := range counts {
+		if got := counts[qi].Load(); got != per {
+			t.Fatalf("queue %d handled %d, want %d", qi, got, per)
+		}
+	}
+	if s := m.Stats(); s.Queues != 3 || s.Dispatched != 3*per {
+		t.Fatalf("mux stats = %v", s)
+	}
+}
+
+func TestMuxQueueLookupIdempotent(t *testing.T) {
+	m := NewMux()
+	a, _ := m.Queue("x", Config{})
+	b, _ := m.Queue("x", Config{SearchWindow: 1}) // cfg ignored on lookup
+	if a != b {
+		t.Fatal("same name returned distinct queues")
+	}
+	if len(m.Names()) != 1 {
+		t.Fatalf("names = %v", m.Names())
+	}
+	m.Close()
+	if _, err := m.Queue("fresh", Config{}); err != ErrMuxClosed {
+		t.Fatalf("err = %v, want ErrMuxClosed", err)
+	}
+}
+
+func TestMuxIsolationBetweenQueues(t *testing.T) {
+	// The same key on two virtual queues must NOT serialize: protection
+	// domains are independent.
+	m := NewMux()
+	qa, _ := m.Queue("a", Config{})
+	qb, _ := m.Queue("b", Config{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	block := make(chan struct{})
+	_ = qa.Enqueue(7, func(any) { wg.Done(); <-block }, nil)
+	_ = qb.Enqueue(7, func(any) { wg.Done(); <-block }, nil)
+	p := ServeMux(context.Background(), m, 2)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done: // both key-7 handlers running concurrently
+	case <-time.After(5 * time.Second):
+		t.Fatal("equal keys on distinct virtual queues serialized")
+	}
+	close(block)
+	m.Close()
+	p.Wait()
+}
+
+func TestMuxBarrierScopedToQueue(t *testing.T) {
+	// A sequential barrier on one virtual queue must not stop another
+	// queue from dispatching.
+	m := NewMux()
+	qa, _ := m.Queue("a", Config{})
+	qb, _ := m.Queue("b", Config{})
+	inBarrier := make(chan struct{})
+	release := make(chan struct{})
+	_ = qa.EnqueueSequential(func(any) { close(inBarrier); <-release }, nil)
+	var bRan atomic.Bool
+	p := ServeMux(context.Background(), m, 2)
+	<-inBarrier
+	bDone := make(chan struct{})
+	_ = qb.Enqueue(1, func(any) { bRan.Store(true); close(bDone) }, nil)
+	select {
+	case <-bDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queue b blocked by queue a's barrier")
+	}
+	close(release)
+	m.Close()
+	p.Wait()
+	if !bRan.Load() {
+		t.Fatal("queue b handler did not run")
+	}
+}
+
+func TestMuxFairnessUnderLoad(t *testing.T) {
+	// One flooded queue must not starve a trickle queue: round-robin
+	// alternates between dispatchable queues.
+	m := NewMux()
+	flood, _ := m.Queue("flood", Config{})
+	trickle, _ := m.Queue("trickle", Config{})
+	var floodDone, trickleDone atomic.Int64
+	var trickleMaxDelay atomic.Int64 // in flood-completions at dispatch time
+	const floods, trickles = 5000, 50
+	for i := 0; i < floods; i++ {
+		_ = flood.Enqueue(Key(i), func(any) { floodDone.Add(1) }, nil)
+	}
+	for i := 0; i < trickles; i++ {
+		_ = trickle.Enqueue(Key(i), func(any) {
+			d := floodDone.Load()
+			for {
+				cur := trickleMaxDelay.Load()
+				if d <= cur || trickleMaxDelay.CompareAndSwap(cur, d) {
+					break
+				}
+			}
+			trickleDone.Add(1)
+		}, nil)
+	}
+	p := ServeMux(context.Background(), m, 2)
+	m.Close()
+	p.Wait()
+	if trickleDone.Load() != trickles || floodDone.Load() != floods {
+		t.Fatal("work lost")
+	}
+	// With strict round-robin the last trickle entry dispatches after at
+	// most ~trickles interleavings of the flood, far before it drains.
+	if trickleMaxDelay.Load() > floods/2 {
+		t.Fatalf("trickle queue starved: last ran after %d flood completions", trickleMaxDelay.Load())
+	}
+}
+
+func TestMuxManualDequeue(t *testing.T) {
+	m := NewMux()
+	q, _ := m.Queue("only", Config{})
+	_ = q.Enqueue(1, func(any) {}, "payload")
+	mq, e, ok := m.TryDequeue()
+	if !ok || mq != q || e.Message().Data.(string) != "payload" {
+		t.Fatal("manual mux dequeue failed")
+	}
+	if _, _, ok := m.TryDequeue(); ok {
+		t.Fatal("phantom entry")
+	}
+	mq.Complete(e)
+	m.Close()
+	if _, _, ok := m.Dequeue(); ok {
+		t.Fatal("Dequeue should report drain after close")
+	}
+}
+
+func TestMuxStopReleasesWorkers(t *testing.T) {
+	m := NewMux()
+	_, _ = m.Queue("idle", Config{})
+	p := ServeMux(context.Background(), m, 3)
+	done := make(chan struct{})
+	go func() { p.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not release idle mux workers")
+	}
+}
+
+func TestMuxConcurrentProducers(t *testing.T) {
+	m := NewMux()
+	var total atomic.Int64
+	p := ServeMux(context.Background(), m, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q, err := m.Queue(string(rune('a'+w%2)), Config{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 500; i++ {
+				if err := q.Enqueue(Key(i), func(any) { total.Add(1) }, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Close()
+	p.Wait()
+	if total.Load() != 2000 {
+		t.Fatalf("handled %d, want 2000", total.Load())
+	}
+	if p.Workers() != 4 {
+		t.Fatal("worker count wrong")
+	}
+}

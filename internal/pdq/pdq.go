@@ -1,0 +1,420 @@
+// Package pdq implements the Parallel Dispatch Queue abstraction from
+// Falsafi & Wood, "Parallel Dispatch Queue: A Queue-Based Programming
+// Abstraction To Parallelize Fine-Grain Communication Protocols" (HPCA 1999).
+//
+// A PDQ is a single logical message queue in which every message carries a
+// synchronization key naming the group of resources its handler will touch.
+// The queue performs all synchronization at dispatch time: handlers for
+// messages with distinct keys run in parallel, handlers for messages with
+// equal keys run serially in enqueue order, and no locks or busy-waiting are
+// needed inside handlers. Two reserved dispatch modes complete the model:
+//
+//   - Sequential: the message is a full barrier in queue order. Dispatch
+//     stops, all in-flight handlers drain, the handler runs in isolation,
+//     and then parallel dispatch resumes. Protocol operations that touch a
+//     large resource group (e.g. page allocation in a fine-grain DSM) use
+//     this mode.
+//   - NoSync: the handler needs no synchronization at all and may dispatch
+//     whenever a worker is free, regardless of other in-flight handlers
+//     (but never overtaking an active sequential barrier).
+//
+// The implementation mirrors the paper's hardware organization: a FIFO of
+// entries, an associative "search engine" bounded by a small window at the
+// head of the queue, and per-worker dispatch. Both a low-level interface
+// (Dequeue/Complete, the software analogue of the paper's Protocol Dispatch
+// Register) and a high-level worker pool (Serve) are provided.
+package pdq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Key is a synchronization key. Handlers for messages with equal keys are
+// mutually exclusive and execute in enqueue order; handlers for messages
+// with distinct keys may execute concurrently. The zero key is an ordinary
+// key with no special meaning.
+type Key uint64
+
+// Mode selects how an entry synchronizes with other entries.
+type Mode uint8
+
+const (
+	// Keyed entries serialize against entries with an equal Key.
+	Keyed Mode = iota
+	// Sequential entries act as a full barrier: every earlier entry
+	// completes before the handler runs, the handler runs alone, and no
+	// later entry dispatches until it completes.
+	Sequential
+	// NoSync entries dispatch without any key synchronization.
+	NoSync
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Keyed:
+		return "keyed"
+	case Sequential:
+		return "sequential"
+	case NoSync:
+		return "nosync"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Message is the unit of work carried by the queue. Handler receives Data
+// when the dispatcher (or a manual Dequeue caller) executes the message.
+type Message struct {
+	Key     Key
+	Mode    Mode
+	Data    any
+	Handler func(data any)
+}
+
+// Entry is a dispatched queue entry. Callers using the low-level Dequeue
+// interface must pass the entry back to Complete exactly once after running
+// the handler.
+type Entry struct {
+	msg Message
+	seq uint64 // enqueue sequence number, for diagnostics and ordering
+}
+
+// Message returns the message carried by the entry.
+func (e *Entry) Message() Message { return e.msg }
+
+// Seq returns the entry's enqueue sequence number. Sequence numbers are
+// assigned in enqueue order starting at 1.
+func (e *Entry) Seq() uint64 { return e.seq }
+
+// DefaultSearchWindow bounds the associative search at the head of the
+// queue, mirroring the small dispatch buffer of a hardware PDQ
+// implementation (paper Section 3.2).
+const DefaultSearchWindow = 64
+
+// Config parameterizes a Queue.
+type Config struct {
+	// SearchWindow bounds how many pending entries the dispatcher examines
+	// per dequeue. Zero selects DefaultSearchWindow; negative means
+	// unbounded search.
+	SearchWindow int
+	// Capacity, if positive, bounds the number of pending entries.
+	// Enqueue beyond capacity fails with ErrFull (the hardware analogue is
+	// back-pressure into the network; spilling to memory is modeled by an
+	// unbounded queue).
+	Capacity int
+}
+
+// Errors returned by queue operations.
+var (
+	ErrClosed = errors.New("pdq: queue closed")
+	ErrFull   = errors.New("pdq: queue full")
+)
+
+// node is a pending-list node. A hand-rolled list avoids container/list's
+// interface boxing on this hot path.
+type node struct {
+	entry      Entry
+	prev, next *node
+}
+
+// Queue is a Parallel Dispatch Queue. All methods are safe for concurrent
+// use. The zero value is not usable; call New.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled when dispatchability may have changed
+	window int
+	cap    int
+
+	head, tail *node
+	pending    int
+
+	inflight     map[Key]int // in-flight handler count per key
+	inflightAll  int         // all in-flight handlers (any mode)
+	barrier      bool        // a sequential handler is executing
+	closed       bool
+	notify       func() // optional hook: dispatchability may have changed
+	nextSeq      uint64
+	freeList     *node // reuse nodes to reduce allocation churn
+	freeLen      int
+	maxFree      int
+	stats        Stats
+	waitersEmpty []chan struct{}
+}
+
+// New returns an empty queue configured by cfg.
+func New(cfg Config) *Queue {
+	w := cfg.SearchWindow
+	if w == 0 {
+		w = DefaultSearchWindow
+	}
+	q := &Queue{
+		window:   w,
+		cap:      cfg.Capacity,
+		inflight: make(map[Key]int),
+		maxFree:  256,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends a keyed message invoking handler(data).
+func (q *Queue) Enqueue(key Key, handler func(data any), data any) error {
+	return q.EnqueueMessage(Message{Key: key, Mode: Keyed, Data: data, Handler: handler})
+}
+
+// EnqueueSequential appends a sequential-mode message (full barrier).
+func (q *Queue) EnqueueSequential(handler func(data any), data any) error {
+	return q.EnqueueMessage(Message{Mode: Sequential, Data: data, Handler: handler})
+}
+
+// EnqueueNoSync appends a message requiring no synchronization.
+func (q *Queue) EnqueueNoSync(handler func(data any), data any) error {
+	return q.EnqueueMessage(Message{Mode: NoSync, Data: data, Handler: handler})
+}
+
+// EnqueueMessage appends m to the queue.
+func (q *Queue) EnqueueMessage(m Message) error {
+	if m.Handler == nil {
+		return errors.New("pdq: nil handler")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.cap > 0 && q.pending >= q.cap {
+		q.stats.Rejected++
+		return ErrFull
+	}
+	q.nextSeq++
+	n := q.newNode()
+	n.entry = Entry{msg: m, seq: q.nextSeq}
+	if q.tail == nil {
+		q.head, q.tail = n, n
+	} else {
+		n.prev = q.tail
+		q.tail.next = n
+		q.tail = n
+	}
+	q.pending++
+	q.stats.Enqueued++
+	if q.pending > q.stats.MaxPending {
+		q.stats.MaxPending = q.pending
+	}
+	q.cond.Signal()
+	if q.notify != nil {
+		q.notify()
+	}
+	return nil
+}
+
+// TryDequeue removes and returns the first dispatchable entry within the
+// search window, or ok=false if none is currently dispatchable. The caller
+// must invoke the entry's handler and then call Complete. TryDequeue never
+// blocks.
+func (q *Queue) TryDequeue() (e *Entry, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dequeueLocked()
+}
+
+// Dequeue blocks until an entry is dispatchable or the queue is closed and
+// fully drained. It returns ok=false only on close+drain.
+func (q *Queue) Dequeue() (e *Entry, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if e, ok := q.dequeueLocked(); ok {
+			return e, true
+		}
+		if q.closed && q.pending == 0 {
+			return nil, false
+		}
+		q.stats.Waits++
+		q.cond.Wait()
+	}
+}
+
+// dequeueLocked performs the bounded associative search. It must be called
+// with q.mu held.
+func (q *Queue) dequeueLocked() (*Entry, bool) {
+	if q.barrier {
+		// A sequential handler owns the machine; nothing dispatches.
+		q.stats.BarrierStalls++
+		return nil, false
+	}
+	scanned := 0
+	for n := q.head; n != nil; n = n.next {
+		if q.window > 0 && scanned >= q.window {
+			q.stats.WindowStalls++
+			return nil, false
+		}
+		scanned++
+		m := &n.entry.msg
+		switch m.Mode {
+		case Sequential:
+			// Dispatchable only as the head of the queue with an idle
+			// machine; otherwise it blocks everything behind it.
+			if n == q.head && q.inflightAll == 0 {
+				q.unlink(n)
+				q.barrier = true
+				q.inflightAll++
+				q.stats.Dispatched++
+				q.stats.SeqDispatched++
+				return q.take(n), true
+			}
+			q.stats.SeqStalls++
+			return nil, false
+		case NoSync:
+			q.unlink(n)
+			q.inflightAll++
+			q.stats.Dispatched++
+			q.stats.NoSyncDispatched++
+			return q.take(n), true
+		default: // Keyed
+			if q.inflight[m.Key] == 0 {
+				q.unlink(n)
+				q.inflight[m.Key]++
+				q.inflightAll++
+				q.stats.Dispatched++
+				return q.take(n), true
+			}
+			q.stats.KeyConflicts++
+		}
+	}
+	return nil, false
+}
+
+// take copies the entry out of a node, recycles the node, and returns a
+// heap entry handed to the caller.
+func (q *Queue) take(n *node) *Entry {
+	e := n.entry
+	q.recycle(n)
+	return &e
+}
+
+// Complete marks a previously dequeued entry's handler as finished,
+// releasing its key (or the sequential barrier) and waking waiters.
+func (q *Queue) Complete(e *Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch e.msg.Mode {
+	case Sequential:
+		if !q.barrier {
+			panic("pdq: Complete(sequential) without active barrier")
+		}
+		q.barrier = false
+	case NoSync:
+		// No key state to release.
+	default:
+		c := q.inflight[e.msg.Key]
+		if c <= 0 {
+			panic("pdq: Complete for key with no in-flight handler")
+		}
+		if c == 1 {
+			delete(q.inflight, e.msg.Key)
+		} else {
+			q.inflight[e.msg.Key] = c - 1
+		}
+	}
+	q.inflightAll--
+	q.stats.Completed++
+	if q.pending == 0 && q.inflightAll == 0 {
+		q.notifyEmptyLocked()
+	}
+	q.cond.Broadcast()
+	if q.notify != nil {
+		q.notify()
+	}
+}
+
+// Close prevents further enqueues. Pending entries still dispatch; blocked
+// Dequeue calls return ok=false once the queue drains.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	if q.pending == 0 && q.inflightAll == 0 {
+		q.notifyEmptyLocked()
+	}
+	q.cond.Broadcast()
+	if q.notify != nil {
+		q.notify()
+	}
+	q.mu.Unlock()
+}
+
+// Drain blocks until the queue holds no pending entries and no handler is
+// in flight. It does not close the queue; new work may arrive afterwards.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	if q.pending == 0 && q.inflightAll == 0 {
+		q.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	q.waitersEmpty = append(q.waitersEmpty, ch)
+	q.mu.Unlock()
+	<-ch
+}
+
+func (q *Queue) notifyEmptyLocked() {
+	for _, ch := range q.waitersEmpty {
+		close(ch)
+	}
+	q.waitersEmpty = nil
+}
+
+// Len returns the number of pending (undispatched) entries.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// InFlight returns the number of dispatched-but-incomplete handlers.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflightAll
+}
+
+// unlink removes n from the pending list. Caller holds q.mu.
+func (q *Queue) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	q.pending--
+}
+
+func (q *Queue) newNode() *node {
+	if q.freeList != nil {
+		n := q.freeList
+		q.freeList = n.next
+		q.freeLen--
+		n.next = nil
+		return n
+	}
+	return &node{}
+}
+
+func (q *Queue) recycle(n *node) {
+	if q.freeLen >= q.maxFree {
+		return
+	}
+	n.entry = Entry{}
+	n.prev = nil
+	n.next = q.freeList
+	q.freeList = n
+	q.freeLen++
+}

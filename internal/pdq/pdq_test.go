@@ -1,0 +1,344 @@
+package pdq
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustEnqueue(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+}
+
+func TestEnqueueDequeueSingle(t *testing.T) {
+	q := New(Config{})
+	ran := false
+	mustEnqueue(t, q.Enqueue(7, func(d any) { ran = d.(int) == 42 }, 42))
+	e, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("expected dispatchable entry")
+	}
+	if e.Message().Key != 7 {
+		t.Fatalf("key = %d, want 7", e.Message().Key)
+	}
+	if e.Seq() != 1 {
+		t.Fatalf("seq = %d, want 1", e.Seq())
+	}
+	e.Message().Handler(e.Message().Data)
+	q.Complete(e)
+	if !ran {
+		t.Fatal("handler did not run with its data")
+	}
+	if q.Len() != 0 || q.InFlight() != 0 {
+		t.Fatalf("queue not empty after complete: len=%d inflight=%d", q.Len(), q.InFlight())
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	q := New(Config{})
+	if err := q.Enqueue(1, nil, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestSameKeySerializes(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	mustEnqueue(t, q.Enqueue(5, nop, nil))
+	mustEnqueue(t, q.Enqueue(5, nop, nil))
+	e1, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("first entry should dispatch")
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("second entry with same key dispatched while first in flight")
+	}
+	q.Complete(e1)
+	e2, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("second entry should dispatch after first completes")
+	}
+	if e2.Seq() != 2 {
+		t.Fatalf("second dispatch seq = %d, want 2 (FIFO per key)", e2.Seq())
+	}
+	q.Complete(e2)
+}
+
+func TestDistinctKeysDispatchTogether(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	for k := Key(1); k <= 4; k++ {
+		mustEnqueue(t, q.Enqueue(k, nop, nil))
+	}
+	var got []*Entry
+	for {
+		e, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if len(got) != 4 {
+		t.Fatalf("dispatched %d entries concurrently, want 4", len(got))
+	}
+	for _, e := range got {
+		q.Complete(e)
+	}
+}
+
+func TestFIFOWithinKeyAcrossInterleaving(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	// Interleave two keys; each key's entries must come out in order.
+	for i := 0; i < 6; i++ {
+		mustEnqueue(t, q.Enqueue(Key(i%2), nop, i))
+	}
+	lastSeq := map[Key]uint64{}
+	for completed := 0; completed < 6; {
+		e, ok := q.TryDequeue()
+		if !ok {
+			t.Fatal("queue stalled")
+		}
+		k := e.Message().Key
+		if e.Seq() <= lastSeq[k] {
+			t.Fatalf("key %d dispatched seq %d after %d", k, e.Seq(), lastSeq[k])
+		}
+		lastSeq[k] = e.Seq()
+		q.Complete(e)
+		completed++
+	}
+}
+
+func TestSequentialBarrier(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	mustEnqueue(t, q.EnqueueSequential(nop, nil))
+	mustEnqueue(t, q.Enqueue(2, nop, nil))
+
+	e1, ok := q.TryDequeue()
+	if !ok || e1.Message().Key != 1 {
+		t.Fatal("entry before barrier should dispatch first")
+	}
+	// Barrier must not dispatch while e1 is in flight, and must also block
+	// the key-2 entry behind it.
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("dispatch crossed a pending sequential barrier")
+	}
+	q.Complete(e1)
+	seq, ok := q.TryDequeue()
+	if !ok || seq.Message().Mode != Sequential {
+		t.Fatal("sequential entry should dispatch once machine is idle")
+	}
+	// While the barrier runs, nothing else dispatches.
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("dispatch during sequential handler execution")
+	}
+	q.Complete(seq)
+	e2, ok := q.TryDequeue()
+	if !ok || e2.Message().Key != 2 {
+		t.Fatal("entry after barrier should dispatch after barrier completes")
+	}
+	q.Complete(e2)
+}
+
+func TestNoSyncBypassesKeyConflicts(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	mustEnqueue(t, q.Enqueue(9, nop, nil))
+	mustEnqueue(t, q.Enqueue(9, nop, nil))
+	mustEnqueue(t, q.EnqueueNoSync(nop, nil))
+	e1, _ := q.TryDequeue()
+	e2, ok := q.TryDequeue()
+	if !ok || e2.Message().Mode != NoSync {
+		t.Fatal("nosync entry should dispatch despite key conflict ahead of it")
+	}
+	q.Complete(e1)
+	q.Complete(e2)
+}
+
+func TestNoSyncDoesNotCrossActiveBarrier(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	mustEnqueue(t, q.EnqueueSequential(nop, nil))
+	mustEnqueue(t, q.EnqueueNoSync(nop, nil))
+	seq, ok := q.TryDequeue()
+	if !ok || seq.Message().Mode != Sequential {
+		t.Fatal("sequential should dispatch on idle machine")
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("nosync dispatched during sequential execution")
+	}
+	q.Complete(seq)
+	ns, ok := q.TryDequeue()
+	if !ok || ns.Message().Mode != NoSync {
+		t.Fatal("nosync should dispatch after barrier")
+	}
+	q.Complete(ns)
+}
+
+func TestSearchWindowStalls(t *testing.T) {
+	q := New(Config{SearchWindow: 2})
+	nop := func(any) {}
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	mustEnqueue(t, q.Enqueue(2, nop, nil)) // outside window once key-1 blocks
+	e1, _ := q.TryDequeue()
+	// Pending is now [k1 k1 k2]; the window covers the two blocked key-1
+	// entries only, so the dispatchable key-2 entry is invisible and
+	// dispatch stalls (head-of-line blocking, as in the paper's bounded
+	// associative search).
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("dispatched beyond the search window")
+	}
+	if q.Stats().WindowStalls == 0 {
+		t.Fatal("window stall not counted")
+	}
+	q.Complete(e1)
+	if _, ok := q.TryDequeue(); !ok {
+		t.Fatal("queue should dispatch after conflict clears")
+	}
+}
+
+func TestUnboundedWindow(t *testing.T) {
+	q := New(Config{SearchWindow: -1})
+	nop := func(any) {}
+	for i := 0; i < 100; i++ {
+		mustEnqueue(t, q.Enqueue(1, nop, nil))
+	}
+	mustEnqueue(t, q.Enqueue(2, nop, nil))
+	e1, _ := q.TryDequeue()
+	e2, ok := q.TryDequeue()
+	if !ok || e2.Message().Key != 2 {
+		t.Fatal("unbounded window should find the distinct key at position 101")
+	}
+	q.Complete(e1)
+	q.Complete(e2)
+}
+
+func TestCapacityRejects(t *testing.T) {
+	q := New(Config{Capacity: 2})
+	nop := func(any) {}
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	mustEnqueue(t, q.Enqueue(2, nop, nil))
+	if err := q.Enqueue(3, nop, nil); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if q.Stats().Rejected != 1 {
+		t.Fatal("rejection not counted")
+	}
+	// Dispatching frees capacity (pending shrinks even before Complete).
+	e, _ := q.TryDequeue()
+	mustEnqueue(t, q.Enqueue(3, nop, nil))
+	q.Complete(e)
+}
+
+func TestCloseRejectsAndDrains(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	q.Close()
+	if err := q.Enqueue(2, nop, nil); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	e, ok := q.Dequeue()
+	if !ok {
+		t.Fatal("pending entry should still dispatch after close")
+	}
+	q.Complete(e)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue should report drained after close")
+	}
+}
+
+func TestDrainWaitsForInflight(t *testing.T) {
+	q := New(Config{})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mustEnqueue(t, q.Enqueue(1, func(any) { close(started); <-release }, nil))
+	e, _ := q.TryDequeue()
+	go func() {
+		m := e.Message()
+		m.Handler(m.Data)
+		q.Complete(e)
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() { q.Drain(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Drain returned while a handler was in flight")
+	default:
+	}
+	close(release)
+	<-done
+}
+
+func TestStatsCounts(t *testing.T) {
+	q := New(Config{})
+	nop := func(any) {}
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	mustEnqueue(t, q.Enqueue(1, nop, nil))
+	e, _ := q.TryDequeue()
+	q.TryDequeue() // conflict
+	q.Complete(e)
+	s := q.Stats()
+	if s.Enqueued != 2 || s.Dispatched != 1 || s.Completed != 1 || s.KeyConflicts == 0 {
+		t.Fatalf("unexpected stats: %s", s)
+	}
+	if s.MaxPending != 2 {
+		t.Fatalf("MaxPending = %d, want 2", s.MaxPending)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Keyed.String() != "keyed" || Sequential.String() != "sequential" || NoSync.String() != "nosync" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestCompleteMisuse(t *testing.T) {
+	q := New(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Complete of never-dispatched key should panic")
+		}
+	}()
+	q.Complete(&Entry{msg: Message{Key: 1, Mode: Keyed}})
+}
+
+func TestConcurrentEnqueueDequeue(t *testing.T) {
+	q := New(Config{})
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_ = q.Enqueue(Key(i%17), func(any) {}, i)
+		}
+		q.Close()
+	}()
+	var handled int
+	go func() {
+		defer wg.Done()
+		for {
+			e, ok := q.Dequeue()
+			if !ok {
+				return
+			}
+			handled++
+			q.Complete(e)
+		}
+	}()
+	wg.Wait()
+	if handled != n {
+		t.Fatalf("handled %d, want %d", handled, n)
+	}
+}

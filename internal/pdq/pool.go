@@ -1,0 +1,87 @@
+package pdq
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs a fixed set of worker goroutines that dequeue entries from a
+// Queue and invoke their handlers — the software analogue of the paper's
+// protocol processors, each fed through a Protocol Dispatch Register.
+type Pool struct {
+	q       *Queue
+	wg      sync.WaitGroup
+	cancel  context.CancelFunc
+	stopped atomic.Bool
+	workers int
+}
+
+// Serve starts n worker goroutines dispatching from q and returns a Pool
+// controlling them. Workers exit when ctx is cancelled, Stop is called, or
+// the queue is closed and drained. n must be at least 1.
+func Serve(ctx context.Context, q *Queue, n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	p := &Pool{q: q, cancel: cancel, workers: n}
+	// Translate context cancellation into a wakeup so workers blocked on
+	// the queue's condition variable observe it.
+	go func() {
+		<-ctx.Done()
+		p.stopped.Store(true)
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}()
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	q := p.q
+	for {
+		q.mu.Lock()
+		var e *Entry
+		for {
+			if p.stopped.Load() {
+				q.mu.Unlock()
+				return
+			}
+			var ok bool
+			if e, ok = q.dequeueLocked(); ok {
+				break
+			}
+			if q.closed && q.pending == 0 {
+				q.mu.Unlock()
+				return
+			}
+			q.stats.Waits++
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
+		m := e.Message()
+		m.Handler(m.Data)
+		q.Complete(e)
+	}
+}
+
+// Workers reports how many workers the pool started with.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stop cancels the workers and waits for them to exit. Handlers already
+// running complete normally; undispatched entries remain in the queue.
+// For a clean drain instead, call Queue.Close then Pool.Wait.
+func (p *Pool) Stop() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// Wait blocks until all workers have exited (e.g. after Queue.Close once
+// the queue drains).
+func (p *Pool) Wait() { p.wg.Wait() }

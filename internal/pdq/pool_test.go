@@ -1,0 +1,212 @@
+package pdq
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolProcessesAll(t *testing.T) {
+	q := New(Config{})
+	var count atomic.Int64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(Key(i%31), func(any) { count.Add(1) }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Serve(context.Background(), q, 4)
+	q.Close()
+	p.Wait()
+	if got := count.Load(); got != n {
+		t.Fatalf("handled %d, want %d", got, n)
+	}
+}
+
+func TestPoolMutualExclusionPerKey(t *testing.T) {
+	q := New(Config{})
+	const keys = 8
+	var active [keys]atomic.Int32
+	var violations atomic.Int32
+	var order [keys]struct {
+		mu   sync.Mutex
+		last int
+	}
+	const perKey = 300
+	for i := 0; i < perKey; i++ {
+		for k := 0; k < keys; k++ {
+			k := k
+			i := i
+			err := q.Enqueue(Key(k), func(any) {
+				if active[k].Add(1) != 1 {
+					violations.Add(1)
+				}
+				order[k].mu.Lock()
+				if i != order[k].last {
+					violations.Add(1) // FIFO-per-key violated
+				}
+				order[k].last = i + 1
+				order[k].mu.Unlock()
+				active[k].Add(-1)
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p := Serve(context.Background(), q, 8)
+	q.Close()
+	p.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d mutual-exclusion/order violations", v)
+	}
+}
+
+func TestPoolParallelismAcrossKeys(t *testing.T) {
+	q := New(Config{})
+	var cur, peak atomic.Int32
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for k := 0; k < 4; k++ {
+		err := q.Enqueue(Key(k), func(any) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			wg.Done()
+			<-block
+			cur.Add(-1)
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Serve(context.Background(), q, 4)
+	wg.Wait() // all four handlers running simultaneously
+	close(block)
+	q.Close()
+	p.Wait()
+	if peak.Load() != 4 {
+		t.Fatalf("peak concurrency %d, want 4 (distinct keys must run in parallel)", peak.Load())
+	}
+}
+
+func TestPoolSequentialIsolation(t *testing.T) {
+	q := New(Config{})
+	var running atomic.Int32
+	var seqSawOthers atomic.Bool
+	var before, after atomic.Int32
+	var seqDone atomic.Bool
+	for i := 0; i < 50; i++ {
+		if err := q.Enqueue(Key(i), func(any) {
+			running.Add(1)
+			before.Add(1)
+			running.Add(-1)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.EnqueueSequential(func(any) {
+		if running.Load() != 0 {
+			seqSawOthers.Store(true)
+		}
+		if before.Load() != 50 {
+			seqSawOthers.Store(true) // earlier entries must all have completed
+		}
+		if after.Load() != 0 {
+			seqSawOthers.Store(true) // later entries must not have started
+		}
+		seqDone.Store(true)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := q.Enqueue(Key(i), func(any) {
+			if !seqDone.Load() {
+				seqSawOthers.Store(true)
+			}
+			after.Add(1)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Serve(context.Background(), q, 8)
+	q.Close()
+	p.Wait()
+	if seqSawOthers.Load() {
+		t.Fatal("sequential handler did not run in isolation at its queue position")
+	}
+	if after.Load() != 50 {
+		t.Fatalf("after = %d, want 50", after.Load())
+	}
+}
+
+func TestPoolStopCancels(t *testing.T) {
+	q := New(Config{})
+	p := Serve(context.Background(), q, 3)
+	done := make(chan struct{})
+	go func() { p.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not release blocked workers")
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	q := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Serve(ctx, q, 2)
+	cancel()
+	done := make(chan struct{})
+	go func() { p.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("context cancellation did not stop workers")
+	}
+}
+
+func TestPoolMinWorkers(t *testing.T) {
+	q := New(Config{})
+	p := Serve(context.Background(), q, 0)
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want clamp to 1", p.Workers())
+	}
+	q.Close()
+	p.Wait()
+}
+
+func TestPoolWorkDuringOperation(t *testing.T) {
+	// Enqueue from several producers while the pool runs; everything must
+	// be handled exactly once.
+	q := New(Config{})
+	var count atomic.Int64
+	p := Serve(context.Background(), q, 4)
+	var wg sync.WaitGroup
+	const producers, per = 4, 500
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := q.Enqueue(Key(w*per+i), func(any) { count.Add(1) }, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	q.Close()
+	p.Wait()
+	if count.Load() != producers*per {
+		t.Fatalf("handled %d, want %d", count.Load(), producers*per)
+	}
+}

@@ -1,0 +1,199 @@
+package pdq
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// opKind encodes a randomly generated queue operation for property tests.
+type opKind uint8
+
+const (
+	opKeyed opKind = iota
+	opSeq
+	opNoSync
+)
+
+// scriptEntry is one generated enqueue.
+type scriptEntry struct {
+	kind opKind
+	key  Key
+}
+
+func genScript(r *rand.Rand, n int) []scriptEntry {
+	s := make([]scriptEntry, n)
+	for i := range s {
+		switch r.Intn(10) {
+		case 0:
+			s[i] = scriptEntry{kind: opSeq}
+		case 1:
+			s[i] = scriptEntry{kind: opNoSync}
+		default:
+			s[i] = scriptEntry{kind: opKeyed, key: Key(r.Intn(5))}
+		}
+	}
+	return s
+}
+
+// runScript executes a script on a pool and checks the PDQ invariants:
+//  1. every enqueued handler runs exactly once;
+//  2. handlers with equal keys never overlap and run in enqueue order;
+//  3. a sequential handler overlaps nothing and observes all earlier
+//     handlers complete and no later handler started.
+func runScript(t *testing.T, script []scriptEntry, workers, window int) bool {
+	q := New(Config{SearchWindow: window})
+	var ran atomic.Int64
+	var bad atomic.Int32
+	var activeAll atomic.Int32
+	var activeKey [5]atomic.Int32
+	var mu sync.Mutex
+	lastPerKey := map[Key]int{}
+	doneBefore := make([]atomic.Bool, len(script))
+
+	for i, op := range script {
+		i, op := i, op
+		var err error
+		switch op.kind {
+		case opSeq:
+			err = q.EnqueueSequential(func(any) {
+				if activeAll.Add(1) != 1 {
+					bad.Add(1)
+				}
+				for j := 0; j < i; j++ {
+					if !doneBefore[j].Load() {
+						bad.Add(1)
+					}
+				}
+				for j := i + 1; j < len(script); j++ {
+					if doneBefore[j].Load() {
+						bad.Add(1)
+					}
+				}
+				doneBefore[i].Store(true)
+				ran.Add(1)
+				activeAll.Add(-1)
+			}, nil)
+		case opNoSync:
+			err = q.EnqueueNoSync(func(any) {
+				activeAll.Add(1)
+				doneBefore[i].Store(true)
+				ran.Add(1)
+				activeAll.Add(-1)
+			}, nil)
+		default:
+			k := op.key
+			err = q.Enqueue(k, func(any) {
+				activeAll.Add(1)
+				if activeKey[k].Add(1) != 1 {
+					bad.Add(1) // two handlers with the same key overlap
+				}
+				mu.Lock()
+				if lastPerKey[k] >= i+1 {
+					bad.Add(1) // out of enqueue order within a key
+				}
+				lastPerKey[k] = i + 1
+				mu.Unlock()
+				doneBefore[i].Store(true)
+				ran.Add(1)
+				activeKey[k].Add(-1)
+				activeAll.Add(-1)
+			}, nil)
+		}
+		if err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	p := Serve(context.Background(), q, workers)
+	q.Close()
+	p.Wait()
+	if ran.Load() != int64(len(script)) {
+		t.Logf("ran %d of %d", ran.Load(), len(script))
+		return false
+	}
+	if bad.Load() != 0 {
+		t.Logf("%d invariant violations", bad.Load())
+		return false
+	}
+	s := q.Stats()
+	if s.Dispatched != s.Completed || s.Enqueued != uint64(len(script)) {
+		t.Logf("inconsistent stats: %s", s)
+		return false
+	}
+	return true
+}
+
+func TestPropertyInvariantsRandomScripts(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed int64, rawWorkers, rawWindow uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		workers := int(rawWorkers%8) + 1
+		window := []int{-1, 1, 4, 16, 64}[int(rawWindow)%5]
+		script := genScript(r, 120)
+		return runScript(t, script, workers, window)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDrainAlwaysEmpties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := New(Config{})
+		n := 50 + r.Intn(100)
+		var count atomic.Int64
+		for i := 0; i < n; i++ {
+			if err := q.Enqueue(Key(r.Intn(7)), func(any) { count.Add(1) }, nil); err != nil {
+				return false
+			}
+		}
+		p := Serve(context.Background(), q, 1+r.Intn(6))
+		q.Drain()
+		if q.Len() != 0 || q.InFlight() != 0 || count.Load() != int64(n) {
+			return false
+		}
+		q.Close()
+		p.Wait()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStatsBalance(t *testing.T) {
+	// After close+drain: enqueued == dispatched == completed, regardless of
+	// the mix of modes, workers, or window size.
+	f := func(seed int64, rawWorkers uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := New(Config{SearchWindow: 1 + r.Intn(32)})
+		script := genScript(r, 80)
+		for _, op := range script {
+			var err error
+			switch op.kind {
+			case opSeq:
+				err = q.EnqueueSequential(func(any) {}, nil)
+			case opNoSync:
+				err = q.EnqueueNoSync(func(any) {}, nil)
+			default:
+				err = q.Enqueue(op.key, func(any) {}, nil)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		p := Serve(context.Background(), q, int(rawWorkers%6)+1)
+		q.Close()
+		p.Wait()
+		s := q.Stats()
+		return s.Enqueued == s.Dispatched && s.Dispatched == s.Completed &&
+			s.Enqueued == uint64(len(script))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package pdq
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHandlersEnqueueMessages exercises the protocol-handler pattern: a
+// handler's work produces further messages (replies, invalidations). The
+// queue must accept enqueues from inside handlers without deadlock and
+// drain completely.
+func TestHandlersEnqueueMessages(t *testing.T) {
+	q := New(Config{})
+	var handled atomic.Int64
+	var spawn func(depth int, key Key) func(any)
+	spawn = func(depth int, key Key) func(any) {
+		return func(any) {
+			handled.Add(1)
+			if depth == 0 {
+				return
+			}
+			// A "reply" to a different resource and a "forward" on the
+			// same resource (serialized behind us, not with us).
+			if err := q.Enqueue(key+1, spawn(depth-1, key+1), nil); err != nil {
+				t.Error(err)
+			}
+			if err := q.Enqueue(key, spawn(depth-1, key), nil); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	const roots, depth = 16, 6
+	for i := 0; i < roots; i++ {
+		if err := q.Enqueue(Key(i*100), spawn(depth, Key(i*100)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Serve(context.Background(), q, 4)
+	q.Drain()
+	q.Close()
+	p.Wait()
+	// Each root spawns a full binary tree of depth `depth`.
+	want := int64(roots) * (1<<(depth+1) - 1)
+	if handled.Load() != want {
+		t.Fatalf("handled %d messages, want %d", handled.Load(), want)
+	}
+}
+
+// TestSequentialEnqueuedFromHandler verifies a handler can schedule a
+// barrier that then runs with full isolation semantics.
+func TestSequentialEnqueuedFromHandler(t *testing.T) {
+	q := New(Config{})
+	var before atomic.Int32
+	var barrierSawAll atomic.Bool
+	const n = 40
+	for i := 0; i < n; i++ {
+		err := q.Enqueue(Key(i), func(any) {
+			before.Add(1)
+			if i == 0 {
+				// First handler requests a cluster-wide operation.
+				_ = q.EnqueueSequential(func(any) {
+					barrierSawAll.Store(before.Load() == n)
+				}, nil)
+			}
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Serve(context.Background(), q, 8)
+	q.Drain()
+	q.Close()
+	p.Wait()
+	if !barrierSawAll.Load() {
+		t.Fatal("sequential handler ran before all earlier keyed handlers completed")
+	}
+}
+
+// TestDequeueWakesOnClose ensures blocked consumers terminate.
+func TestDequeueWakesOnClose(t *testing.T) {
+	q := New(Config{})
+	done := make(chan struct{})
+	go func() {
+		if _, ok := q.Dequeue(); ok {
+			t.Error("Dequeue returned an entry from an empty closed queue")
+		}
+		close(done)
+	}()
+	q.Close()
+	<-done
+}

@@ -1,0 +1,34 @@
+package pdq
+
+import "fmt"
+
+// Stats counts queue activity. All counters are cumulative since New.
+type Stats struct {
+	Enqueued         uint64 // messages accepted
+	Rejected         uint64 // messages refused with ErrFull
+	Dispatched       uint64 // entries handed to callers
+	Completed        uint64 // Complete calls
+	SeqDispatched    uint64 // sequential entries dispatched
+	NoSyncDispatched uint64 // nosync entries dispatched
+	KeyConflicts     uint64 // scan skips due to an in-flight equal key
+	SeqStalls        uint64 // scans stopped at a non-dispatchable sequential entry
+	BarrierStalls    uint64 // dequeue attempts while a sequential handler ran
+	WindowStalls     uint64 // scans exhausted the search window
+	Waits            uint64 // blocking Dequeue sleeps
+	MaxPending       int    // high-water mark of pending entries
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// String renders the counters compactly for logs and reports.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"enq=%d disp=%d done=%d seq=%d nosync=%d conflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d maxPending=%d rejected=%d",
+		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
+		s.KeyConflicts, s.SeqStalls, s.BarrierStalls, s.WindowStalls, s.Waits, s.MaxPending, s.Rejected)
+}

@@ -1,0 +1,96 @@
+// Package proto defines the shared vocabulary of the fine-grain DSM
+// substrate: global block addresses with home-node encoding, fine-grain
+// access-control tag states (the paper's "fine-grain tags"), and node
+// bitsets for full-map directories.
+package proto
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a global shared-memory block address. The home node is encoded
+// in the high 32 bits and the block index within the home in the low 32,
+// so home lookup is a shift — the simulator's analogue of Stache's global
+// address space.
+type Addr uint64
+
+// MakeAddr builds the address of block index at the given home node.
+func MakeAddr(home int, index uint64) Addr {
+	return Addr(uint64(home)<<32 | (index & 0xffffffff))
+}
+
+// Home returns the address's home node.
+func (a Addr) Home() int { return int(a >> 32) }
+
+// Index returns the block index within the home node.
+func (a Addr) Index() uint64 { return uint64(a) & 0xffffffff }
+
+// Page returns the page identifier for a page of blocksPerPage blocks.
+func (a Addr) Page(blocksPerPage uint64) Addr {
+	if blocksPerPage == 0 {
+		blocksPerPage = 1
+	}
+	return Addr(uint64(a.Home())<<32 | (a.Index()/blocksPerPage)*blocksPerPage)
+}
+
+// String renders home:index.
+func (a Addr) String() string { return fmt.Sprintf("%d:%#x", a.Home(), a.Index()) }
+
+// TagState is a block's fine-grain access-control state on a caching node.
+type TagState uint8
+
+const (
+	// Invalid: any access faults.
+	Invalid TagState = iota
+	// ReadOnly: reads succeed, writes fault (upgrade).
+	ReadOnly
+	// ReadWrite: all accesses succeed.
+	ReadWrite
+)
+
+// String returns the tag-state name.
+func (t TagState) String() string {
+	switch t {
+	case Invalid:
+		return "Invalid"
+	case ReadOnly:
+		return "ReadOnly"
+	case ReadWrite:
+		return "ReadWrite"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(t))
+	}
+}
+
+// BitSet is a set of node ids (up to 64 nodes — the paper's clusters are
+// at most 16).
+type BitSet uint64
+
+// Add inserts node id.
+func (b *BitSet) Add(id int) { *b |= 1 << uint(id) }
+
+// Remove deletes node id.
+func (b *BitSet) Remove(id int) { *b &^= 1 << uint(id) }
+
+// Has reports membership.
+func (b BitSet) Has(id int) bool { return b&(1<<uint(id)) != 0 }
+
+// Count returns the set size.
+func (b BitSet) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Empty reports whether the set is empty.
+func (b BitSet) Empty() bool { return b == 0 }
+
+// ForEach calls fn for each member in ascending order.
+func (b BitSet) ForEach(fn func(id int)) {
+	v := uint64(b)
+	for v != 0 {
+		id := bits.TrailingZeros64(v)
+		fn(id)
+		v &^= 1 << uint(id)
+	}
+}
+
+// Only reports whether the set is exactly {id}.
+func (b BitSet) Only(id int) bool { return b == 1<<uint(id) }

@@ -1,0 +1,109 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(home uint8, index uint32) bool {
+		a := MakeAddr(int(home), uint64(index))
+		return a.Home() == int(home) && a.Index() == uint64(index)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrPage(t *testing.T) {
+	a := MakeAddr(3, 130)
+	p := a.Page(64)
+	if p.Home() != 3 || p.Index() != 128 {
+		t.Fatalf("page = %v", p)
+	}
+	if MakeAddr(1, 63).Page(64).Index() != 0 {
+		t.Fatal("page rounding wrong")
+	}
+	if MakeAddr(1, 5).Page(0) != MakeAddr(1, 5) {
+		t.Fatal("zero page size should clamp to identity")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if MakeAddr(2, 0x10).String() != "2:0x10" {
+		t.Fatalf("String = %q", MakeAddr(2, 0x10).String())
+	}
+}
+
+func TestTagStateString(t *testing.T) {
+	for ts, want := range map[TagState]string{
+		Invalid: "Invalid", ReadOnly: "ReadOnly", ReadWrite: "ReadWrite",
+	} {
+		if ts.String() != want {
+			t.Errorf("%d.String() = %q", ts, ts.String())
+		}
+	}
+	if TagState(9).String() == "" {
+		t.Error("unknown tag should render")
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	var b BitSet
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("zero bitset not empty")
+	}
+	b.Add(3)
+	b.Add(7)
+	b.Add(3)
+	if b.Count() != 2 || !b.Has(3) || !b.Has(7) || b.Has(5) {
+		t.Fatalf("bitset = %b", b)
+	}
+	b.Remove(3)
+	if b.Has(3) || b.Count() != 1 {
+		t.Fatal("remove failed")
+	}
+	if !b.Only(7) {
+		t.Fatal("Only(7) should hold")
+	}
+	b.Add(1)
+	if b.Only(7) {
+		t.Fatal("Only with two members")
+	}
+	var got []int
+	b.ForEach(func(id int) { got = append(got, id) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 7 {
+		t.Fatalf("ForEach order = %v, want ascending", got)
+	}
+}
+
+func TestBitSetProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		var b BitSet
+		seen := map[int]bool{}
+		for _, raw := range ids {
+			id := int(raw % 64)
+			b.Add(id)
+			seen[id] = true
+		}
+		if b.Count() != len(seen) {
+			return false
+		}
+		for id := range seen {
+			if !b.Has(id) {
+				return false
+			}
+		}
+		n := 0
+		b.ForEach(func(id int) {
+			n++
+			if !seen[id] {
+				t.Errorf("ForEach yielded non-member %d", id)
+			}
+		})
+		return n == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

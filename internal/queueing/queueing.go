@@ -1,0 +1,83 @@
+// Package queueing provides closed-form queueing-theory results —
+// M/M/1 and M/M/c waiting times, Erlang-C — used to validate the
+// simulator's FIFO resources against theory and to reason about the
+// paper's central claim: a single queue feeding c servers outperforms c
+// separate queues with one server each (Section 1's citation of Lazowska
+// et al.). The experiments' protocol-processor queueing is exactly this
+// model with the PDQ playing the single shared queue.
+package queueing
+
+import "math"
+
+// MM1Wait returns the mean time in queue (excluding service) for an
+// M/M/1 system with arrival rate lambda and service rate mu, in the same
+// time unit as 1/mu. It returns +Inf for an unstable system.
+func MM1Wait(lambda, mu float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (mu - lambda)
+}
+
+// ErlangC returns the probability an arriving customer must wait in an
+// M/M/c system (the Erlang-C formula).
+func ErlangC(c int, lambda, mu float64) float64 {
+	if c < 1 || lambda <= 0 {
+		return 0
+	}
+	a := lambda / mu // offered load in Erlangs
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 1
+	}
+	// Sum a^k/k! for k < c, iteratively to avoid overflow.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < c; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	top := term * a / float64(c) / (1 - rho)
+	return top / (sum + top)
+}
+
+// MMcWait returns the mean queueing delay (excluding service) of an
+// M/M/c system.
+func MMcWait(c int, lambda, mu float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	rho := lambda / (float64(c) * mu)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return ErlangC(c, lambda, mu) / (float64(c)*mu - lambda)
+}
+
+// SingleVsPartitioned returns the ratio of mean queueing delay in c
+// separate M/M/1 queues (arrivals split evenly) to one M/M/c queue with
+// the same total capacity. It is always >= 1: the single shared queue —
+// PDQ's organization — never loses (Section 1's single-queue/multi-server
+// argument). The relative advantage is largest at light load (where an
+// idle partition is pure waste) and tends to exactly c near saturation,
+// where the absolute delay gap grows without bound.
+func SingleVsPartitioned(c int, lambda, mu float64) float64 {
+	if c < 1 {
+		return 1
+	}
+	partitioned := MM1Wait(lambda/float64(c), mu)
+	shared := MMcWait(c, lambda, mu)
+	if shared == 0 {
+		if partitioned == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return partitioned / shared
+}

@@ -1,0 +1,121 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"pdq/internal/sim"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	// rho = 0.5, mu = 1: Wq = rho/(mu-lambda) = 1.
+	if w := MM1Wait(0.5, 1); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("MM1Wait(0.5,1) = %f, want 1", w)
+	}
+	if w := MM1Wait(0, 1); w != 0 {
+		t.Fatal("zero arrivals must not wait")
+	}
+	if !math.IsInf(MM1Wait(2, 1), 1) {
+		t.Fatal("unstable system should report infinite wait")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Single server: Erlang-C reduces to rho.
+	if p := ErlangC(1, 0.7, 1); math.Abs(p-0.7) > 1e-9 {
+		t.Fatalf("ErlangC(1) = %f, want rho = 0.7", p)
+	}
+	// Classic tabulated value: c=2, a=1 (rho=0.5) → P(wait) = 1/3.
+	if p := ErlangC(2, 1, 1); math.Abs(p-1.0/3.0) > 1e-9 {
+		t.Fatalf("ErlangC(2, a=1) = %f, want 1/3", p)
+	}
+	if p := ErlangC(2, 4, 1); p != 1 {
+		t.Fatal("overloaded system should always wait")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	for _, rho := range []float64{0.2, 0.5, 0.8, 0.95} {
+		if d := math.Abs(MMcWait(1, rho, 1) - MM1Wait(rho, 1)); d > 1e-9 {
+			t.Fatalf("MMcWait(1) != MM1Wait at rho=%.2f (diff %g)", rho, d)
+		}
+	}
+}
+
+func TestSingleQueueAlwaysWins(t *testing.T) {
+	// The paper's Section 1 argument, quantified: one shared queue with c
+	// servers always beats c statically partitioned queues.
+	for _, c := range []int{2, 4, 8} {
+		for _, rho := range []float64{0.3, 0.6, 0.9} {
+			ratio := SingleVsPartitioned(c, rho*float64(c), 1)
+			if ratio < 1 {
+				t.Fatalf("c=%d rho=%.1f: shared queue lost (ratio %f)", c, rho, ratio)
+			}
+		}
+		// Near saturation the ratio tends to exactly c (for c=2 it is
+		// (1+rho)/rho): the absolute delay gap diverges while the relative
+		// advantage settles at the server count.
+		near := SingleVsPartitioned(c, 0.99*float64(c), 1)
+		if near < 0.9*float64(c) || near > 1.5*float64(c) {
+			t.Fatalf("c=%d: ratio near saturation = %f, want ≈ %d", c, near, c)
+		}
+	}
+	if SingleVsPartitioned(0, 1, 1) != 1 {
+		t.Fatal("degenerate c")
+	}
+}
+
+// TestSimResourceMatchesMM1 validates the simulator's FIFO resource
+// against M/M/1 theory: Poisson arrivals and exponential service at
+// rho = 0.6 must produce the analytic mean wait within sampling error.
+func TestSimResourceMatchesMM1(t *testing.T) {
+	const (
+		meanService = 100.0
+		rho         = 0.6
+		n           = 60000
+	)
+	meanInterarrival := meanService / rho
+	eng := sim.NewEngine()
+	res := sim.NewResource(eng, "srv", 1)
+	rng := sim.NewRand(12345)
+	var at sim.Time
+	for i := 0; i < n; i++ {
+		at += rng.ExpTime(meanInterarrival)
+		svc := rng.ExpTime(meanService)
+		t := at
+		eng.At(t, func() { res.Acquire(svc, nil) })
+	}
+	horizon := eng.Run()
+	got := res.StatsAt(horizon).MeanWait
+	want := MM1Wait(1/meanInterarrival, 1/meanService)
+	if math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("simulated M/M/1 wait %.1f vs analytic %.1f (>10%% off)", got, want)
+	}
+}
+
+// TestSimResourceMatchesMMc validates the multi-server resource against
+// M/M/c theory.
+func TestSimResourceMatchesMMc(t *testing.T) {
+	const (
+		c           = 4
+		meanService = 100.0
+		rho         = 0.7
+		n           = 80000
+	)
+	lambda := rho * float64(c) / meanService
+	eng := sim.NewEngine()
+	res := sim.NewResource(eng, "bank", c)
+	rng := sim.NewRand(777)
+	var at sim.Time
+	for i := 0; i < n; i++ {
+		at += rng.ExpTime(1 / lambda)
+		svc := rng.ExpTime(meanService)
+		eng.At(at, func() { res.Acquire(svc, nil) })
+	}
+	horizon := eng.Run()
+	got := res.StatsAt(horizon).MeanWait
+	want := MMcWait(c, lambda, 1/meanService)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("simulated M/M/%d wait %.1f vs analytic %.1f (>15%% off)", c, got, want)
+	}
+}

@@ -1,0 +1,116 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// an event calendar ordered by (time, insertion sequence), FIFO server
+// resources with queueing statistics, and seeded pseudo-random streams.
+//
+// It plays the role that the Wisconsin Wind Tunnel II played for the PDQ
+// paper: the substrate on which the cluster, memory system, network, and
+// protocol devices are modeled. Time is measured in 400 MHz processor
+// cycles throughout, matching the paper's reporting unit.
+package sim
+
+import "container/heap"
+
+// Time is simulated time in processor cycles.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (Time, bool) { // earliest pending time
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all model code runs inside event callbacks.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d cycles from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports how many events remain scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired reports how many events have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Run executes events in time order until the calendar empties or Stop is
+// called, returning the final time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= limit, leaving later events
+// pending, and returns the time reached (limit, or earlier if drained).
+func (e *Engine) RunUntil(limit Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		at, _ := e.events.Peek()
+		if at > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}

@@ -1,0 +1,110 @@
+package sim
+
+// Resource is a FIFO queueing server bank: requests acquire one of k
+// servers for a service time, queueing in arrival order when all servers
+// are busy. It models buses, network interfaces, and memory banks, and
+// records utilization and queueing-delay statistics.
+type Resource struct {
+	eng     *Engine
+	name    string
+	servers int
+	// freeAt holds each server's next-free time; with FIFO service and
+	// identical servers, assigning to the earliest-free server is exact.
+	freeAt []Time
+
+	// statistics
+	served    uint64
+	busy      Time // total service cycles across servers
+	waited    Time // total queueing delay
+	maxWait   Time
+	lastStart Time
+}
+
+// NewResource creates a k-server FIFO resource attached to eng.
+func NewResource(eng *Engine, name string, servers int) *Resource {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Resource{eng: eng, name: name, servers: servers, freeAt: make([]Time, servers)}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire schedules fn to run after queueing for a server and holding it
+// for service cycles. It returns the completion time.
+func (r *Resource) Acquire(service Time, fn func()) Time {
+	if service < 0 {
+		service = 0
+	}
+	now := r.eng.Now()
+	// earliest-free server
+	best := 0
+	for i := 1; i < r.servers; i++ {
+		if r.freeAt[i] < r.freeAt[best] {
+			best = i
+		}
+	}
+	start := now
+	if r.freeAt[best] > start {
+		start = r.freeAt[best]
+	}
+	wait := start - now
+	done := start + service
+	r.freeAt[best] = done
+	r.served++
+	r.busy += service
+	r.waited += wait
+	if wait > r.maxWait {
+		r.maxWait = wait
+	}
+	r.lastStart = start
+	if fn != nil {
+		r.eng.At(done, fn)
+	}
+	return done
+}
+
+// Delay returns how long a request issued now would wait before service,
+// without acquiring anything.
+func (r *Resource) Delay() Time {
+	now := r.eng.Now()
+	best := r.freeAt[0]
+	for i := 1; i < r.servers; i++ {
+		if r.freeAt[i] < best {
+			best = r.freeAt[i]
+		}
+	}
+	if best <= now {
+		return 0
+	}
+	return best - now
+}
+
+// ResourceStats is a snapshot of a resource's counters.
+type ResourceStats struct {
+	Name     string
+	Servers  int
+	Served   uint64
+	BusyTime Time
+	WaitTime Time
+	MaxWait  Time
+	MeanWait float64
+	UtilAt   float64 // utilization given horizon passed to StatsAt
+}
+
+// StatsAt snapshots statistics assuming the simulation ran for horizon
+// cycles (used to compute utilization).
+func (r *Resource) StatsAt(horizon Time) ResourceStats {
+	s := ResourceStats{
+		Name: r.name, Servers: r.servers, Served: r.served,
+		BusyTime: r.busy, WaitTime: r.waited, MaxWait: r.maxWait,
+	}
+	if r.served > 0 {
+		s.MeanWait = float64(r.waited) / float64(r.served)
+	}
+	if horizon > 0 {
+		s.UtilAt = float64(r.busy) / (float64(horizon) * float64(r.servers))
+	}
+	return s
+}

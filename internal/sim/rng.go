@@ -1,0 +1,91 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic PRNG (splitmix64) used for all
+// stochastic model decisions. Distinct streams are derived from a base
+// seed so adding a consumer never perturbs another's sequence.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Stream derives an independent generator for (seed, stream id).
+func NewStream(seed, stream uint64) *Rand {
+	r := NewRand(seed ^ (stream * 0x9e3779b97f4a7c15))
+	r.Uint64() // decouple from the raw seed
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// ExpTime returns an exponential Time with the given mean, at least 1.
+func (r *Rand) ExpTime(mean float64) Time {
+	t := Time(r.Exp(mean))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Zipf returns a value in [0, n) following an approximate Zipf
+// distribution with skew s (s=0 is uniform). Used for hotspot and
+// load-imbalance patterns.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 1 || s <= 0 {
+		return r.Intn(max(n, 1))
+	}
+	// Inverse-CDF on the continuous bounded Pareto approximation.
+	u := r.Float64()
+	if s == 1 {
+		s = 1.0001
+	}
+	x := math.Pow(1-u*(1-math.Pow(float64(n), 1-s)), 1/(1-s))
+	i := int(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Pick returns true with probability p.
+func (r *Rand) Pick(p float64) bool { return r.Float64() < p }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

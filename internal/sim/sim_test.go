@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end time = %d, want 30", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestEngineTieBreakIsScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events fired out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(5, func() {
+		e.After(7, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 12 {
+		t.Fatalf("nested event at %d, want 12", at)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	var fired Time = -1
+	e.At(10, func() {
+		e.At(3, func() { fired = e.Now() }) // in the past: clamp to now
+	})
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("past event fired at %d, want 10", fired)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the run (count=%d)", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(5, func() { count++ })
+	e.At(15, func() { count++ })
+	reached := e.RunUntil(10)
+	if reached != 10 || count != 1 {
+		t.Fatalf("RunUntil: reached=%d count=%d", reached, count)
+	}
+	e.Run()
+	if count != 2 || e.Now() != 15 {
+		t.Fatalf("resume after RunUntil failed: count=%d now=%d", count, e.Now())
+	}
+}
+
+func TestResourceSerializesSingleServer(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus", 1)
+	var done []Time
+	e.At(0, func() {
+		r.Acquire(10, func() { done = append(done, e.Now()) })
+		r.Acquire(10, func() { done = append(done, e.Now()) })
+	})
+	e.Run()
+	if len(done) != 2 || done[0] != 10 || done[1] != 20 {
+		t.Fatalf("completion times = %v, want [10 20]", done)
+	}
+	s := r.StatsAt(20)
+	if s.Served != 2 || s.BusyTime != 20 || s.WaitTime != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.UtilAt-1.0) > 1e-9 {
+		t.Fatalf("util = %f, want 1.0", s.UtilAt)
+	}
+}
+
+func TestResourceParallelServers(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "ni", 2)
+	var done []Time
+	e.At(0, func() {
+		for i := 0; i < 4; i++ {
+			r.Acquire(10, func() { done = append(done, e.Now()) })
+		}
+	})
+	e.Run()
+	want := []Time{10, 10, 20, 20}
+	for i, w := range want {
+		if done[i] != w {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceDelay(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	e.At(0, func() {
+		if r.Delay() != 0 {
+			t.Error("idle resource should have zero delay")
+		}
+		r.Acquire(50, nil)
+		if r.Delay() != 50 {
+			t.Errorf("delay = %d, want 50", r.Delay())
+		}
+	})
+	e.Run()
+}
+
+func TestResourceNegativeServiceClamped(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 0) // also clamps servers to 1
+	fired := false
+	e.At(5, func() { r.Acquire(-3, func() { fired = true }) })
+	e.Run()
+	if !fired || e.Now() != 5 {
+		t.Fatalf("negative service mishandled: now=%d", e.Now())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewStream(42, 7), NewStream(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical streams diverged")
+		}
+	}
+	c := NewStream(42, 8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewStream(42, 7).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("distinct streams look correlated")
+	}
+}
+
+func TestRandDistributions(t *testing.T) {
+	r := NewRand(1)
+	var acc Accumulator
+	for i := 0; i < 20000; i++ {
+		acc.Add(r.Exp(100))
+	}
+	if m := acc.Mean(); m < 95 || m > 105 {
+		t.Fatalf("Exp mean = %f, want ~100", m)
+	}
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for _, c := range counts {
+		if c < 1600 || c > 2400 {
+			t.Fatalf("Intn not uniform: %v", counts)
+		}
+	}
+	if r.ExpTime(0.001) < 1 {
+		t.Fatal("ExpTime must be at least 1")
+	}
+}
+
+func TestRandZipfSkew(t *testing.T) {
+	r := NewRand(3)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[r.Zipf(100, 1.2)]++
+	}
+	if counts[0] < counts[50]*5 {
+		t.Fatalf("Zipf(1.2) not skewed: head=%d mid=%d", counts[0], counts[50])
+	}
+	// s=0 must degrade to uniform
+	u := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		u[r.Zipf(10, 0)]++
+	}
+	for _, c := range u {
+		if c < 700 || c > 1300 {
+			t.Fatalf("Zipf(0) not uniform: %v", u)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 || a.StdDev() != 0 {
+		t.Fatal("empty accumulator should be all-zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 || a.Mean() != 5 || a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("acc = n=%d mean=%f min=%f max=%f", a.N(), a.Mean(), a.Min(), a.Max())
+	}
+	if sd := a.StdDev(); math.Abs(sd-2.138) > 0.01 {
+		t.Fatalf("stddev = %f, want ~2.138", sd)
+	}
+}
+
+func TestAccumulatorMergeEqualsCombined(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRand(uint64(seed))
+		var all, a, b Accumulator
+		for i := 0; i < 200; i++ {
+			x := r.Float64() * 100
+			all.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.StdDev()-all.StdDev()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	var empty, one Accumulator
+	one.Add(5)
+	one.Merge(empty)
+	if one.N() != 1 {
+		t.Fatal("merging empty changed accumulator")
+	}
+	empty.Merge(one)
+	if empty.N() != 1 || empty.Mean() != 5 {
+		t.Fatal("merge into empty failed")
+	}
+}

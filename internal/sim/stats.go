@@ -1,0 +1,86 @@
+package sim
+
+import "math"
+
+// Accumulator collects a running scalar sample set: count, mean, min, max,
+// and variance (Welford). It is the standard statistics carrier for
+// latency and occupancy measurements across the simulator.
+type Accumulator struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// AddTime records a Time sample.
+func (a *Accumulator) AddTime(t Time) { a.Add(float64(t)) }
+
+// N returns the sample count.
+func (a *Accumulator) N() uint64 { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample (0 when empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Merge folds another accumulator into this one.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	mean := a.mean + d*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	mn, mx := a.min, a.max
+	if b.min < mn {
+		mn = b.min
+	}
+	if b.max > mx {
+		mx = b.max
+	}
+	*a = Accumulator{n: n, mean: mean, m2: m2, min: mn, max: mx}
+}

@@ -1,0 +1,159 @@
+package stache
+
+import (
+	"fmt"
+
+	"pdq/internal/proto"
+)
+
+// Finite remote-cache extension.
+//
+// The paper's Stache caches remote data in a node's main memory, so its
+// evaluation reasonably ignores capacity evictions. This extension bounds
+// the remote block cache per node and implements the eviction handlers
+// and their crossing races, which a full-map directory must tolerate:
+//
+//	EvictS   sharer → home   drop a clean (ReadOnly) copy
+//	EvictWB  owner  → home   write back and drop a dirty (ReadWrite) copy
+//
+// Evictions are decided inside the response handler that installs a new
+// block (still under the block's PDQ key); the victim is the oldest
+// cached block without an outstanding request. Because an eviction can
+// cross a Recall/FwdGetS/FwdGetX already in flight from home, those
+// handlers tolerate an Invalid tag when a capacity is configured (the
+// in-flight EvictWB supplies home with the data instead), and home
+// tolerates eviction notices for blocks it no longer tracks.
+
+// SetCacheCapacity bounds the node's remote block cache to n blocks
+// (n > 0). Must be set before any traffic.
+func (nd *Node) SetCacheCapacity(n int) {
+	if n < 1 {
+		panic("stache: cache capacity must be positive")
+	}
+	nd.capacity = n
+}
+
+// CachedBlocks reports how many remote blocks currently hold a valid tag.
+func (nd *Node) CachedBlocks() int { return nd.cachedCount }
+
+// installed records a newly valid remote block and, when over capacity,
+// returns the eviction messages to send (appended to the installing
+// handler's outcome — the eviction happens under the same dispatch).
+func (nd *Node) installed(a proto.Addr) []Event {
+	nd.cachedCount++
+	nd.lru = append(nd.lru, a)
+	if nd.capacity <= 0 || nd.cachedCount <= nd.capacity {
+		return nil
+	}
+	var sends []Event
+	for i := 0; i < len(nd.lru); i++ {
+		v := nd.lru[i]
+		if v == a {
+			continue // never evict the block just installed
+		}
+		tag := nd.tags[v]
+		if tag == proto.Invalid {
+			// Stale entry (invalidated or recalled since): drop lazily.
+			nd.lru = append(nd.lru[:i], nd.lru[i+1:]...)
+			i--
+			continue
+		}
+		if nd.pending[v] != nil {
+			continue // an outstanding request pins the block
+		}
+		nd.lru = append(nd.lru[:i], nd.lru[i+1:]...)
+		nd.tags[v] = proto.Invalid
+		nd.cachedCount--
+		nd.stats.Evictions++
+		op := OpEvictS
+		if tag == proto.ReadWrite {
+			op = OpEvictWB
+		}
+		sends = append(sends, Event{Op: op, Addr: v, Src: nd.id, Dst: v.Home(), Requester: nd.id})
+		break
+	}
+	return sends
+}
+
+// dropped records a block losing its valid tag through protocol action
+// (invalidation, recall, forwarded transfer).
+func (nd *Node) dropped(a proto.Addr, was proto.TagState) {
+	if was != proto.Invalid {
+		nd.cachedCount--
+	}
+}
+
+// handleEvictS removes a departed sharer at home. Tolerant: the sharer
+// may already have been invalidated by a racing write.
+func (n *Node) handleEvictS(ev Event) Outcome {
+	a := ev.Addr
+	e := n.dir[a]
+	if e != nil && e.state == dirShared && e.sharers.Has(ev.Src) {
+		e.sharers.Remove(ev.Src)
+		if e.sharers.Empty() {
+			e.state = dirIdle
+		}
+	}
+	return Outcome{Class: OccControl}
+}
+
+// handleEvictWB absorbs a dirty eviction at home. Three cases:
+//   - dirOwned by the evictor: plain writeback, block becomes idle;
+//   - dirBusyWB: the eviction crossed a Recall — it satisfies the recall,
+//     so serve the waiting request exactly as handleWBData would;
+//   - dirBusyFwd: the eviction crossed a forwarded request — home now
+//     owns the data and must answer the requester itself.
+func (n *Node) handleEvictWB(ev Event) Outcome {
+	a := ev.Addr
+	e := n.dir[a]
+	if e == nil {
+		panic(fmt.Sprintf("stache: node %d: EvictWB for untracked block %v", n.id, a))
+	}
+	switch e.state {
+	case dirOwned:
+		if e.owner != ev.Src {
+			panic(fmt.Sprintf("stache: node %d: EvictWB for %v from non-owner %d", n.id, a, ev.Src))
+		}
+		e.state = dirIdle
+		return Outcome{Class: OccWriteback}
+	case dirBusyWB, dirBusyFwd:
+		// The eviction crossed a Recall/forward already in flight to the
+		// (former) owner. Absorb the data but stay busy: the owner's nack
+		// — FIFO-ordered behind this message — completes the transaction.
+		// Serving immediately would let the stale recall/forward reach a
+		// node that re-acquired ownership later.
+		e.wbAbsorbed = true
+		return Outcome{Class: OccWriteback}
+	default:
+		panic(fmt.Sprintf("stache: node %d: EvictWB for %v in state %d", n.id, a, e.state))
+	}
+}
+
+// serveAfterWriteback answers the transaction a busy home was waiting on,
+// using the freshly written-back memory copy.
+func (n *Node) serveAfterWriteback(e *dirEntry, a proto.Addr) Outcome {
+	e.wbAbsorbed = false
+	r := e.reqNode
+	if r == n.id {
+		// A local fault triggered the recall.
+		e.state = dirIdle
+		n.stats.Completions++
+		return Outcome{Class: OccWriteback, Completed: []int{e.reqProc}}
+	}
+	if e.reqWrite {
+		e.state = dirOwned
+		e.owner = r
+		e.gen++
+		n.stats.DataReplies++
+		return Outcome{Class: OccWritebackReply, Sends: []Event{{
+			Op: OpDataX, Addr: a, Src: n.id, Dst: r, Requester: r, Gen: e.gen,
+		}}}
+	}
+	e.state = dirShared
+	e.sharers = 0
+	e.sharers.Add(r)
+	n.stats.DataReplies++
+	return Outcome{Class: OccWritebackReply, Sends: []Event{{
+		Op: OpData, Addr: a, Src: n.id, Dst: r, Requester: r,
+	}}}
+}

@@ -1,0 +1,118 @@
+package stache
+
+import (
+	"fmt"
+
+	"pdq/internal/proto"
+)
+
+// Three-hop forwarding protocol variant.
+//
+// The base protocol resolves a request for a remotely-owned block with a
+// recall: home asks the owner for the data, absorbs it, then replies —
+// four message hops on the critical path. The forwarding variant sends
+// the request on to the owner, which replies *directly* to the requester
+// (three hops) while notifying home in parallel — the "messages among
+// three nodes in a producer/consumer relationship" the paper describes
+// for remote misses (Section 5.2). PDQ makes the variant easy to write:
+// the home's transient state is protected by the block-address key, so
+// the forwarded transaction needs no extra locking anywhere.
+//
+// New events:
+//
+//	FwdGetS  home → owner   forward a read request (owner keeps RO copy)
+//	FwdGetX  home → owner   forward a write request (owner invalidates)
+//	ShareWB  owner → home   data copy so home memory is valid again
+//	FwdAck   owner → home   ownership-transfer acknowledgment (no data)
+//
+// The owner replies Data/DataX to the requester directly.
+
+// EnableForwarding switches the node to the three-hop variant. All nodes
+// in a cluster must agree. Local faults on home blocks still use recalls
+// (there is no third party to forward to).
+func (n *Node) EnableForwarding() { n.forward = true }
+
+// Forwarding reports whether the three-hop variant is active.
+func (n *Node) Forwarding() bool { return n.forward }
+
+// forwardOwned services a GetS/GetX at home for a block owned remotely,
+// using forwarding. Caller verified e.state == dirOwned and owner != r.
+func (n *Node) forwardOwned(e *dirEntry, ev Event) Outcome {
+	a := ev.Addr
+	r := ev.Requester
+	owner := e.owner
+	e.state = dirBusyFwd
+	e.reqNode = r
+	e.reqWrite = ev.Op == OpGetX
+	n.stats.Forwards++
+	op := OpFwdGetS
+	if e.reqWrite {
+		op = OpFwdGetX
+	}
+	// Gen names the targeted copy; for a forwarded write the owner relays
+	// Gen+1 with the exclusive data, and home bumps its counter on FwdAck.
+	return Outcome{Class: OccHomeControl, Sends: []Event{{
+		Op: op, Addr: a, Src: n.id, Dst: owner, Requester: r, Gen: e.gen,
+	}}}
+}
+
+// handleFwdGetS runs at the owner: downgrade to ReadOnly, send the block
+// to the requester and a copy home.
+func (n *Node) handleFwdGetS(ev Event) Outcome {
+	a := ev.Addr
+	if n.tags[a] != proto.ReadWrite {
+		return n.ownerMiss(ev, OpFwdNack)
+	}
+	n.tags[a] = proto.ReadOnly
+	n.stats.FwdReplies++
+	return Outcome{Class: OccRecall, Sends: []Event{
+		{Op: OpData, Addr: a, Src: n.id, Dst: ev.Requester, Requester: ev.Requester},
+		{Op: OpShareWB, Addr: a, Src: n.id, Dst: a.Home(), Requester: ev.Requester},
+	}}
+}
+
+// handleFwdGetX runs at the owner: invalidate and pass exclusive data to
+// the requester, acknowledging the ownership transfer to home.
+func (n *Node) handleFwdGetX(ev Event) Outcome {
+	a := ev.Addr
+	if n.tags[a] != proto.ReadWrite {
+		return n.ownerMiss(ev, OpFwdNack)
+	}
+	n.dropped(a, proto.ReadWrite)
+	n.tags[a] = proto.Invalid
+	n.stats.FwdReplies++
+	return Outcome{Class: OccRecall, Sends: []Event{
+		{Op: OpDataX, Addr: a, Src: n.id, Dst: ev.Requester, Requester: ev.Requester, Gen: ev.Gen + 1},
+		{Op: OpFwdAck, Addr: a, Src: n.id, Dst: a.Home(), Requester: ev.Requester},
+	}}
+}
+
+// handleShareWB absorbs the owner's copy at home after a forwarded read:
+// memory is valid again; old owner and requester are sharers.
+func (n *Node) handleShareWB(ev Event) Outcome {
+	a := ev.Addr
+	e := n.dir[a]
+	if e == nil || e.state != dirBusyFwd || e.reqWrite {
+		panic(fmt.Sprintf("stache: node %d: stray ShareWB for %v", n.id, a))
+	}
+	old := e.owner
+	e.state = dirShared
+	e.sharers = 0
+	e.sharers.Add(old)
+	e.sharers.Add(e.reqNode)
+	n.stats.Writebacks++
+	return Outcome{Class: OccWriteback}
+}
+
+// handleFwdAck completes a forwarded write at home: ownership moved.
+func (n *Node) handleFwdAck(ev Event) Outcome {
+	a := ev.Addr
+	e := n.dir[a]
+	if e == nil || e.state != dirBusyFwd || !e.reqWrite {
+		panic(fmt.Sprintf("stache: node %d: stray FwdAck for %v", n.id, a))
+	}
+	e.state = dirOwned
+	e.owner = e.reqNode
+	e.gen++ // matches the Gen+1 the old owner relayed with the data
+	return Outcome{Class: OccControl}
+}

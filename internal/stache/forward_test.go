@@ -1,0 +1,222 @@
+package stache
+
+import (
+	"testing"
+
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+)
+
+// fwdHarness builds a forwarding-enabled cluster harness.
+func fwdHarness(t *testing.T, n int) *harness {
+	h := newHarness(t, n)
+	for _, nd := range h.nodes {
+		nd.EnableForwarding()
+	}
+	return h
+}
+
+func TestForwardedReadThreeHop(t *testing.T) {
+	h := fwdHarness(t, 3)
+	a := proto.MakeAddr(2, 0x10)
+	h.fault(0, 0, a, true) // node 0 owns
+	h.run()
+	h.fault(1, 4, a, false) // node 1 reads: home forwards to node 0
+	h.run()
+	h.check()
+	if h.nodes[1].Tag(a) != proto.ReadOnly {
+		t.Fatal("requester did not receive forwarded data")
+	}
+	// Forwarding downgrades the owner instead of invalidating it.
+	if h.nodes[0].Tag(a) != proto.ReadOnly {
+		t.Fatalf("old owner tag = %v, want ReadOnly (downgrade)", h.nodes[0].Tag(a))
+	}
+	home := h.nodes[2].Stats()
+	if home.Forwards != 1 || home.Recalls != 0 {
+		t.Fatalf("home stats: forwards=%d recalls=%d", home.Forwards, home.Recalls)
+	}
+	if h.nodes[0].Stats().FwdReplies != 1 {
+		t.Fatal("owner did not send a forwarded reply")
+	}
+}
+
+func TestForwardedWriteOwnershipTransfer(t *testing.T) {
+	h := fwdHarness(t, 3)
+	a := proto.MakeAddr(2, 0x20)
+	h.fault(0, 0, a, true)
+	h.run()
+	h.fault(1, 0, a, true) // ownership forwarded 0 -> 1
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.Invalid || h.nodes[1].Tag(a) != proto.ReadWrite {
+		t.Fatalf("ownership transfer failed: n0=%v n1=%v", h.nodes[0].Tag(a), h.nodes[1].Tag(a))
+	}
+	// Subsequent read at the old owner must fetch again.
+	h.fault(0, 0, a, false)
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.ReadOnly {
+		t.Fatal("re-read after transfer failed")
+	}
+}
+
+func TestForwardingDefersConcurrentRequests(t *testing.T) {
+	h := fwdHarness(t, 4)
+	a := proto.MakeAddr(3, 0x30)
+	h.fault(0, 0, a, true)
+	h.run()
+	// Two readers race while the block is owned: one transaction forwards,
+	// the other defers at the busy home, then both complete.
+	h.queue = append(h.queue,
+		Event{Op: OpFaultRead, Addr: a, Src: 1, Dst: 1, Proc: 0},
+		Event{Op: OpFaultRead, Addr: a, Src: 2, Dst: 2, Proc: 0},
+	)
+	h.run()
+	h.check()
+	if len(h.completed[1]) != 1 || len(h.completed[2]) != 1 {
+		t.Fatal("racing readers did not both complete")
+	}
+	if h.nodes[3].Stats().Defers == 0 {
+		t.Fatal("expected the second request to defer at the busy home")
+	}
+}
+
+func TestForwardingStressRandomized(t *testing.T) {
+	// The randomized protocol stress from random_test.go, with forwarding.
+	seeds := []uint64{11, 12, 13, 14}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		runStressConfigured(t, seed, func(n *Node) { n.EnableForwarding() })
+	}
+}
+
+func TestForwardingMessageCount(t *testing.T) {
+	// A remotely-owned read costs 4 messages with recall (GetS, Recall,
+	// WBData, Data) but also 4 with forwarding (GetS, FwdGetS, Data,
+	// ShareWB) — the win is that only 3 are on the critical path. Verify
+	// the forwarded transaction's message composition.
+	h := fwdHarness(t, 3)
+	a := proto.MakeAddr(2, 0x40)
+	h.fault(0, 0, a, true)
+	h.run()
+	var ops []Op
+	h.fault(1, 0, a, false)
+	for len(h.queue) > 0 {
+		ev := h.queue[0]
+		h.queue = h.queue[1:]
+		ops = append(ops, ev.Op)
+		out := h.nodes[ev.Dst].Handle(ev)
+		if out.Defer {
+			h.queue = append(h.queue, ev)
+			continue
+		}
+		h.queue = append(h.queue, out.Sends...)
+	}
+	want := []Op{OpFaultRead, OpGetS, OpFwdGetS, OpData, OpShareWB}
+	if len(ops) != len(want) {
+		t.Fatalf("transaction ops = %v, want %v", ops, want)
+	}
+	for i, w := range want {
+		if ops[i] != w {
+			t.Fatalf("transaction ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestStrayForwardRepliesPanic(t *testing.T) {
+	for _, op := range []Op{OpShareWB, OpFwdAck} {
+		func() {
+			n := NewNode(1, 2)
+			n.EnableForwarding()
+			defer func() {
+				if recover() == nil {
+					t.Errorf("stray %v should panic", op)
+				}
+			}()
+			n.Handle(Event{Op: op, Addr: proto.MakeAddr(1, 1), Src: 0, Dst: 1})
+		}()
+	}
+}
+
+func TestFwdToNonOwnerPanicsWithoutCapacity(t *testing.T) {
+	n := NewNode(0, 2)
+	n.EnableForwarding()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FwdGetS at a node without the block should panic when evictions are off")
+		}
+	}()
+	n.Handle(Event{Op: OpFwdGetS, Addr: proto.MakeAddr(1, 1), Src: 1, Dst: 0, Requester: 1})
+}
+
+// runStressConfigured is runStress with per-node configuration applied.
+func runStressConfigured(t *testing.T, seed uint64, configure func(*Node)) {
+	const (
+		nodes  = 4
+		blocks = 6
+		faults = 300
+	)
+	rng := sim.NewRand(seed)
+	ns := make([]*Node, nodes)
+	for i := range ns {
+		ns[i] = NewNode(i, nodes)
+		configure(ns[i])
+	}
+	var queue []Event
+	issued, completed := 0, 0
+	step := func() {
+		if len(queue) == 0 {
+			return
+		}
+		idx := rng.Intn(len(queue))
+		ev := queue[idx]
+		for j := 0; j < idx; j++ {
+			e := queue[j]
+			if e.Src == ev.Src && e.Dst == ev.Dst && e.Addr == ev.Addr {
+				ev = e
+				idx = j
+				break
+			}
+		}
+		queue = append(queue[:idx], queue[idx+1:]...)
+		out := ns[ev.Dst].Handle(ev)
+		if out.Defer {
+			queue = append(queue, ev)
+			return
+		}
+		queue = append(queue, out.Sends...)
+		completed += len(out.Completed)
+	}
+	for issued < faults {
+		if rng.Pick(0.5) || len(queue) == 0 {
+			node := rng.Intn(nodes)
+			a := proto.MakeAddr(rng.Intn(nodes), uint64(rng.Intn(blocks)))
+			write := rng.Pick(0.4)
+			n := ns[node]
+			if write && !n.Writable(a) || !write && !n.Readable(a) {
+				op := OpFaultRead
+				if write {
+					op = OpFaultWrite
+				}
+				queue = append(queue, Event{Op: op, Addr: a, Src: node, Dst: node, Proc: issued})
+				issued++
+			}
+			continue
+		}
+		step()
+	}
+	for guard := 0; len(queue) > 0; guard++ {
+		if guard > 5_000_000 {
+			t.Fatalf("seed %d: did not quiesce", seed)
+		}
+		step()
+	}
+	if completed != issued {
+		t.Fatalf("seed %d: %d faults issued, %d completed", seed, issued, completed)
+	}
+	if err := CheckInvariants(ns); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+}

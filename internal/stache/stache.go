@@ -1,0 +1,784 @@
+// Package stache implements the coherence protocol of the paper's
+// evaluation: a modified Stache (Reinhardt et al.), a full-map
+// invalidation-based cache-coherence protocol that caches remote data in a
+// node's main memory — page-granularity allocation, block-granularity
+// coherence — rewritten against the PDQ programming interface.
+//
+// The protocol logic here is pure state: a handler consumes one Event and
+// returns an Outcome describing message sends, local fault completions,
+// whether the event must be deferred (re-enqueued — the PDQ analogue of
+// retrying a busy resource without busy-waiting), and the occupancy class
+// the machine layer uses to charge protocol-processor time. Every event's
+// PDQ synchronization key is its block address, so handlers for the same
+// block serialize in queue order and never need locks — exactly the
+// paper's use of PDQ (Section 4). Page operations use the sequential key.
+package stache
+
+import (
+	"fmt"
+
+	"pdq/internal/proto"
+)
+
+// Op enumerates protocol events: local block-access faults, page
+// operations, and network messages.
+type Op uint8
+
+const (
+	// OpFaultRead is a local read block-access fault.
+	OpFaultRead Op = iota
+	// OpFaultWrite is a local write block-access fault (possibly an
+	// upgrade from ReadOnly).
+	OpFaultWrite
+	// OpPageOp is a page-granularity operation (allocation/migration); it
+	// carries the PDQ sequential key and runs in isolation.
+	OpPageOp
+	// OpGetS requests a shared (read) copy from home.
+	OpGetS
+	// OpGetX requests an exclusive (write) copy from home.
+	OpGetX
+	// OpData carries a shared copy, home → requester.
+	OpData
+	// OpDataX carries an exclusive copy, home → requester.
+	OpDataX
+	// OpAckX grants exclusivity with no data (upgrade), home → requester.
+	OpAckX
+	// OpInv invalidates a sharer's copy, home → sharer.
+	OpInv
+	// OpInvAck acknowledges an invalidation, sharer → home.
+	OpInvAck
+	// OpRecall asks the owner to return (and invalidate) its copy.
+	OpRecall
+	// OpWBData returns recalled data, owner → home.
+	OpWBData
+	// OpFwdGetS forwards a read request to the owner (3-hop variant).
+	OpFwdGetS
+	// OpFwdGetX forwards a write request to the owner (3-hop variant).
+	OpFwdGetX
+	// OpShareWB carries the owner's copy home after a forwarded read.
+	OpShareWB
+	// OpFwdAck acknowledges a forwarded ownership transfer (no data).
+	OpFwdAck
+	// OpEvictS drops a clean copy at home (finite-cache extension).
+	OpEvictS
+	// OpEvictWB writes back and drops a dirty copy (finite-cache
+	// extension).
+	OpEvictWB
+	// OpRecallNack tells home a recall found no copy (it crossed an
+	// eviction; the EvictWB preceding it carries the data).
+	OpRecallNack
+	// OpFwdNack tells home a forwarded request found no copy (likewise).
+	OpFwdNack
+)
+
+var opNames = [...]string{
+	"FaultRead", "FaultWrite", "PageOp", "GetS", "GetX",
+	"Data", "DataX", "AckX", "Inv", "InvAck", "Recall", "WBData",
+	"FwdGetS", "FwdGetX", "ShareWB", "FwdAck", "EvictS", "EvictWB",
+	"RecallNack", "FwdNack",
+}
+
+// String returns the op name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsData reports whether a message of this op carries a data block
+// (affects network serialization size).
+func (o Op) IsData() bool {
+	return o == OpData || o == OpDataX || o == OpWBData || o == OpShareWB || o == OpEvictWB
+}
+
+// Event is a protocol event/message. Addr is the PDQ synchronization key.
+type Event struct {
+	Op        Op
+	Addr      proto.Addr
+	Src       int  // node that produced the event
+	Dst       int  // destination node (== Src for local faults)
+	Requester int  // original requester, carried through indirections
+	Proc      int  // faulting processor id, for local fault completion
+	Upgrade   bool // GetX: requester believes it holds ReadOnly
+	// Gen is the block's ownership generation: on grants (DataX/AckX and
+	// owner-relayed DataX) the generation of the new exclusive copy; on
+	// Recall/FwdGetS/FwdGetX the generation of the copy being targeted.
+	// It lets an owner distinguish a request racing ahead of its own
+	// in-flight grant (defer) from one for a copy it already evicted
+	// (nack). See ownerMiss.
+	Gen uint32
+}
+
+// OccClass tells the machine layer which cost-model occupancy to charge
+// for a handled event.
+type OccClass uint8
+
+const (
+	// OccRequest: block-access fault handler (request category).
+	OccRequest OccClass = iota
+	// OccMergeFault: fault folded into an outstanding request (MSHR hit);
+	// only the dispatch cost is paid.
+	OccMergeFault
+	// OccReplyData: home handler that fetches a block and sends it.
+	OccReplyData
+	// OccHomeControl: home handler that updates the directory and sends
+	// only control messages.
+	OccHomeControl
+	// OccControl: pure control handler (Inv, InvAck bookkeeping).
+	OccControl
+	// OccResponse: requester-side data installation handler.
+	OccResponse
+	// OccResponseCtl: requester-side control response (AckX).
+	OccResponseCtl
+	// OccRecall: owner-side recall handler (fetch + send data).
+	OccRecall
+	// OccWriteback: home absorbs recalled data, completing a local fault.
+	OccWriteback
+	// OccWritebackReply: home absorbs recalled data and replies to a
+	// remote requester with the block.
+	OccWritebackReply
+	// OccDefer: handler inspected a busy block and re-enqueued the event.
+	OccDefer
+	// OccPage: page operation (sequential key).
+	OccPage
+)
+
+// Outcome is a handler's effect on the world.
+type Outcome struct {
+	Class     OccClass
+	Sends     []Event // messages to transmit (Dst set)
+	Defer     bool    // re-enqueue the event with the same key
+	Completed []int   // local processor ids whose fault finished
+}
+
+// directory states for a home block.
+type dirState uint8
+
+const (
+	dirIdle    dirState = iota // no remote copies
+	dirShared                  // remote read-only copies (sharers set)
+	dirOwned                   // one remote read-write owner
+	dirBusyInv                 // collecting InvAcks for an exclusive grant
+	dirBusyWB                  // waiting for recalled data
+	dirBusyFwd                 // request forwarded to the owner (3-hop)
+)
+
+// dirEntry is the full-map directory record for one home block.
+type dirEntry struct {
+	state   dirState
+	sharers proto.BitSet
+	owner   int
+	// transient request being served while busy:
+	reqNode    int    // remote requester (or home for a local fault)
+	reqProc    int    // local faulting processor (when reqNode == home)
+	reqWrite   bool   // pending op is a write
+	reqUpgrade bool   // pending GetX claimed ReadOnly
+	acksLeft   int    // outstanding InvAcks
+	wbAbsorbed bool   // a crossing EvictWB supplied the data (await nack)
+	gen        uint32 // generation of the current owner's copy
+}
+
+// pendingReq is the requester-side MSHR for one outstanding block.
+type pendingReq struct {
+	readWaiters  []int
+	writeWaiters []int
+	wantWrite    bool // an exclusive request is outstanding
+	// poisoned marks that an invalidation overtook an in-flight shared
+	// Data (possible when the data comes from a third party, e.g. a
+	// forwarded read). The late data serves the waiting loads exactly
+	// once — ordered before the invalidating write — but must not
+	// install a readable copy the directory no longer tracks.
+	poisoned bool
+}
+
+// Stats counts protocol activity on one node.
+type Stats struct {
+	Faults        uint64
+	Merged        uint64
+	HomeRequests  uint64
+	DataReplies   uint64
+	CtlReplies    uint64
+	Invalidations uint64
+	InvAcks       uint64
+	Recalls       uint64
+	Writebacks    uint64
+	Defers        uint64
+	Completions   uint64
+	PageOps       uint64
+	Forwards      uint64 // requests forwarded to owners (3-hop variant)
+	FwdReplies    uint64 // owner-side forwarded replies sent
+	Evictions     uint64 // capacity evictions (finite-cache extension)
+}
+
+// Node holds one node's protocol state: fine-grain tags for cached remote
+// blocks, the directory for home blocks, and the outstanding-request
+// table. Handlers are pure with respect to timing; the machine layer
+// provides occupancy and transport.
+type Node struct {
+	id      int
+	nodes   int
+	tags    map[proto.Addr]proto.TagState
+	dir     map[proto.Addr]*dirEntry
+	pending map[proto.Addr]*pendingReq
+	forward bool                  // three-hop forwarding variant (see forward.go)
+	ownGen  map[proto.Addr]uint32 // generation of our last exclusive copy
+
+	// finite-cache extension (see evict.go)
+	capacity    int
+	cachedCount int
+	lru         []proto.Addr
+
+	stats Stats
+}
+
+// NewNode creates protocol state for node id in a cluster of n nodes.
+func NewNode(id, n int) *Node {
+	return &Node{
+		id:      id,
+		nodes:   n,
+		tags:    make(map[proto.Addr]proto.TagState),
+		dir:     make(map[proto.Addr]*dirEntry),
+		pending: make(map[proto.Addr]*pendingReq),
+		ownGen:  make(map[proto.Addr]uint32),
+	}
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Stats returns a snapshot of the node's protocol counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Tag returns the node's access-control tag for a remote block. Home
+// blocks are governed by the directory, not tags.
+func (n *Node) Tag(a proto.Addr) proto.TagState { return n.tags[a] }
+
+// HasPending reports whether the node has an outstanding request for a.
+func (n *Node) HasPending(a proto.Addr) bool { return n.pending[a] != nil }
+
+// entry returns (allocating) the directory entry for a home block.
+func (n *Node) entry(a proto.Addr) *dirEntry {
+	e := n.dir[a]
+	if e == nil {
+		e = &dirEntry{}
+		n.dir[a] = e
+	}
+	return e
+}
+
+// Readable reports whether a processor on this node can read block a
+// without a protocol event.
+func (n *Node) Readable(a proto.Addr) bool {
+	if a.Home() == n.id {
+		e := n.dir[a]
+		return e == nil || e.state == dirIdle || e.state == dirShared
+	}
+	return n.tags[a] != proto.Invalid
+}
+
+// Writable reports whether a processor on this node can write block a
+// without a protocol event.
+func (n *Node) Writable(a proto.Addr) bool {
+	if a.Home() == n.id {
+		e := n.dir[a]
+		return e == nil || (e.state == dirIdle)
+	}
+	return n.tags[a] == proto.ReadWrite
+}
+
+// Handle executes the protocol handler for ev and returns its outcome.
+// The caller guarantees PDQ semantics: no two handlers for the same
+// address run concurrently on this node.
+func (n *Node) Handle(ev Event) Outcome {
+	switch ev.Op {
+	case OpFaultRead, OpFaultWrite:
+		return n.handleFault(ev)
+	case OpPageOp:
+		n.stats.PageOps++
+		return Outcome{Class: OccPage}
+	case OpGetS, OpGetX:
+		return n.handleHomeRequest(ev)
+	case OpData, OpDataX, OpAckX:
+		return n.handleResponse(ev)
+	case OpInv:
+		return n.handleInv(ev)
+	case OpInvAck:
+		return n.handleInvAck(ev)
+	case OpRecall:
+		return n.handleRecall(ev)
+	case OpWBData:
+		return n.handleWBData(ev)
+	case OpFwdGetS:
+		return n.handleFwdGetS(ev)
+	case OpFwdGetX:
+		return n.handleFwdGetX(ev)
+	case OpShareWB:
+		return n.handleShareWB(ev)
+	case OpFwdAck:
+		return n.handleFwdAck(ev)
+	case OpEvictS:
+		return n.handleEvictS(ev)
+	case OpEvictWB:
+		return n.handleEvictWB(ev)
+	case OpRecallNack, OpFwdNack:
+		return n.handleNack(ev)
+	default:
+		panic(fmt.Sprintf("stache: node %d: unknown op %v", n.id, ev.Op))
+	}
+}
+
+// handleFault services a local block access fault.
+func (n *Node) handleFault(ev Event) Outcome {
+	n.stats.Faults++
+	a := ev.Addr
+	write := ev.Op == OpFaultWrite
+	if a.Home() == n.id {
+		return n.handleHomeFault(ev, write)
+	}
+	// The tag may have changed between fault detection and dispatch (a
+	// racing grant can install the block first); a satisfiable access
+	// completes immediately, exactly like the home-side benign race.
+	if write && n.tags[a] == proto.ReadWrite ||
+		!write && n.tags[a] != proto.Invalid {
+		n.stats.Completions++
+		return Outcome{Class: OccMergeFault, Completed: []int{ev.Proc}}
+	}
+	// Remote block: check the MSHR first. At most one request per
+	// (node, block) is ever in flight: a write fault that finds a shared
+	// request outstanding only records its intent here, and the escalating
+	// GetX is issued by the response handler once the Data arrives. This
+	// keeps home-side request processing free of duplicate-request races
+	// even when deferred (re-enqueued) events reorder across nodes.
+	if p := n.pending[a]; p != nil {
+		n.stats.Merged++
+		if write {
+			p.writeWaiters = append(p.writeWaiters, ev.Proc)
+			p.wantWrite = true
+		} else {
+			p.readWaiters = append(p.readWaiters, ev.Proc)
+		}
+		return Outcome{Class: OccMergeFault}
+	}
+	p := &pendingReq{}
+	op := OpGetS
+	if write {
+		p.writeWaiters = append(p.writeWaiters, ev.Proc)
+		p.wantWrite = true
+		op = OpGetX
+	} else {
+		p.readWaiters = append(p.readWaiters, ev.Proc)
+	}
+	n.pending[a] = p
+	return Outcome{Class: OccRequest, Sends: []Event{{
+		Op: op, Addr: a, Src: n.id, Dst: a.Home(),
+		Requester: n.id, Upgrade: write && n.tags[a] == proto.ReadOnly,
+	}}}
+}
+
+// handleHomeFault services a fault by a processor on the block's own home
+// node: the directory is consulted directly, with no request message.
+func (n *Node) handleHomeFault(ev Event, write bool) Outcome {
+	a := ev.Addr
+	e := n.entry(a)
+	switch e.state {
+	case dirIdle:
+		// Memory is valid and exclusive at home; no fault should occur.
+		// Treat as a benign race (tag changed while the event queued).
+		n.stats.Completions++
+		return Outcome{Class: OccMergeFault, Completed: []int{ev.Proc}}
+	case dirShared:
+		if !write {
+			n.stats.Completions++
+			return Outcome{Class: OccMergeFault, Completed: []int{ev.Proc}}
+		}
+		// Invalidate all remote sharers, then complete locally.
+		return n.startInvalidation(e, a, n.id, ev.Proc, false)
+	case dirOwned:
+		// Recall the remote owner's copy.
+		e.state = dirBusyWB
+		e.reqNode = n.id
+		e.reqProc = ev.Proc
+		e.reqWrite = write
+		owner := e.owner
+		n.stats.Recalls++
+		return Outcome{Class: OccHomeControl, Sends: []Event{{
+			Op: OpRecall, Addr: a, Src: n.id, Dst: owner, Requester: n.id, Gen: e.gen,
+		}}}
+	default: // busy
+		n.stats.Defers++
+		return Outcome{Class: OccDefer, Defer: true}
+	}
+}
+
+// handleHomeRequest services GetS/GetX arriving at the home node.
+func (n *Node) handleHomeRequest(ev Event) Outcome {
+	n.stats.HomeRequests++
+	a := ev.Addr
+	if a.Home() != n.id {
+		panic(fmt.Sprintf("stache: node %d received home request for %v", n.id, a))
+	}
+	e := n.entry(a)
+	r := ev.Requester
+	switch e.state {
+	case dirBusyInv, dirBusyWB, dirBusyFwd:
+		n.stats.Defers++
+		return Outcome{Class: OccDefer, Defer: true}
+	case dirIdle:
+		if ev.Op == OpGetS {
+			e.state = dirShared
+			e.sharers.Add(r)
+			n.stats.DataReplies++
+			return Outcome{Class: OccReplyData, Sends: []Event{{
+				Op: OpData, Addr: a, Src: n.id, Dst: r, Requester: r,
+			}}}
+		}
+		e.state = dirOwned
+		e.owner = r
+		e.gen++
+		n.stats.DataReplies++
+		return Outcome{Class: OccReplyData, Sends: []Event{{
+			Op: OpDataX, Addr: a, Src: n.id, Dst: r, Requester: r, Gen: e.gen,
+		}}}
+	case dirShared:
+		if ev.Op == OpGetS {
+			e.sharers.Add(r)
+			n.stats.DataReplies++
+			return Outcome{Class: OccReplyData, Sends: []Event{{
+				Op: OpData, Addr: a, Src: n.id, Dst: r, Requester: r,
+			}}}
+		}
+		// GetX over shared copies.
+		if e.sharers.Only(r) {
+			// No other sharers: grant immediately. A data-less AckX is
+			// valid only if the requester still holds its copy (Upgrade);
+			// a requester whose copy is gone (e.g. evicted before this
+			// GetX arrived) needs the block itself, or it would
+			// re-request forever.
+			e.state = dirOwned
+			e.owner = r
+			e.sharers = 0
+			e.gen++
+			if ev.Upgrade {
+				n.stats.CtlReplies++
+				return Outcome{Class: OccHomeControl, Sends: []Event{{
+					Op: OpAckX, Addr: a, Src: n.id, Dst: r, Requester: r, Gen: e.gen,
+				}}}
+			}
+			n.stats.DataReplies++
+			return Outcome{Class: OccReplyData, Sends: []Event{{
+				Op: OpDataX, Addr: a, Src: n.id, Dst: r, Requester: r, Gen: e.gen,
+			}}}
+		}
+		return n.startInvalidation(e, a, r, 0, ev.Upgrade && e.sharers.Has(r))
+	case dirOwned:
+		if e.owner == r {
+			// Stale request from the current owner (e.g. a raced upgrade
+			// after it already received exclusivity): nothing to grant.
+			n.stats.CtlReplies++
+			return Outcome{Class: OccHomeControl, Sends: []Event{{
+				Op: OpAckX, Addr: a, Src: n.id, Dst: r, Requester: r, Gen: e.gen,
+			}}}
+		}
+		if n.forward {
+			return n.forwardOwned(e, ev)
+		}
+		e.state = dirBusyWB
+		owner := e.owner
+		e.reqNode = r
+		e.reqWrite = ev.Op == OpGetX
+		n.stats.Recalls++
+		return Outcome{Class: OccHomeControl, Sends: []Event{{
+			Op: OpRecall, Addr: a, Src: n.id, Dst: owner, Requester: r, Gen: e.gen,
+		}}}
+	default:
+		panic("stache: invalid directory state")
+	}
+}
+
+// startInvalidation moves a shared block into dirBusyInv on behalf of a
+// writer (remote requester or local processor) and emits Inv messages.
+// upgrade records whether the requester keeps its (valid) copy.
+func (n *Node) startInvalidation(e *dirEntry, a proto.Addr, reqNode, reqProc int, upgrade bool) Outcome {
+	var sends []Event
+	e.sharers.ForEach(func(id int) {
+		if id == reqNode {
+			return // the requester's own copy survives an upgrade
+		}
+		sends = append(sends, Event{Op: OpInv, Addr: a, Src: n.id, Dst: id, Requester: reqNode})
+	})
+	n.stats.Invalidations += uint64(len(sends))
+	if len(sends) == 0 {
+		// Only the requester shared it (or nobody): grant immediately.
+		e.sharers = 0
+		if reqNode == n.id {
+			e.state = dirIdle
+			n.stats.Completions++
+			return Outcome{Class: OccHomeControl, Completed: []int{reqProc}}
+		}
+		e.state = dirOwned
+		e.owner = reqNode
+		e.gen++
+		n.stats.CtlReplies++
+		op := OpDataX
+		cls := OccReplyData
+		if upgrade {
+			op = OpAckX
+			cls = OccHomeControl
+		}
+		return Outcome{Class: cls, Sends: []Event{{
+			Op: op, Addr: a, Src: n.id, Dst: reqNode, Requester: reqNode, Gen: e.gen,
+		}}}
+	}
+	e.state = dirBusyInv
+	e.reqNode = reqNode
+	e.reqProc = reqProc
+	e.reqWrite = true
+	e.reqUpgrade = upgrade
+	e.acksLeft = len(sends)
+	e.sharers = 0
+	return Outcome{Class: OccHomeControl, Sends: sends}
+}
+
+// handleResponse installs a reply at the requester.
+func (n *Node) handleResponse(ev Event) Outcome {
+	a := ev.Addr
+	p := n.pending[a]
+	if p == nil {
+		panic(fmt.Sprintf("stache: node %d: response %v for %v with no pending request", n.id, ev.Op, a))
+	}
+	switch ev.Op {
+	case OpData:
+		var evicts []Event
+		if p.poisoned {
+			// An invalidation overtook this data (see pendingReq): the
+			// waiting loads consume it once, but no copy is installed.
+			p.poisoned = false
+		} else {
+			n.tags[a] = proto.ReadOnly
+			evicts = n.installed(a)
+		}
+		done := p.readWaiters
+		p.readWaiters = nil
+		n.stats.Completions += uint64(len(done))
+		if p.wantWrite {
+			// Reads complete; escalate to exclusive now that the shared
+			// request has been answered (single outstanding request per
+			// block — see handleFault).
+			return Outcome{Class: OccResponse, Completed: done, Sends: append(evicts, Event{
+				Op: OpGetX, Addr: a, Src: n.id, Dst: a.Home(),
+				Requester: n.id, Upgrade: n.tags[a] == proto.ReadOnly,
+			})}
+		}
+		delete(n.pending, a)
+		return Outcome{Class: OccResponse, Completed: done, Sends: evicts}
+	case OpDataX:
+		p.poisoned = false // an exclusive grant supersedes any stale Inv
+		n.tags[a] = proto.ReadWrite
+		n.recordGen(a, ev.Gen)
+		evicts := n.installed(a)
+		done := append(p.readWaiters, p.writeWaiters...)
+		n.stats.Completions += uint64(len(done))
+		delete(n.pending, a)
+		return Outcome{Class: OccResponse, Completed: done, Sends: evicts}
+	case OpAckX:
+		if n.tags[a] == proto.ReadOnly || n.tags[a] == proto.ReadWrite {
+			n.tags[a] = proto.ReadWrite
+			n.recordGen(a, ev.Gen)
+			done := append(p.readWaiters, p.writeWaiters...)
+			n.stats.Completions += uint64(len(done))
+			delete(n.pending, a)
+			return Outcome{Class: OccResponseCtl, Completed: done}
+		}
+		// Our copy was invalidated while the upgrade was in flight and
+		// home granted before observing that. Data must be re-fetched.
+		return Outcome{Class: OccResponseCtl, Sends: []Event{{
+			Op: OpGetX, Addr: a, Src: n.id, Dst: a.Home(), Requester: n.id,
+		}}}
+	default:
+		panic("unreachable")
+	}
+}
+
+// handleInv invalidates a shared copy at a sharer.
+func (n *Node) handleInv(ev Event) Outcome {
+	a := ev.Addr
+	if p := n.pending[a]; p != nil {
+		// A shared Data may be in flight from a third party; make sure a
+		// copy this invalidation kills cannot be resurrected on arrival.
+		// (An exclusive DataX cannot race an Inv — home stays busy until
+		// every ack returns — and clears the mark on arrival.)
+		p.poisoned = true
+	}
+	n.dropped(a, n.tags[a])
+	n.tags[a] = proto.Invalid
+	n.stats.InvAcks++
+	return Outcome{Class: OccControl, Sends: []Event{{
+		Op: OpInvAck, Addr: a, Src: n.id, Dst: a.Home(), Requester: ev.Requester,
+	}}}
+}
+
+// handleInvAck counts acknowledgments at home and grants exclusivity when
+// the last one arrives.
+func (n *Node) handleInvAck(ev Event) Outcome {
+	a := ev.Addr
+	e := n.dir[a]
+	if e == nil || e.state != dirBusyInv {
+		panic(fmt.Sprintf("stache: node %d: stray InvAck for %v", n.id, a))
+	}
+	e.acksLeft--
+	if e.acksLeft > 0 {
+		return Outcome{Class: OccControl}
+	}
+	// Last ack: grant.
+	if e.reqNode == n.id {
+		e.state = dirIdle
+		n.stats.Completions++
+		return Outcome{Class: OccControl, Completed: []int{e.reqProc}}
+	}
+	e.state = dirOwned
+	e.owner = e.reqNode
+	e.gen++
+	if e.reqUpgrade {
+		n.stats.CtlReplies++
+		return Outcome{Class: OccControl, Sends: []Event{{
+			Op: OpAckX, Addr: a, Src: n.id, Dst: e.reqNode, Requester: e.reqNode, Gen: e.gen,
+		}}}
+	}
+	n.stats.DataReplies++
+	return Outcome{Class: OccReplyData, Sends: []Event{{
+		Op: OpDataX, Addr: a, Src: n.id, Dst: e.reqNode, Requester: e.reqNode, Gen: e.gen,
+	}}}
+}
+
+// handleRecall returns (and invalidates) the owner's copy.
+// recordGen advances the node's ownership-generation record for a block.
+// Generations only move forward; a stale grant (possible only through
+// defensive reply paths) must not regress the record.
+func (n *Node) recordGen(a proto.Addr, g uint32) {
+	if g > n.ownGen[a] {
+		n.ownGen[a] = g
+	}
+}
+
+// ownerMiss decides what a node does when a Recall/FwdGetS/FwdGetX
+// arrives and it does not hold the block ReadWrite. The event's ownership
+// generation disambiguates the two races:
+//
+//   - ev.Gen > ownGen[a]: home granted us a newer copy whose data is still
+//     in flight (the request raced ahead of the grant on another network
+//     flow) — defer behind it; the PDQ key serializes the two.
+//   - ev.Gen == ownGen[a]: the request targets the copy we held and have
+//     since evicted; our EvictWB is FIFO-ordered ahead of the nack we send
+//     now, so home already has (or will have) the data.
+//
+// Anything else is a protocol bug.
+func (n *Node) ownerMiss(ev Event, nack Op) Outcome {
+	a := ev.Addr
+	own := n.ownGen[a]
+	if ev.Gen > own {
+		n.stats.Defers++
+		return Outcome{Class: OccDefer, Defer: true}
+	}
+	if ev.Gen == own && n.capacity > 0 {
+		return Outcome{Class: OccControl, Sends: []Event{{
+			Op: nack, Addr: a, Src: n.id, Dst: a.Home(), Requester: ev.Requester,
+		}}}
+	}
+	panic(fmt.Sprintf("stache: node %d: %v gen %d for %v but tag %v, own gen %d",
+		n.id, ev.Op, ev.Gen, a, n.tags[a], own))
+}
+
+func (n *Node) handleRecall(ev Event) Outcome {
+	a := ev.Addr
+	if n.tags[a] != proto.ReadWrite {
+		return n.ownerMiss(ev, OpRecallNack)
+	}
+	n.dropped(a, proto.ReadWrite)
+	n.tags[a] = proto.Invalid
+	n.stats.Writebacks++
+	return Outcome{Class: OccRecall, Sends: []Event{{
+		Op: OpWBData, Addr: a, Src: n.id, Dst: a.Home(), Requester: ev.Requester,
+	}}}
+}
+
+// handleWBData absorbs recalled data at home and serves the waiting
+// request.
+func (n *Node) handleWBData(ev Event) Outcome {
+	a := ev.Addr
+	e := n.dir[a]
+	if e == nil || e.state != dirBusyWB {
+		panic(fmt.Sprintf("stache: node %d: stray WBData for %v", n.id, a))
+	}
+	return n.serveAfterWriteback(e, a)
+}
+
+// handleNack completes a recall or forward whose target had already
+// evicted its copy: the data arrived earlier via the crossing EvictWB
+// (owner→home channels are FIFO), so home answers the requester itself.
+func (n *Node) handleNack(ev Event) Outcome {
+	a := ev.Addr
+	e := n.dir[a]
+	wantState := dirBusyWB
+	if ev.Op == OpFwdNack {
+		wantState = dirBusyFwd
+	}
+	if e == nil || e.state != wantState || !e.wbAbsorbed {
+		panic(fmt.Sprintf("stache: node %d: %v for %v without absorbed writeback", n.id, ev.Op, a))
+	}
+	return n.serveAfterWriteback(e, a)
+}
+
+// CheckInvariants validates cross-node protocol invariants over a cluster
+// of nodes (index == node id): single-writer/multiple-reader, and
+// directory/tag agreement for every block appearing anywhere. It returns
+// the first violation found, or nil. Intended for tests; it is O(blocks).
+func CheckInvariants(nodes []*Node) error {
+	for _, home := range nodes {
+		for a, e := range home.dir {
+			if a.Home() != home.id {
+				return fmt.Errorf("block %v in directory of non-home node %d", a, home.id)
+			}
+			switch e.state {
+			case dirIdle:
+				for _, n := range nodes {
+					if n.id != home.id && n.tags[a] != proto.Invalid {
+						return fmt.Errorf("block %v idle at home but %v at node %d", a, n.tags[a], n.id)
+					}
+				}
+			case dirShared:
+				for _, n := range nodes {
+					if n.id == home.id {
+						continue
+					}
+					if n.tags[a] == proto.ReadWrite {
+						return fmt.Errorf("block %v shared at home but writable at node %d", a, n.id)
+					}
+					if n.tags[a] == proto.ReadOnly && !e.sharers.Has(n.id) {
+						return fmt.Errorf("block %v readable at node %d but not in sharer set", a, n.id)
+					}
+				}
+			case dirOwned:
+				writers := 0
+				for _, n := range nodes {
+					if n.id == home.id {
+						continue
+					}
+					switch n.tags[a] {
+					case proto.ReadWrite:
+						writers++
+						if n.id != e.owner {
+							return fmt.Errorf("block %v owned by %d but writable at %d", a, e.owner, n.id)
+						}
+					case proto.ReadOnly:
+						return fmt.Errorf("block %v owned by %d but readable at %d", a, e.owner, n.id)
+					}
+				}
+				if writers != 1 {
+					return fmt.Errorf("block %v owned but %d writers exist", a, writers)
+				}
+			}
+		}
+	}
+	return nil
+}

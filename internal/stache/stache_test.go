@@ -1,0 +1,341 @@
+package stache
+
+import (
+	"testing"
+
+	"pdq/internal/proto"
+)
+
+// harness is a zero-latency synchronous driver: it delivers every send as
+// an immediate FIFO event and re-enqueues deferred events at the tail —
+// protocol logic without timing, exactly what this package exposes.
+type harness struct {
+	t         *testing.T
+	nodes     []*Node
+	queue     []Event
+	completed map[int][]int // node -> completed proc ids
+	steps     int
+}
+
+func newHarness(t *testing.T, n int) *harness {
+	h := &harness{t: t, completed: map[int][]int{}}
+	for i := 0; i < n; i++ {
+		h.nodes = append(h.nodes, NewNode(i, n))
+	}
+	return h
+}
+
+func (h *harness) fault(node, procID int, a proto.Addr, write bool) {
+	op := OpFaultRead
+	if write {
+		op = OpFaultWrite
+	}
+	h.queue = append(h.queue, Event{Op: op, Addr: a, Src: node, Dst: node, Proc: procID})
+}
+
+// run drains the event queue, panicking (via t.Fatal) on runaway loops.
+func (h *harness) run() {
+	for len(h.queue) > 0 {
+		h.steps++
+		if h.steps > 1_000_000 {
+			h.t.Fatal("protocol did not quiesce (livelock?)")
+		}
+		ev := h.queue[0]
+		h.queue = h.queue[1:]
+		out := h.nodes[ev.Dst].Handle(ev)
+		if out.Defer {
+			h.queue = append(h.queue, ev)
+			continue
+		}
+		h.queue = append(h.queue, out.Sends...)
+		if len(out.Completed) > 0 {
+			h.completed[ev.Dst] = append(h.completed[ev.Dst], out.Completed...)
+		}
+	}
+}
+
+func (h *harness) check() {
+	if err := CheckInvariants(h.nodes); err != nil {
+		h.t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestRemoteReadMiss(t *testing.T) {
+	h := newHarness(t, 2)
+	a := proto.MakeAddr(1, 0x10)
+	h.fault(0, 3, a, false)
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.ReadOnly {
+		t.Fatalf("tag = %v, want ReadOnly", h.nodes[0].Tag(a))
+	}
+	if got := h.completed[0]; len(got) != 1 || got[0] != 3 {
+		t.Fatalf("completed = %v, want [3]", got)
+	}
+	if h.nodes[0].HasPending(a) {
+		t.Fatal("pending entry leaked")
+	}
+}
+
+func TestRemoteWriteMiss(t *testing.T) {
+	h := newHarness(t, 2)
+	a := proto.MakeAddr(1, 0x20)
+	h.fault(0, 1, a, true)
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.ReadWrite {
+		t.Fatalf("tag = %v, want ReadWrite", h.nodes[0].Tag(a))
+	}
+}
+
+func TestUpgradeFault(t *testing.T) {
+	h := newHarness(t, 2)
+	a := proto.MakeAddr(1, 0x30)
+	h.fault(0, 0, a, false)
+	h.run()
+	h.fault(0, 0, a, true) // RO -> RW upgrade
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.ReadWrite {
+		t.Fatalf("tag = %v, want ReadWrite after upgrade", h.nodes[0].Tag(a))
+	}
+	// Upgrade with no other sharers must be a control grant, not a data
+	// reply carrying the block again.
+	if s := h.nodes[1].Stats(); s.CtlReplies == 0 {
+		t.Fatal("expected a control (AckX) reply for the upgrade")
+	}
+}
+
+func TestInvalidationOfSharers(t *testing.T) {
+	h := newHarness(t, 4)
+	a := proto.MakeAddr(3, 0x40)
+	for node := 0; node < 3; node++ {
+		h.fault(node, 0, a, false)
+	}
+	h.run()
+	h.check()
+	h.fault(0, 7, a, true) // writer invalidates nodes 1, 2
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.ReadWrite {
+		t.Fatal("writer did not gain exclusivity")
+	}
+	for node := 1; node <= 2; node++ {
+		if h.nodes[node].Tag(a) != proto.Invalid {
+			t.Fatalf("node %d still %v after invalidation", node, h.nodes[node].Tag(a))
+		}
+	}
+	if s := h.nodes[3].Stats(); s.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", s.Invalidations)
+	}
+}
+
+func TestRecallOnReadAfterRemoteWrite(t *testing.T) {
+	h := newHarness(t, 3)
+	a := proto.MakeAddr(2, 0x50)
+	h.fault(0, 0, a, true) // node 0 owns
+	h.run()
+	h.fault(1, 4, a, false) // node 1 reads: home must recall from 0
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.Invalid {
+		t.Fatal("old owner kept its copy after recall")
+	}
+	if h.nodes[1].Tag(a) != proto.ReadOnly {
+		t.Fatal("reader did not receive data")
+	}
+	if s := h.nodes[2].Stats(); s.Recalls != 1 || s.Writebacks != 0 {
+		t.Fatalf("home stats: %+v", s)
+	}
+	if s := h.nodes[0].Stats(); s.Writebacks != 1 {
+		t.Fatal("owner did not write back")
+	}
+}
+
+func TestMigratoryWriteOwnershipTransfer(t *testing.T) {
+	h := newHarness(t, 3)
+	a := proto.MakeAddr(2, 0x60)
+	h.fault(0, 0, a, true)
+	h.run()
+	h.fault(1, 0, a, true) // ownership migrates 0 -> 1
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.Invalid || h.nodes[1].Tag(a) != proto.ReadWrite {
+		t.Fatalf("ownership did not migrate: n0=%v n1=%v", h.nodes[0].Tag(a), h.nodes[1].Tag(a))
+	}
+}
+
+func TestHomeFaultRecallsOwner(t *testing.T) {
+	h := newHarness(t, 2)
+	a := proto.MakeAddr(1, 0x70)
+	h.fault(0, 0, a, true) // remote owner
+	h.run()
+	h.fault(1, 5, a, false) // home reads its own (now stale) block
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.Invalid {
+		t.Fatal("owner survived home recall")
+	}
+	if got := h.completed[1]; len(got) != 1 || got[0] != 5 {
+		t.Fatalf("home fault not completed: %v", got)
+	}
+}
+
+func TestHomeWriteInvalidatesSharers(t *testing.T) {
+	h := newHarness(t, 3)
+	a := proto.MakeAddr(2, 0x80)
+	h.fault(0, 0, a, false)
+	h.fault(1, 0, a, false)
+	h.run()
+	h.fault(2, 9, a, true) // home writes: invalidate both sharers
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.Invalid || h.nodes[1].Tag(a) != proto.Invalid {
+		t.Fatal("sharers survived home write")
+	}
+	if got := h.completed[2]; len(got) != 1 || got[0] != 9 {
+		t.Fatalf("home write fault not completed: %v", got)
+	}
+}
+
+func TestReadThenWriteMergesAndEscalates(t *testing.T) {
+	h := newHarness(t, 2)
+	a := proto.MakeAddr(1, 0x90)
+	// Two procs on node 0: proc 0 reads, proc 1 writes, both before any
+	// response arrives. One request in flight at a time; the write
+	// escalates after the Data response.
+	h.queue = append(h.queue,
+		Event{Op: OpFaultRead, Addr: a, Src: 0, Dst: 0, Proc: 0},
+		Event{Op: OpFaultWrite, Addr: a, Src: 0, Dst: 0, Proc: 1},
+	)
+	h.run()
+	h.check()
+	if h.nodes[0].Tag(a) != proto.ReadWrite {
+		t.Fatalf("tag = %v, want ReadWrite", h.nodes[0].Tag(a))
+	}
+	got := h.completed[0]
+	if len(got) != 2 {
+		t.Fatalf("completed = %v, want both procs", got)
+	}
+	if h.nodes[0].Stats().Merged != 1 {
+		t.Fatal("write fault should have merged into the MSHR")
+	}
+}
+
+func TestConcurrentWritersSerializeAtHome(t *testing.T) {
+	h := newHarness(t, 4)
+	a := proto.MakeAddr(3, 0xA0)
+	for node := 0; node < 3; node++ {
+		h.fault(node, 0, a, true)
+	}
+	h.run()
+	h.check()
+	writers := 0
+	for node := 0; node < 3; node++ {
+		if h.nodes[node].Tag(a) == proto.ReadWrite {
+			writers++
+		}
+	}
+	if writers != 1 {
+		t.Fatalf("%d concurrent writers survived", writers)
+	}
+	// All three write faults completed despite serialization.
+	total := 0
+	for node := 0; node < 3; node++ {
+		total += len(h.completed[node])
+	}
+	if total != 3 {
+		t.Fatalf("completed %d faults, want 3", total)
+	}
+}
+
+func TestDeferredRequestsEventuallyServed(t *testing.T) {
+	h := newHarness(t, 4)
+	a := proto.MakeAddr(3, 0xB0)
+	h.fault(0, 0, a, true)
+	h.run()
+	// While node 1's write triggers a recall, node 2's read arrives and
+	// must defer, then be served.
+	h.queue = append(h.queue,
+		Event{Op: OpFaultWrite, Addr: a, Src: 1, Dst: 1, Proc: 0},
+		Event{Op: OpFaultRead, Addr: a, Src: 2, Dst: 2, Proc: 0},
+	)
+	h.run()
+	h.check()
+	if len(h.completed[1]) != 1 || len(h.completed[2]) != 1 {
+		t.Fatalf("deferred requests not served: %v %v", h.completed[1], h.completed[2])
+	}
+	var defers uint64
+	for _, n := range h.nodes {
+		defers += n.Stats().Defers
+	}
+	if defers == 0 {
+		t.Fatal("expected at least one deferred event in this schedule")
+	}
+}
+
+func TestPageOp(t *testing.T) {
+	h := newHarness(t, 2)
+	out := h.nodes[0].Handle(Event{Op: OpPageOp, Addr: proto.MakeAddr(0, 0), Src: 0, Dst: 0})
+	if out.Class != OccPage || out.Defer || len(out.Sends) != 0 {
+		t.Fatalf("page op outcome = %+v", out)
+	}
+	if h.nodes[0].Stats().PageOps != 1 {
+		t.Fatal("page op not counted")
+	}
+}
+
+func TestReadableWritable(t *testing.T) {
+	h := newHarness(t, 2)
+	a := proto.MakeAddr(1, 0xC0)
+	// Home block untouched: home can read and write, remote cannot.
+	if !h.nodes[1].Readable(a) || !h.nodes[1].Writable(a) {
+		t.Fatal("home should access its own idle block freely")
+	}
+	if h.nodes[0].Readable(a) || h.nodes[0].Writable(a) {
+		t.Fatal("remote node should fault on an uncached block")
+	}
+	h.fault(0, 0, a, false)
+	h.run()
+	if !h.nodes[0].Readable(a) || h.nodes[0].Writable(a) {
+		t.Fatal("ReadOnly tag semantics wrong")
+	}
+	// Home retains read access with remote sharers, loses write access.
+	if !h.nodes[1].Readable(a) || h.nodes[1].Writable(a) {
+		t.Fatal("home access with sharers wrong")
+	}
+	h.fault(0, 0, a, true)
+	h.run()
+	if h.nodes[1].Readable(a) || h.nodes[1].Writable(a) {
+		t.Fatal("home should fault on a remotely-owned block")
+	}
+}
+
+func TestStrayResponsePanics(t *testing.T) {
+	n := NewNode(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stray Data should panic (protocol bug detector)")
+		}
+	}()
+	n.Handle(Event{Op: OpData, Addr: proto.MakeAddr(1, 1), Src: 1, Dst: 0})
+}
+
+func TestStrayInvAckPanics(t *testing.T) {
+	n := NewNode(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stray InvAck should panic")
+		}
+	}()
+	n.Handle(Event{Op: OpInvAck, Addr: proto.MakeAddr(1, 1), Src: 0, Dst: 1})
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpGetS.String() != "GetS" || OpWBData.String() != "WBData" || Op(200).String() == "" {
+		t.Fatal("op names wrong")
+	}
+	if !OpData.IsData() || !OpWBData.IsData() || OpInv.IsData() {
+		t.Fatal("IsData wrong")
+	}
+}

@@ -1,0 +1,399 @@
+// Package workload models the shared-memory applications of the paper's
+// evaluation (Table 2): barnes, cholesky, em3d, fft, fmm, radix, and
+// water-sp. The real binaries cannot run on a simulator substrate, so each
+// application is modeled by the characteristics that drive the paper's
+// results: the rate of shared-data accesses per processor (compute
+// interval), read/write mix, the communication pattern (which homes and
+// objects are touched), burstiness, spatial locality, sharing granularity
+// (which induces false sharing at large block sizes), and load imbalance.
+//
+// The models are calibrated so that S-COMA speedups on a cluster of 8
+// 8-way SMPs approximate Table 2, and the paper's three application
+// classes behave as described in Section 5.2:
+//
+//   - computation-intensive (water-sp): insensitive to protocol speed;
+//   - latency-bound (barnes, fmm): sporadic, evenly distributed
+//     communication; benefit from low occupancy, not parallelism;
+//   - bandwidth-bound (cholesky, em3d, fft, radix): bursty or heavy
+//     communication that queues at the protocol processor; benefit
+//     strongly from parallel handler execution.
+package workload
+
+import (
+	"fmt"
+
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+)
+
+// Pattern selects how a processor chooses remote objects.
+type Pattern uint8
+
+const (
+	// PatternPartitioned: mostly own-home data, occasional uniform remote
+	// reads (water-sp).
+	PatternPartitioned Pattern = iota
+	// PatternUniform: reads of uniformly random remote objects; writes to
+	// the processor's own objects (barnes, fmm).
+	PatternUniform
+	// PatternNeighbor: producer/consumer with adjacent nodes (em3d).
+	PatternNeighbor
+	// PatternAllToAll: scatter/gather across every node (fft, radix).
+	PatternAllToAll
+	// PatternStream: sequential cold streaming through large remote
+	// regions — compulsory misses (cholesky).
+	PatternStream
+)
+
+// Class is the paper's application taxonomy (Section 5.2).
+type Class uint8
+
+const (
+	// ComputeBound applications barely communicate.
+	ComputeBound Class = iota
+	// LatencyBound applications issue sporadic, evenly spread misses.
+	LatencyBound
+	// BandwidthBound applications saturate protocol processors.
+	BandwidthBound
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ComputeBound:
+		return "compute-bound"
+	case LatencyBound:
+		return "latency-bound"
+	default:
+		return "bandwidth-bound"
+	}
+}
+
+// Profile describes one application model.
+type Profile struct {
+	Name        string
+	Description string
+	InputSet    string // descriptive, mirrors Table 2
+	Class       Class
+
+	// MeanCompute is the mean compute interval (cycles) between shared
+	// accesses on each processor.
+	MeanCompute float64
+	// WriteFrac is the fraction of shared accesses that are writes.
+	WriteFrac float64
+	// OwnFrac is the fraction of accesses directed at the processor's own
+	// partition (local home — typically cache/memory hits).
+	OwnFrac float64
+	// RemoteWriteFrac is the fraction of writes that target remote regions
+	// (producing migratory ownership and recalls); the rest write the
+	// processor's own region, invalidating its readers (control traffic).
+	RemoteWriteFrac float64
+	// Pattern selects the remote-object choice.
+	Pattern Pattern
+	// Granularity is the application's natural sharing grain in bytes;
+	// blocks larger than this exhibit false sharing, smaller waste
+	// nothing. It maps logical objects to blocks.
+	Granularity int
+	// ObjectsPerNode sizes each home's shared region in objects.
+	ObjectsPerNode int
+	// RunLen is the spatial-locality run: consecutive objects accessed
+	// sequentially before jumping (larger blocks then absorb more
+	// accesses per fault).
+	RunLen int
+	// BurstLen, if nonzero, groups accesses into bursts of this many
+	// accesses separated by long gaps (BurstGap × MeanCompute).
+	BurstLen int
+	// BurstGap scales the inter-burst compute gap.
+	BurstGap float64
+	// Imbalance concentrates extra work on low-ranked processors:
+	// rank 0 gets (1+Imbalance)× the base accesses, ranks 1-3 get
+	// (1+Imbalance/3)×.
+	Imbalance float64
+	// BaseAccesses is the number of shared accesses per processor at
+	// scale 1.0.
+	BaseAccesses int
+}
+
+// Shape is the cluster geometry a source generates addresses for.
+type Shape struct {
+	Nodes        int
+	ProcsPerNode int
+	BlockSize    int
+}
+
+// Apps returns the seven application models in the paper's Table 2 order.
+// Calibration targets the Table 2 S-COMA speedups on 8 8-way SMPs.
+func Apps() []Profile {
+	return []Profile{
+		{
+			Name: "barnes", Description: "Barnes-Hut N-body simulation",
+			InputSet: "16K particles", Class: LatencyBound,
+			MeanCompute: 750, WriteFrac: 0.08, OwnFrac: 0.60, RemoteWriteFrac: 0.3,
+			Pattern: PatternUniform, Granularity: 8,
+			ObjectsPerNode: 4096, RunLen: 1, Imbalance: 0.6, BaseAccesses: 1200,
+		},
+		{
+			Name: "cholesky", Description: "Sparse Cholesky factorization",
+			InputSet: "tk29.O", Class: BandwidthBound,
+			MeanCompute: 80, WriteFrac: 0.04, OwnFrac: 0.05, RemoteWriteFrac: 0.3,
+			Pattern: PatternStream, Granularity: 32,
+			ObjectsPerNode: 1 << 20, RunLen: 4,
+			Imbalance: 0.8, BaseAccesses: 1500,
+		},
+		{
+			Name: "em3d", Description: "3-D wave propagation",
+			InputSet: "76K nodes, 15% remote", Class: BandwidthBound,
+			MeanCompute: 300, WriteFrac: 0.35, OwnFrac: 0.40, RemoteWriteFrac: 0.3,
+			Pattern: PatternNeighbor, Granularity: 32,
+			ObjectsPerNode: 768, RunLen: 4,
+			BurstLen: 48, BurstGap: 40, BaseAccesses: 1200,
+		},
+		{
+			Name: "fft", Description: "Complex 1-D radix-n six-step FFT",
+			InputSet: "1M points", Class: BandwidthBound,
+			MeanCompute: 130, WriteFrac: 0.45, OwnFrac: 0.25, RemoteWriteFrac: 0.4,
+			Pattern: PatternAllToAll, Granularity: 32,
+			ObjectsPerNode: 512, RunLen: 4,
+			BurstLen: 96, BurstGap: 45, BaseAccesses: 1200,
+		},
+		{
+			Name: "fmm", Description: "Fast Multipole N-body simulation",
+			InputSet: "16K particles", Class: LatencyBound,
+			MeanCompute: 800, WriteFrac: 0.07, OwnFrac: 0.60, RemoteWriteFrac: 0.3,
+			Pattern: PatternUniform, Granularity: 8,
+			ObjectsPerNode: 4096, RunLen: 1, Imbalance: 0.7, BaseAccesses: 1200,
+		},
+		{
+			Name: "radix", Description: "Integer radix sort",
+			InputSet: "4M integers", Class: BandwidthBound,
+			MeanCompute: 200, WriteFrac: 0.55, OwnFrac: 0.20, RemoteWriteFrac: 0.4,
+			Pattern: PatternAllToAll, Granularity: 32,
+			ObjectsPerNode: 512, RunLen: 4,
+			BurstLen: 48, BurstGap: 75, Imbalance: 1.2, BaseAccesses: 1200,
+		},
+		{
+			Name: "water-sp", Description: "Water molecule force simulation",
+			InputSet: "4096 molecules", Class: ComputeBound,
+			MeanCompute: 6500, WriteFrac: 0.10, OwnFrac: 0.92, RemoteWriteFrac: 0.1,
+			Pattern: PatternPartitioned, Granularity: 64,
+			ObjectsPerNode: 1024, RunLen: 2, BaseAccesses: 700,
+		},
+	}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Apps() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// workMult returns the load-imbalance work multiplier for a global rank.
+func (p Profile) workMult(rank int) float64 {
+	if p.Imbalance <= 0 {
+		return 1
+	}
+	switch {
+	case rank == 0:
+		return 1 + p.Imbalance
+	case rank <= 3:
+		return 1 + p.Imbalance/3
+	default:
+		return 1
+	}
+}
+
+// Accesses returns the shared-access count for a processor at a scale.
+func (p Profile) Accesses(rank int, scale float64) int {
+	n := int(float64(p.BaseAccesses) * scale * p.workMult(rank))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// EffectiveMeanCompute is the expected compute interval per access
+// including inter-burst gaps: every BurstLen-th access pays a gap of
+// BurstGap × MeanCompute instead of a plain interval.
+func (p Profile) EffectiveMeanCompute() float64 {
+	if p.BurstLen <= 0 {
+		return p.MeanCompute
+	}
+	n := float64(p.BurstLen)
+	return p.MeanCompute * ((n - 1) + p.BurstGap) / n
+}
+
+// UniprocTime estimates the application's uniprocessor execution time: all
+// work serialized on one processor with purely local data (expected
+// value; compute intervals — including burst gaps — dominate and no
+// protocol events occur).
+func (p Profile) UniprocTime(shape Shape, scale float64) sim.Time {
+	total := 0.0
+	procs := shape.Nodes * shape.ProcsPerNode
+	for rank := 0; rank < procs; rank++ {
+		total += float64(p.Accesses(rank, scale)) * p.EffectiveMeanCompute()
+	}
+	return sim.Time(total)
+}
+
+// Source generates one processor's access stream. It implements
+// machine.AccessSource structurally (Next method) without importing it.
+type Source struct {
+	p     Profile
+	shape Shape
+	node  int
+	local int
+	rank  int
+	rng   *sim.Rand
+
+	remaining int
+	burstLeft int
+
+	// spatial run state
+	runLeft  int
+	runHome  int
+	runObj   uint64
+	runWrite bool
+
+	// stream cursor (PatternStream): sequential position and home hops
+	streamPos uint64
+}
+
+// NewSource builds the access source for one processor. Seed must be
+// shared across the run; every (node, proc) derives its own stream.
+func NewSource(p Profile, shape Shape, node, localProc int, seed uint64, scale float64) *Source {
+	rank := node*shape.ProcsPerNode + localProc
+	s := &Source{
+		p: p, shape: shape, node: node, local: localProc, rank: rank,
+		rng:       sim.NewStream(seed, uint64(rank)+1),
+		remaining: p.Accesses(rank, scale),
+		burstLeft: p.BurstLen,
+	}
+	return s
+}
+
+// objsPerBlock maps the application grain onto protocol blocks.
+func (s *Source) objsPerBlock() uint64 {
+	g := s.p.Granularity
+	if g <= 0 {
+		g = s.shape.BlockSize
+	}
+	opb := s.shape.BlockSize / g
+	if opb < 1 {
+		opb = 1
+	}
+	return uint64(opb)
+}
+
+// addrOf converts (home, object) to a protocol block address.
+func (s *Source) addrOf(home int, obj uint64) proto.Addr {
+	return proto.MakeAddr(home, obj/s.objsPerBlock())
+}
+
+// ownRegion returns this processor's slice of its home's object space.
+func (s *Source) ownRegion() (lo, size uint64) {
+	per := uint64(s.p.ObjectsPerNode / s.shape.ProcsPerNode)
+	if per == 0 {
+		per = 1
+	}
+	return uint64(s.local) * per, per
+}
+
+// Next implements the machine's AccessSource contract.
+func (s *Source) Next() (sim.Time, proto.Addr, bool, bool) {
+	if s.remaining <= 0 {
+		return 0, 0, false, false
+	}
+	s.remaining--
+
+	// Compute interval, with burst structure.
+	mean := s.p.MeanCompute
+	if s.p.BurstLen > 0 {
+		if s.burstLeft <= 0 {
+			s.burstLeft = s.p.BurstLen
+			mean *= s.p.BurstGap // long gap between bursts
+		}
+		s.burstLeft--
+	}
+	compute := s.rng.ExpTime(mean)
+
+	home, obj, write := s.pick()
+	return compute, s.addrOf(home, obj), write, true
+}
+
+// pick chooses the next (home, object, write) according to the pattern,
+// honoring spatial runs.
+func (s *Source) pick() (int, uint64, bool) {
+	if s.runLeft > 0 {
+		s.runLeft--
+		s.runObj++
+		if s.runObj >= uint64(s.p.ObjectsPerNode) {
+			s.runObj = 0
+		}
+		return s.runHome, s.runObj, s.runWrite
+	}
+	home, obj, write := s.pickFresh()
+	if s.p.RunLen > 1 {
+		s.runLeft = s.p.RunLen - 1
+		s.runHome, s.runObj, s.runWrite = home, obj, write
+	}
+	return home, obj, write
+}
+
+func (s *Source) pickFresh() (int, uint64, bool) {
+	r := s.rng
+	write := r.Pick(s.p.WriteFrac)
+	lo, size := s.ownRegion()
+	if r.Pick(s.p.OwnFrac) || s.shape.Nodes == 1 {
+		// Own partition at the processor's home node.
+		return s.node, lo + r.Uint64()%size, write
+	}
+	if write && !r.Pick(s.p.RemoteWriteFrac) {
+		// Producer updates its own region — the data other nodes read —
+		// invalidating every sharer (control-message coherence traffic).
+		return s.node, lo + r.Uint64()%size, true
+	}
+	switch s.p.Pattern {
+	case PatternNeighbor:
+		nb := s.node + 1
+		if r.Pick(0.5) {
+			nb = s.node - 1
+		}
+		nb = (nb + s.shape.Nodes) % s.shape.Nodes
+		return nb, r.Uint64() % uint64(s.p.ObjectsPerNode), write
+	case PatternStream:
+		// Cold sequential streaming through a per-processor region,
+		// hopping homes every chunk: compulsory misses with page-grain
+		// locality (one page-allocation op per ~chunk, not per block).
+		region := uint64(s.p.ObjectsPerNode / (s.shape.Nodes * s.shape.ProcsPerNode))
+		if region == 0 {
+			region = 1
+		}
+		base := uint64(s.rank) * region
+		const chunk = 1024 // objects per home before hopping
+		s.streamPos += uint64(s.p.RunLen)
+		hop := int(s.streamPos/chunk) + s.rank // stagger hops across ranks
+		home := hop % (s.shape.Nodes - 1)
+		if home >= s.node {
+			home++
+		}
+		return home, base + s.streamPos%region, write
+	default: // PatternPartitioned, PatternUniform, PatternAllToAll
+		return s.otherNode(), r.Uint64() % uint64(s.p.ObjectsPerNode), write
+	}
+}
+
+// otherNode picks a uniformly random node other than this one.
+func (s *Source) otherNode() int {
+	if s.shape.Nodes == 1 {
+		return 0
+	}
+	n := s.rng.Intn(s.shape.Nodes - 1)
+	if n >= s.node {
+		n++
+	}
+	return n
+}

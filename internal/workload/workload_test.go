@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"testing"
+
+	"pdq/internal/proto"
+	"pdq/internal/sim"
+)
+
+var shape = Shape{Nodes: 8, ProcsPerNode: 8, BlockSize: 64}
+
+func TestAppsComplete(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 7 {
+		t.Fatalf("%d apps, want 7 (Table 2)", len(apps))
+	}
+	names := map[string]bool{}
+	for _, p := range apps {
+		if p.Name == "" || p.MeanCompute <= 0 || p.BaseAccesses <= 0 || p.ObjectsPerNode <= 0 {
+			t.Errorf("profile %q incomplete: %+v", p.Name, p)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate app %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"barnes", "cholesky", "em3d", "fft", "fmm", "radix", "water-sp"} {
+		if !names[want] {
+			t.Errorf("missing app %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("fft")
+	if err != nil || p.Name != "fft" {
+		t.Fatalf("ByName(fft) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestSourceDrainsExactly(t *testing.T) {
+	for _, p := range Apps() {
+		s := NewSource(p, shape, 2, 3, 42, 0.25)
+		want := p.Accesses(2*8+3, 0.25)
+		got := 0
+		for {
+			_, _, _, ok := s.Next()
+			if !ok {
+				break
+			}
+			got++
+		}
+		if got != want {
+			t.Errorf("%s: yielded %d accesses, want %d", p.Name, got, want)
+		}
+		// Exhausted source stays exhausted.
+		if _, _, _, ok := s.Next(); ok {
+			t.Errorf("%s: source revived after exhaustion", p.Name)
+		}
+	}
+}
+
+func TestAddressesWellFormed(t *testing.T) {
+	for _, p := range Apps() {
+		s := NewSource(p, shape, 1, 0, 7, 0.2)
+		for {
+			compute, addr, _, ok := s.Next()
+			if !ok {
+				break
+			}
+			if compute < 1 {
+				t.Fatalf("%s: compute interval %d < 1", p.Name, compute)
+			}
+			if h := addr.Home(); h < 0 || h >= shape.Nodes {
+				t.Fatalf("%s: address %v outside cluster", p.Name, addr)
+			}
+		}
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	p, _ := ByName("barnes")
+	a := NewSource(p, shape, 0, 0, 9, 0.1)
+	b := NewSource(p, shape, 0, 0, 9, 0.1)
+	for {
+		c1, a1, w1, ok1 := a.Next()
+		c2, a2, w2, ok2 := b.Next()
+		if c1 != c2 || a1 != a2 || w1 != w2 || ok1 != ok2 {
+			t.Fatal("identical sources diverged")
+		}
+		if !ok1 {
+			break
+		}
+	}
+	// Different rank ⇒ different stream.
+	c := NewSource(p, shape, 0, 1, 9, 0.1)
+	same := 0
+	for i := 0; i < 50; i++ {
+		_, a1, _, _ := NewSource(p, shape, 0, 0, 9, 1).Next()
+		_, a2, _, _ := c.Next()
+		if a1 == a2 {
+			same++
+		}
+	}
+	if same > 25 {
+		t.Fatal("distinct processors produced near-identical streams")
+	}
+}
+
+func TestImbalanceConcentratesWork(t *testing.T) {
+	p, _ := ByName("cholesky")
+	if p.Accesses(0, 1) <= p.Accesses(10, 1) {
+		t.Fatalf("rank 0 work (%d) should exceed rank 10 (%d)",
+			p.Accesses(0, 1), p.Accesses(10, 1))
+	}
+	if p.Accesses(1, 1) <= p.Accesses(10, 1) {
+		t.Fatal("ranks 1-3 should carry extra work too")
+	}
+	// Balanced app: equal work.
+	b, _ := ByName("water-sp")
+	if b.Accesses(0, 1) != b.Accesses(10, 1) {
+		t.Fatal("water-sp should be balanced")
+	}
+}
+
+func TestUniprocTimeScales(t *testing.T) {
+	p, _ := ByName("fft")
+	t1 := p.UniprocTime(shape, 1)
+	t2 := p.UniprocTime(shape, 2)
+	if t2 <= t1 || t1 <= 0 {
+		t.Fatalf("uniproc time not scaling: %d %d", t1, t2)
+	}
+}
+
+func TestFalseSharingGranularity(t *testing.T) {
+	// barnes (8-byte grain): a 128-byte block maps 16 objects per block,
+	// so distinct objects collide on blocks far more than at 32 bytes.
+	p, _ := ByName("barnes")
+	countDistinctBlocks := func(bs int) int {
+		sh := Shape{Nodes: 8, ProcsPerNode: 8, BlockSize: bs}
+		s := NewSource(p, sh, 0, 0, 5, 1)
+		blocks := map[proto.Addr]bool{}
+		for {
+			_, a, _, ok := s.Next()
+			if !ok {
+				break
+			}
+			blocks[a] = true
+		}
+		return len(blocks)
+	}
+	if c32, c128 := countDistinctBlocks(32), countDistinctBlocks(128); c128 >= c32 {
+		t.Fatalf("block collapse missing: %d blocks at 32B vs %d at 128B", c32, c128)
+	}
+}
+
+func TestStreamPatternColdMisses(t *testing.T) {
+	// cholesky must keep touching fresh blocks (compulsory misses), so the
+	// distinct block count should be a large fraction of total accesses.
+	p, _ := ByName("cholesky")
+	s := NewSource(p, shape, 3, 1, 11, 0.5)
+	blocks := map[proto.Addr]bool{}
+	remote := 0
+	for {
+		_, a, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		if a.Home() != 3 {
+			remote++
+			blocks[a] = true
+		}
+	}
+	if remote == 0 || float64(len(blocks)) < 0.10*float64(remote) {
+		t.Fatalf("stream pattern not cold: %d distinct blocks of %d remote accesses",
+			len(blocks), remote)
+	}
+}
+
+func TestNeighborPatternLocality(t *testing.T) {
+	p, _ := ByName("em3d")
+	s := NewSource(p, shape, 4, 0, 13, 1)
+	for {
+		_, a, w, ok := s.Next()
+		if !ok {
+			break
+		}
+		h := a.Home()
+		if !w && h != 4 && h != 3 && h != 5 {
+			t.Fatalf("em3d read targeted non-neighbor node %d", h)
+		}
+	}
+}
+
+func TestBurstStructure(t *testing.T) {
+	p, _ := ByName("fft")
+	s := NewSource(p, shape, 0, 0, 17, 1)
+	var intervals []sim.Time
+	for {
+		c, _, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		intervals = append(intervals, c)
+	}
+	// Expect a heavy tail: a few very long gaps, many short intervals.
+	long := 0
+	for _, c := range intervals {
+		if float64(c) > 5*p.MeanCompute {
+			long++
+		}
+	}
+	if long == 0 || long > len(intervals)/4 {
+		t.Fatalf("burst gaps malformed: %d long of %d", long, len(intervals))
+	}
+}
+
+func TestSingleNodeShapeSafe(t *testing.T) {
+	sh := Shape{Nodes: 1, ProcsPerNode: 2, BlockSize: 64}
+	for _, p := range Apps() {
+		s := NewSource(p, sh, 0, 0, 3, 0.05)
+		for {
+			_, a, _, ok := s.Next()
+			if !ok {
+				break
+			}
+			if a.Home() != 0 {
+				t.Fatalf("%s: single-node shape produced remote home", p.Name)
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ComputeBound.String() == "" || LatencyBound.String() == "" || BandwidthBound.String() == "" {
+		t.Fatal("class names empty")
+	}
+}
