@@ -1,19 +1,19 @@
-// Package bench regenerates every table and figure of the paper's
-// evaluation as Go benchmarks, plus the design-choice ablations called out
-// in DESIGN.md. Each benchmark runs the corresponding experiment at a
-// reduced workload scale (the shapes are scale-stable; use cmd/pdqsim
-// -scale 1.0 for full-size runs) and reports headline values as custom
-// benchmark metrics so `go test -bench` output documents the reproduction.
-package bench
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the design-choice ablations called out in DESIGN.md.
+// Each benchmark runs the corresponding experiment at a reduced workload
+// scale (the shapes are scale-stable; use cmd/pdqsim -scale 1.0 for
+// full-size runs) and reports headline values as custom benchmark metrics
+// so `go test -bench` output documents the reproduction.
+package pdq_test
 
 import (
 	"context"
 	"testing"
 
+	"pdq"
 	"pdq/internal/experiments"
 	"pdq/internal/lockq"
 	"pdq/internal/multiq"
-	"pdq/internal/pdq"
 	"pdq/internal/sim"
 )
 
@@ -196,10 +196,10 @@ func BenchmarkDispatchStrategies(b *testing.B) {
 	ks := ablationKeys()
 	b.Run("pdq", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			q := pdq.New(pdq.Config{})
+			q := pdq.New()
 			p := pdq.Serve(context.Background(), q, ablWorkers)
 			for _, k := range ks {
-				_ = q.Enqueue(pdq.Key(k), func(any) { busyWork() }, nil)
+				_ = q.Enqueue(func(any) { busyWork() }, pdq.WithKey(pdq.Key(k)))
 			}
 			q.Close()
 			p.Wait()
@@ -241,10 +241,10 @@ func BenchmarkSingleVsPartitioned(b *testing.B) {
 	ks := ablationKeys()
 	b.Run("pdq-single-queue", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			q := pdq.New(pdq.Config{})
+			q := pdq.New()
 			p := pdq.Serve(context.Background(), q, ablWorkers)
 			for _, k := range ks {
-				_ = q.Enqueue(pdq.Key(k), func(any) { busyWork() }, nil)
+				_ = q.Enqueue(func(any) { busyWork() }, pdq.WithKey(pdq.Key(k)))
 			}
 			q.Close()
 			p.Wait()
@@ -278,10 +278,10 @@ func BenchmarkSearchWindow(b *testing.B) {
 		}
 		b.Run("window-"+name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				q := pdq.New(pdq.Config{SearchWindow: w})
+				q := pdq.New(pdq.WithSearchWindow(w))
 				p := pdq.Serve(context.Background(), q, ablWorkers)
 				for _, k := range ks {
-					_ = q.Enqueue(pdq.Key(k), func(any) { busyWork() }, nil)
+					_ = q.Enqueue(func(any) { busyWork() }, pdq.WithKey(pdq.Key(k)))
 				}
 				q.Close()
 				p.Wait()
@@ -291,15 +291,49 @@ func BenchmarkSearchWindow(b *testing.B) {
 	}
 }
 
+// BenchmarkKeySetDispatch measures the key-set hot path: pairs of keys
+// per message (the paper's resource groups), versus the same workload
+// expressed as sequential full barriers — the only way to protect a
+// multi-resource handler in the v1 single-key API.
+func BenchmarkKeySetDispatch(b *testing.B) {
+	ks := ablationKeys()
+	b.Run("keyset-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := pdq.New()
+			p := pdq.Serve(context.Background(), q, ablWorkers)
+			for j, k := range ks {
+				k2 := ks[(j+1)%len(ks)]
+				_ = q.Enqueue(func(any) { busyWork() },
+					pdq.WithKeys(pdq.Key(k), pdq.Key(ablKeys+k2)))
+			}
+			q.Close()
+			p.Wait()
+		}
+		b.ReportMetric(float64(ablMessages), "msgs/op")
+	})
+	b.Run("sequential-barriers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := pdq.New()
+			p := pdq.Serve(context.Background(), q, ablWorkers)
+			for range ks {
+				_ = q.Enqueue(func(any) { busyWork() }, pdq.Sequential())
+			}
+			q.Close()
+			p.Wait()
+		}
+		b.ReportMetric(float64(ablMessages), "msgs/op")
+	})
+}
+
 // BenchmarkPDQEnqueueDequeue measures the raw queue hot path with a
 // single worker (no handler body), isolating dispatcher overhead.
 func BenchmarkPDQEnqueueDequeue(b *testing.B) {
-	q := pdq.New(pdq.Config{})
+	q := pdq.New()
 	nop := func(any) {}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = q.Enqueue(pdq.Key(i&63), nop, nil)
+		_ = q.Enqueue(nop, pdq.WithKey(pdq.Key(i&63)))
 		e, ok := q.TryDequeue()
 		if !ok {
 			b.Fatal("dequeue failed")

@@ -8,21 +8,31 @@
 //
 //	pdqbench [-strategy pdq|lock|oam|multiq|all] [-workers 8]
 //	         [-messages 200000] [-keys 64] [-skew 0] [-work 200]
+//	         [-setsize 1] [-json .]
 //
 // skew > 0 draws keys from a Zipf-like distribution (hotspot); work is the
-// simulated handler body in nanoseconds of spinning.
+// simulated handler body in nanoseconds of spinning. setsize > 1 gives
+// every message a synchronization key set of that many keys (pdq strategy
+// only — the baselines have no key-set notion).
+//
+// Unless -json is empty, each strategy additionally writes a
+// machine-readable BENCH_<strategy>.json file into the given directory
+// (throughput plus the full conflict/stall counter surface), so the
+// performance trajectory can be tracked across revisions.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"pdq"
 	"pdq/internal/lockq"
 	"pdq/internal/multiq"
-	"pdq/internal/pdq"
 	"pdq/internal/sim"
 )
 
@@ -30,9 +40,31 @@ type config struct {
 	workers  int
 	messages int
 	keys     int
+	setSize  int
 	skew     float64
 	work     time.Duration
 	seed     uint64
+}
+
+// result is the machine-readable record written to BENCH_<strategy>.json.
+type result struct {
+	Strategy   string  `json:"strategy"`
+	Workers    int     `json:"workers"`
+	Messages   int     `json:"messages"`
+	Keys       int     `json:"keys"`
+	SetSize    int     `json:"set_size"`
+	Skew       float64 `json:"skew"`
+	WorkNanos  int64   `json:"work_ns"`
+	Seed       uint64  `json:"seed"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	Handled    uint64  `json:"handled"`
+	Throughput float64 `json:"throughput_msgs_per_sec"`
+
+	// Strategy-specific counters.
+	PDQ       *pdq.Stats `json:"pdq_stats,omitempty"`
+	SpinLoops uint64     `json:"spin_loops,omitempty"` // lock strategy busy-wait iterations
+	Aborts    uint64     `json:"aborts,omitempty"`     // oam strategy retried dispatches
+	Imbalance float64    `json:"imbalance,omitempty"`  // multiq busiest/mean partitions
 }
 
 func main() {
@@ -41,32 +73,64 @@ func main() {
 		workers  = flag.Int("workers", 8, "worker goroutines / partitions")
 		messages = flag.Int("messages", 200_000, "messages to dispatch")
 		keys     = flag.Int("keys", 64, "distinct synchronization keys")
+		setSize  = flag.Int("setsize", 1, "keys per message key set (pdq only)")
 		skew     = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
 		work     = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
 		seed     = flag.Uint64("seed", 7, "key sequence seed")
+		jsonDir  = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
 	)
 	flag.Parse()
-	cfg := config{*workers, *messages, *keys, *skew, *work, *seed}
+	cfg := config{*workers, *messages, *keys, *setSize, *skew, *work, *seed}
 	names := []string{"pdq", "lock", "oam", "multiq"}
 	if *strategy != "all" {
 		names = []string{*strategy}
 	}
+	if cfg.setSize < 1 {
+		cfg.setSize = 1
+	}
+	if cfg.setSize > 1 && (len(names) != 1 || names[0] != "pdq") {
+		fmt.Fprintln(os.Stderr, "pdqbench: -setsize > 1 requires -strategy pdq")
+		os.Exit(1)
+	}
 	for _, name := range names {
-		elapsed, handled, err := runStrategy(name, cfg)
+		res, err := runStrategy(name, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pdqbench:", err)
 			os.Exit(1)
 		}
-		rate := float64(handled) / elapsed.Seconds() / 1e6
-		fmt.Printf("%-8s %9d msgs  %10v  %7.2f M msg/s\n", name, handled, elapsed.Round(time.Millisecond), rate)
+		fmt.Printf("%-8s %9d msgs  %10v  %7.2f M msg/s\n", name, res.Handled,
+			time.Duration(res.ElapsedNS).Round(time.Millisecond), res.Throughput/1e6)
+		if res.Imbalance > 0 {
+			fmt.Printf("         partition imbalance %.2fx (max/mean)\n", res.Imbalance)
+		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, res); err != nil {
+				fmt.Fprintln(os.Stderr, "pdqbench:", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeJSON records res as BENCH_<strategy>.json in dir, creating dir if
+// needed.
+func writeJSON(dir string, res result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+res.Strategy+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // keySeq precomputes the message key sequence so every strategy sees the
 // identical workload.
 func keySeq(cfg config) []uint64 {
 	rng := sim.NewRand(cfg.seed)
-	ks := make([]uint64, cfg.messages)
+	ks := make([]uint64, cfg.messages*cfg.setSize)
 	for i := range ks {
 		if cfg.skew > 0 {
 			ks[i] = uint64(rng.Zipf(cfg.keys, cfg.skew))
@@ -87,22 +151,40 @@ func spin(d time.Duration) {
 	}
 }
 
-func runStrategy(name string, cfg config) (time.Duration, uint64, error) {
+func runStrategy(name string, cfg config) (result, error) {
 	ks := keySeq(cfg)
 	handler := func(any) { spin(cfg.work) }
+	res := result{
+		Strategy: name, Workers: cfg.workers, Messages: cfg.messages,
+		Keys: cfg.keys, SetSize: cfg.setSize, Skew: cfg.skew,
+		WorkNanos: cfg.work.Nanoseconds(), Seed: cfg.seed,
+	}
+	finish := func(start time.Time, handled uint64) {
+		elapsed := time.Since(start)
+		res.ElapsedNS = elapsed.Nanoseconds()
+		res.Handled = handled
+		res.Throughput = float64(handled) / elapsed.Seconds()
+	}
 	switch name {
 	case "pdq":
-		q := pdq.New(pdq.Config{})
+		q := pdq.New()
 		start := time.Now()
 		p := pdq.Serve(context.Background(), q, cfg.workers)
-		for _, k := range ks {
-			if err := q.Enqueue(pdq.Key(k), handler, nil); err != nil {
-				return 0, 0, err
+		set := make([]pdq.Key, cfg.setSize)
+		for i := 0; i < cfg.messages; i++ {
+			for j := range set {
+				set[j] = pdq.Key(ks[i*cfg.setSize+j])
+			}
+			if err := q.Enqueue(handler, pdq.WithKeys(set...)); err != nil {
+				return res, err
 			}
 		}
 		q.Close()
 		p.Wait()
-		return time.Since(start), q.Stats().Completed, nil
+		stats := q.Stats()
+		finish(start, stats.Completed)
+		res.PDQ = &stats
+		return res, nil
 	case "lock", "oam":
 		strat := lockq.SpinLock
 		if name == "oam" {
@@ -114,12 +196,16 @@ func runStrategy(name string, cfg config) (time.Duration, uint64, error) {
 		go func() { q.Serve(cfg.workers, 4); close(done) }()
 		for _, k := range ks {
 			if err := q.Enqueue(k, handler, nil); err != nil {
-				return 0, 0, err
+				return res, err
 			}
 		}
 		q.Close()
 		<-done
-		return time.Since(start), q.Stats().Handled, nil
+		s := q.Stats()
+		finish(start, s.Handled)
+		res.SpinLoops = s.SpinLoops
+		res.Aborts = s.Aborts
+		return res, nil
 	case "multiq":
 		q := multiq.New(cfg.workers)
 		start := time.Now()
@@ -127,15 +213,16 @@ func runStrategy(name string, cfg config) (time.Duration, uint64, error) {
 		go func() { q.Serve(); close(done) }()
 		for _, k := range ks {
 			if err := q.Enqueue(k, handler, nil); err != nil {
-				return 0, 0, err
+				return res, err
 			}
 		}
 		q.Close()
 		<-done
 		s := q.Stats()
-		fmt.Printf("         partition imbalance %.2fx (max/mean)\n", s.Imbalance())
-		return time.Since(start), s.Handled, nil
+		finish(start, s.Handled)
+		res.Imbalance = s.Imbalance()
+		return res, nil
 	default:
-		return 0, 0, fmt.Errorf("unknown strategy %q", name)
+		return res, fmt.Errorf("unknown strategy %q", name)
 	}
 }

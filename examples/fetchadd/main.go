@@ -14,8 +14,8 @@ import (
 	"runtime"
 	"time"
 
+	"pdq"
 	"pdq/internal/lockq"
-	"pdq/internal/pdq"
 	"pdq/internal/sim"
 )
 
@@ -57,17 +57,17 @@ func main() {
 
 	// --- Figure 3: PDQ — synchronize in the queue, not in the handler ---
 	pdqWords := make([]int64, words)
-	q := pdq.New(pdq.Config{})
+	q := pdq.New()
 	start := time.Now()
 	pool := pdq.Serve(context.Background(), q, workers)
 	for i := range reqs {
 		r := &reqs[i]
 		// The word address is the synchronization key: handlers for the
 		// same word serialize before dispatch; distinct words in parallel.
-		err := q.Enqueue(pdq.Key(r.word), func(any) {
+		err := q.Enqueue(func(any) {
 			pdqWords[r.word] += r.inc // fetch&add body, lock-free
 			replyCost()
-		}, nil)
+		}, pdq.WithKey(pdq.Key(r.word)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,8 +13,8 @@ import (
 	"runtime"
 	"time"
 
+	"pdq"
 	"pdq/internal/multiq"
-	"pdq/internal/pdq"
 	"pdq/internal/sim"
 )
 
@@ -56,11 +56,11 @@ func run(skew float64) {
 	mqTime := time.Since(start)
 
 	// Single PDQ, same worker count, same message stream.
-	q := pdq.New(pdq.Config{})
+	q := pdq.New()
 	start = time.Now()
 	pool := pdq.Serve(context.Background(), q, workers)
 	for _, k := range ks {
-		if err := q.Enqueue(pdq.Key(k), func(any) { work() }, nil); err != nil {
+		if err := q.Enqueue(func(any) { work() }, pdq.WithKey(pdq.Key(k))); err != nil {
 			log.Fatal(err)
 		}
 	}

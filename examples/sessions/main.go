@@ -15,7 +15,7 @@ import (
 	"log"
 	"runtime"
 
-	"pdq/internal/pdq"
+	"pdq"
 	"pdq/internal/sim"
 )
 
@@ -38,7 +38,7 @@ func main() {
 	states := make([]*state, tenants)
 	queues := make([]*pdq.Queue, tenants)
 	for tid := 0; tid < tenants; tid++ {
-		q, err := mux.Queue(fmt.Sprintf("tenant-%d", tid), pdq.Config{})
+		q, err := mux.Queue(fmt.Sprintf("tenant-%d", tid))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,27 +59,27 @@ func main() {
 		seq[tid][sid]++
 		n := seq[tid][sid]
 		st := states[tid]
-		err := queues[tid].Enqueue(pdq.Key(sid), func(any) {
+		err := queues[tid].Enqueue(func(any) {
 			// In-order, exclusive per session: no locks needed.
 			if st.lastSeen[sid] != n-1 {
 				st.ordered = false
 			}
 			st.lastSeen[sid] = n
 			st.events[sid]++
-		}, nil)
+		}, pdq.WithKey(pdq.Key(sid)))
 		if err != nil {
 			log.Fatal(err)
 		}
 		if i%10_000 == 9_999 {
 			// Tenant-scoped audit: runs in isolation for THIS tenant only;
 			// other tenants keep dispatching.
-			if err := queues[tid].EnqueueSequential(func(any) {
+			if err := queues[tid].Enqueue(func(any) {
 				total := 0
 				for _, c := range st.events {
 					total += c
 				}
 				snapshots[tid] = total
-			}, nil); err != nil {
+			}, pdq.Sequential()); err != nil {
 				log.Fatal(err)
 			}
 		}

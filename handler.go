@@ -1,0 +1,37 @@
+package pdq
+
+// Handler is a typed message handler. It adapts strongly typed protocol
+// code to the queue's func(any) dispatch signature in two ways:
+//
+//   - Bind captures the payload in the returned closure, so the value
+//     stays typed end-to-end and is never boxed through Message.Data:
+//
+//     deposit := pdq.Handler[int64](func(amt int64) { ... })
+//     q.Enqueue(deposit.Bind(25), pdq.WithKey(acct))
+//
+//   - Func reads the payload from Message.Data with a type assertion, for
+//     callers that thread data through WithData or EnqueueMessage:
+//
+//     q.Enqueue(deposit.Func(), pdq.WithKey(acct), pdq.WithData(int64(25)))
+type Handler[T any] func(T)
+
+// Bind returns a dispatchable handler that invokes h with v. The payload
+// rides in the closure rather than in Message.Data, avoiding the
+// interface boxing (and assertion on the hot path) that any-typed data
+// incurs.
+func (h Handler[T]) Bind(v T) func(any) {
+	return func(any) { h(v) }
+}
+
+// Func returns a dispatchable handler that invokes h with the message's
+// Data. A nil Data yields the zero T; any other non-T Data panics, as a
+// plain type assertion would.
+func (h Handler[T]) Func() func(any) {
+	return func(data any) {
+		var v T
+		if data != nil {
+			v = data.(T)
+		}
+		h(v)
+	}
+}

@@ -43,8 +43,9 @@ func (s Strategy) String() string {
 	return "spinlock"
 }
 
-// Message pairs a key with a handler, as in package pdq, but the key is
-// only a lock index here — the queue itself ignores it.
+// Message pairs a key with a handler, as in the root package pdq (which
+// generalizes the key to a key set), but the key is only a lock index
+// here — the queue itself ignores it.
 type Message struct {
 	Key     uint64
 	Data    any

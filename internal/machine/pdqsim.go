@@ -42,7 +42,10 @@ type PDQStats struct {
 // simPDQ is the discrete-event model of the PDQ hardware: a FIFO of
 // entries with a bounded associative search window, per-key (block
 // address) in-flight exclusion, and sequential-key barriers. It mirrors
-// the semantics of the runtime library in internal/pdq.
+// the semantics of the public pdq runtime library at the module root,
+// restricted to single-key messages: a Stache protocol event names
+// exactly one block address, so the runtime's key-set generalization
+// (Message.Keys) degenerates to one key per entry here.
 type simPDQ struct {
 	head, tail  *qEntry
 	length      int

@@ -15,7 +15,9 @@ import (
 	"sync"
 )
 
-// Message pairs a key with a handler, as in package pdq.
+// Message pairs a single key with a handler — the degenerate form of the
+// root package pdq's key-set messages, since static partitioning cannot
+// route a multi-key message to one partition.
 type Message struct {
 	Key     uint64
 	Data    any

@@ -5,17 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 )
 
 // Mux multiplexes several named parallel dispatch queues over one set of
 // workers — the virtualization the paper marks as an active research area
 // (Section 3.2: "virtualizing the PDQ hardware to provide multiple
 // protected message queues per processor"). Each virtual queue keeps full
-// PDQ semantics in isolation (its own keys, barriers, and search window);
-// the mux adds protection (queues cannot observe or block each other,
-// beyond sharing worker capacity) and round-robin fairness across queues
-// so one busy protocol cannot starve another.
+// PDQ semantics in isolation (its own key sets, barriers, and search
+// window); the mux adds protection (queues cannot observe or block each
+// other, beyond sharing worker capacity) and round-robin fairness across
+// queues so one busy protocol cannot starve another.
 //
 // Wakeups use an edge-triggered token channel rather than a condition
 // variable: member queues signal the mux from under their own locks, and
@@ -48,9 +47,9 @@ func NewMux() *Mux {
 // ErrMuxClosed is returned when creating a queue on a closed mux.
 var ErrMuxClosed = errors.New("pdq: mux closed")
 
-// Queue returns the virtual queue with the given name, creating it with
-// cfg if absent (cfg is ignored for existing queues).
-func (m *Mux) Queue(name string, cfg Config) (*Queue, error) {
+// Queue returns the virtual queue with the given name, creating it shaped
+// by opts if absent (opts are ignored for existing queues).
+func (m *Mux) Queue(name string, opts ...Option) (*Queue, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if q, ok := m.names[name]; ok {
@@ -59,7 +58,7 @@ func (m *Mux) Queue(name string, cfg Config) (*Queue, error) {
 	if m.closed {
 		return nil, ErrMuxClosed
 	}
-	q := New(cfg)
+	q := New(opts...)
 	q.notify = m.wake // wake the mux on any dispatchability change
 	m.names[name] = q
 	m.queues = append(m.queues, q)
@@ -107,15 +106,35 @@ func (m *Mux) TryDequeue() (q *Queue, e *Entry, ok bool) {
 // Dequeue blocks until an entry is dispatchable on some virtual queue, or
 // the mux is closed and every queue has drained (ok=false).
 func (m *Mux) Dequeue() (*Queue, *Entry, bool) {
+	q, e, err := m.DequeueContext(context.Background())
+	return q, e, err == nil
+}
+
+// DequeueContext blocks until an entry is dispatchable on some virtual
+// queue, ctx is done, or the mux is closed and every queue has drained.
+// It returns ErrMuxClosed on close+drain and ctx.Err() on cancellation;
+// otherwise the entry and its owning queue (pass the entry to that
+// queue's Complete).
+func (m *Mux) DequeueContext(ctx context.Context) (*Queue, *Entry, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			m.wake() // re-arm: don't strand a consumed token on exit
+			return nil, nil, err
+		}
 		if q, e, ok := m.TryDequeue(); ok {
-			return q, e, true
+			// More entries may be dispatchable: cascade to siblings while
+			// the caller executes this handler.
+			m.wake()
+			return q, e, nil
 		}
 		if m.drained() {
 			m.wake() // cascade: release other blocked consumers too
-			return nil, nil, false
+			return nil, nil, ErrMuxClosed
 		}
-		<-m.wakeCh
+		select {
+		case <-m.wakeCh:
+		case <-ctx.Done():
+		}
 	}
 }
 
@@ -153,8 +172,8 @@ func (m *Mux) Close() {
 
 // MuxStats summarizes mux-level activity.
 type MuxStats struct {
-	Queues     int
-	Dispatched uint64
+	Queues     int    `json:"queues"`
+	Dispatched uint64 `json:"dispatched"`
 }
 
 // Stats returns mux counters (per-queue stats live on each Queue).
@@ -177,16 +196,10 @@ func ServeMux(ctx context.Context, m *Mux, n int) *MuxPool {
 		n = 1
 	}
 	ctx, cancel := context.WithCancel(ctx)
-	p := &MuxPool{m: m, cancel: cancel, workers: n, stopCh: make(chan struct{})}
-	go func() {
-		<-ctx.Done()
-		p.stopped.Store(true)
-		close(p.stopCh) // wakes every worker at once, bypassing the token
-		m.wake()
-	}()
+	p := &MuxPool{m: m, cancel: cancel, workers: n}
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
-		go p.worker()
+		go p.worker(ctx)
 	}
 	return p
 }
@@ -196,34 +209,16 @@ type MuxPool struct {
 	m       *Mux
 	wg      sync.WaitGroup
 	cancel  context.CancelFunc
-	stopped atomic.Bool
-	stopCh  chan struct{}
 	workers int
 }
 
-func (p *MuxPool) worker() {
+func (p *MuxPool) worker(ctx context.Context) {
 	defer p.wg.Done()
-	m := p.m
 	for {
-		if p.stopped.Load() {
-			m.wake() // cascade the shutdown to sibling workers
-			return
+		q, e, err := p.m.DequeueContext(ctx)
+		if err != nil {
+			return // cancelled, or closed and drained
 		}
-		q, e, ok := m.TryDequeue()
-		if !ok {
-			if m.drained() {
-				m.wake()
-				return
-			}
-			select {
-			case <-m.wakeCh:
-			case <-p.stopCh:
-			}
-			continue
-		}
-		// More entries may be dispatchable: let a sibling look while we
-		// execute this handler.
-		m.wake()
 		msg := e.Message()
 		msg.Handler(msg.Data)
 		q.Complete(e)

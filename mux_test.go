@@ -2,6 +2,7 @@ package pdq
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,13 +15,13 @@ func TestMuxProcessesAllQueues(t *testing.T) {
 	names := []string{"netA", "netB", "netC"}
 	const per = 2000
 	for qi, name := range names {
-		q, err := m.Queue(name, Config{})
+		q, err := m.Queue(name)
 		if err != nil {
 			t.Fatal(err)
 		}
 		qi := qi
 		for i := 0; i < per; i++ {
-			if err := q.Enqueue(Key(i%13), func(any) { counts[qi].Add(1) }, nil); err != nil {
+			if err := q.Enqueue(func(any) { counts[qi].Add(1) }, WithKey(Key(i%13))); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -40,8 +41,8 @@ func TestMuxProcessesAllQueues(t *testing.T) {
 
 func TestMuxQueueLookupIdempotent(t *testing.T) {
 	m := NewMux()
-	a, _ := m.Queue("x", Config{})
-	b, _ := m.Queue("x", Config{SearchWindow: 1}) // cfg ignored on lookup
+	a, _ := m.Queue("x")
+	b, _ := m.Queue("x", WithSearchWindow(1)) // opts ignored on lookup
 	if a != b {
 		t.Fatal("same name returned distinct queues")
 	}
@@ -49,7 +50,7 @@ func TestMuxQueueLookupIdempotent(t *testing.T) {
 		t.Fatalf("names = %v", m.Names())
 	}
 	m.Close()
-	if _, err := m.Queue("fresh", Config{}); err != ErrMuxClosed {
+	if _, err := m.Queue("fresh"); !errors.Is(err, ErrMuxClosed) {
 		t.Fatalf("err = %v, want ErrMuxClosed", err)
 	}
 }
@@ -58,13 +59,13 @@ func TestMuxIsolationBetweenQueues(t *testing.T) {
 	// The same key on two virtual queues must NOT serialize: protection
 	// domains are independent.
 	m := NewMux()
-	qa, _ := m.Queue("a", Config{})
-	qb, _ := m.Queue("b", Config{})
+	qa, _ := m.Queue("a")
+	qb, _ := m.Queue("b")
 	var wg sync.WaitGroup
 	wg.Add(2)
 	block := make(chan struct{})
-	_ = qa.Enqueue(7, func(any) { wg.Done(); <-block }, nil)
-	_ = qb.Enqueue(7, func(any) { wg.Done(); <-block }, nil)
+	_ = qa.Enqueue(func(any) { wg.Done(); <-block }, WithKey(7))
+	_ = qb.Enqueue(func(any) { wg.Done(); <-block }, WithKey(7))
 	p := ServeMux(context.Background(), m, 2)
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -82,16 +83,16 @@ func TestMuxBarrierScopedToQueue(t *testing.T) {
 	// A sequential barrier on one virtual queue must not stop another
 	// queue from dispatching.
 	m := NewMux()
-	qa, _ := m.Queue("a", Config{})
-	qb, _ := m.Queue("b", Config{})
+	qa, _ := m.Queue("a")
+	qb, _ := m.Queue("b")
 	inBarrier := make(chan struct{})
 	release := make(chan struct{})
-	_ = qa.EnqueueSequential(func(any) { close(inBarrier); <-release }, nil)
+	_ = qa.Enqueue(func(any) { close(inBarrier); <-release }, Sequential())
 	var bRan atomic.Bool
 	p := ServeMux(context.Background(), m, 2)
 	<-inBarrier
 	bDone := make(chan struct{})
-	_ = qb.Enqueue(1, func(any) { bRan.Store(true); close(bDone) }, nil)
+	_ = qb.Enqueue(func(any) { bRan.Store(true); close(bDone) }, WithKey(1))
 	select {
 	case <-bDone:
 	case <-time.After(5 * time.Second):
@@ -109,16 +110,16 @@ func TestMuxFairnessUnderLoad(t *testing.T) {
 	// One flooded queue must not starve a trickle queue: round-robin
 	// alternates between dispatchable queues.
 	m := NewMux()
-	flood, _ := m.Queue("flood", Config{})
-	trickle, _ := m.Queue("trickle", Config{})
+	flood, _ := m.Queue("flood")
+	trickle, _ := m.Queue("trickle")
 	var floodDone, trickleDone atomic.Int64
 	var trickleMaxDelay atomic.Int64 // in flood-completions at dispatch time
 	const floods, trickles = 5000, 50
 	for i := 0; i < floods; i++ {
-		_ = flood.Enqueue(Key(i), func(any) { floodDone.Add(1) }, nil)
+		_ = flood.Enqueue(func(any) { floodDone.Add(1) }, WithKey(Key(i)))
 	}
 	for i := 0; i < trickles; i++ {
-		_ = trickle.Enqueue(Key(i), func(any) {
+		_ = trickle.Enqueue(func(any) {
 			d := floodDone.Load()
 			for {
 				cur := trickleMaxDelay.Load()
@@ -127,7 +128,7 @@ func TestMuxFairnessUnderLoad(t *testing.T) {
 				}
 			}
 			trickleDone.Add(1)
-		}, nil)
+		}, WithKey(Key(i)))
 	}
 	p := ServeMux(context.Background(), m, 2)
 	m.Close()
@@ -144,8 +145,8 @@ func TestMuxFairnessUnderLoad(t *testing.T) {
 
 func TestMuxManualDequeue(t *testing.T) {
 	m := NewMux()
-	q, _ := m.Queue("only", Config{})
-	_ = q.Enqueue(1, func(any) {}, "payload")
+	q, _ := m.Queue("only")
+	_ = q.Enqueue(func(any) {}, WithKey(1), WithData("payload"))
 	mq, e, ok := m.TryDequeue()
 	if !ok || mq != q || e.Message().Data.(string) != "payload" {
 		t.Fatal("manual mux dequeue failed")
@@ -160,9 +161,33 @@ func TestMuxManualDequeue(t *testing.T) {
 	}
 }
 
+func TestMuxDequeueContextCancel(t *testing.T) {
+	m := NewMux()
+	_, _ = m.Queue("idle")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := m.DequeueContext(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mux DequeueContext ignored cancellation")
+	}
+	m.Close()
+	if _, _, err := m.DequeueContext(context.Background()); !errors.Is(err, ErrMuxClosed) {
+		t.Fatalf("err = %v, want ErrMuxClosed after close+drain", err)
+	}
+}
+
 func TestMuxStopReleasesWorkers(t *testing.T) {
 	m := NewMux()
-	_, _ = m.Queue("idle", Config{})
+	_, _ = m.Queue("idle")
 	p := ServeMux(context.Background(), m, 3)
 	done := make(chan struct{})
 	go func() { p.Stop(); close(done) }()
@@ -182,13 +207,13 @@ func TestMuxConcurrentProducers(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			q, err := m.Queue(string(rune('a'+w%2)), Config{})
+			q, err := m.Queue(string(rune('a' + w%2)))
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			for i := 0; i < 500; i++ {
-				if err := q.Enqueue(Key(i), func(any) { total.Add(1) }, nil); err != nil {
+				if err := q.Enqueue(func(any) { total.Add(1) }, WithKey(Key(i))); err != nil {
 					t.Error(err)
 					return
 				}
@@ -204,4 +229,35 @@ func TestMuxConcurrentProducers(t *testing.T) {
 	if p.Workers() != 4 {
 		t.Fatal("worker count wrong")
 	}
+}
+
+func TestMuxKeySetsIndependentAcrossQueues(t *testing.T) {
+	// Overlapping key sets serialize within one virtual queue but not
+	// across queues.
+	m := NewMux()
+	qa, _ := m.Queue("a")
+	qb, _ := m.Queue("b")
+	nop := func(any) {}
+	_ = qa.Enqueue(nop, WithKeys(1, 2))
+	_ = qa.Enqueue(nop, WithKeys(2, 3)) // blocked within a
+	_ = qb.Enqueue(nop, WithKeys(1, 2)) // same set on b: independent
+	_, e1, ok := m.TryDequeue()
+	if !ok {
+		t.Fatal("first dispatch failed")
+	}
+	gotQ, e2, ok := m.TryDequeue()
+	if !ok || gotQ != qb {
+		t.Fatal("queue b's identical key set should dispatch despite a's in-flight set")
+	}
+	if _, _, ok := m.TryDequeue(); ok {
+		t.Fatal("a's overlapping {2,3} dispatched concurrently")
+	}
+	qa.Complete(e1)
+	qb.Complete(e2)
+	_, e3, ok := m.TryDequeue()
+	if !ok {
+		t.Fatal("a's {2,3} should dispatch after {1,2} completes")
+	}
+	qa.Complete(e3)
+	m.Close()
 }

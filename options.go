@@ -1,0 +1,106 @@
+package pdq
+
+// config collects queue construction parameters assembled by New from
+// Options; it is not part of the public surface.
+type config struct {
+	searchWindow int
+	capacity     int
+}
+
+// Option configures a Queue at construction time. Options are applied in
+// order; later options override earlier ones.
+type Option func(*config)
+
+// WithSearchWindow bounds how many pending entries the dispatcher examines
+// per dequeue, mirroring the bounded dispatch buffer of a hardware PDQ
+// (paper Section 3.2). n <= 0 means unbounded search. Queues default to
+// DefaultSearchWindow.
+func WithSearchWindow(n int) Option {
+	return func(c *config) { c.searchWindow = n }
+}
+
+// WithCapacity bounds the number of pending entries. Enqueue beyond
+// capacity fails with ErrFull and EnqueueWait blocks (the hardware
+// analogue is back-pressure into the network; spilling to memory is
+// modeled by an unbounded queue). n <= 0 means unbounded, the default.
+func WithCapacity(n int) Option {
+	return func(c *config) { c.capacity = n }
+}
+
+// EnqueueOption shapes one enqueued message. It is a small value type (not
+// a closure) so option construction costs nothing on the enqueue hot path.
+type EnqueueOption struct {
+	mode    Mode
+	hasMode bool
+	key     Key
+	keys    []Key
+	keyKind uint8 // 0 = none, 1 = single key, 2 = key slice
+	data    any
+	hasData bool
+}
+
+// WithKey adds a single key to the message's synchronization key set. It
+// is the allocation-free form of WithKeys for the common one-resource
+// case.
+func WithKey(k Key) EnqueueOption {
+	return EnqueueOption{key: k, keyKind: 1}
+}
+
+// WithKeys adds keys to the message's synchronization key set — the group
+// of resources the handler will touch. The handler dispatches only when
+// every key is conflict-free: it serializes, in enqueue order, against any
+// in-flight or earlier-blocked entry whose key set overlaps, while entries
+// with disjoint key sets run in parallel. Repeated key options accumulate;
+// duplicate keys are harmless.
+func WithKeys(keys ...Key) EnqueueOption {
+	return EnqueueOption{keys: keys, keyKind: 2}
+}
+
+// WithData attaches an arbitrary payload, delivered to the handler as its
+// argument. For a typed, boxing-free alternative see Handler.Bind.
+func WithData(data any) EnqueueOption {
+	return EnqueueOption{data: data, hasData: true}
+}
+
+// Sequential marks the message as a full barrier in queue order: every
+// earlier entry completes before the handler runs, the handler runs alone,
+// and no later entry dispatches until it completes. It must not be
+// combined with key options.
+func Sequential() EnqueueOption {
+	return EnqueueOption{mode: ModeSequential, hasMode: true}
+}
+
+// NoSync marks the message as requiring no synchronization: it may
+// dispatch whenever a worker is free, regardless of other in-flight
+// handlers (but never overtaking an active sequential barrier). It must
+// not be combined with key options.
+func NoSync() EnqueueOption {
+	return EnqueueOption{mode: ModeNoSync, hasMode: true}
+}
+
+// buildMessage assembles a Message from enqueue options and validates the
+// combination.
+func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error) {
+	m := Message{Mode: ModeKeyed, Handler: handler}
+	for _, o := range opts {
+		if o.hasMode {
+			if m.Mode != ModeKeyed && m.Mode != o.mode {
+				return Message{}, errConflictingModes
+			}
+			m.Mode = o.mode
+		}
+		switch o.keyKind {
+		case 1:
+			m.Keys = append(m.Keys, o.key)
+		case 2:
+			m.Keys = append(m.Keys, o.keys...)
+		}
+		if o.hasData {
+			m.Data = o.data
+		}
+	}
+	if err := checkMessage(&m); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}

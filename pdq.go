@@ -1,0 +1,595 @@
+// Package pdq implements the Parallel Dispatch Queue abstraction from
+// Falsafi & Wood, "Parallel Dispatch Queue: A Queue-Based Programming
+// Abstraction To Parallelize Fine-Grain Communication Protocols" (HPCA 1999).
+//
+// A PDQ is a single logical message queue in which every message carries a
+// synchronization key set naming the group of resources its handler will
+// touch. The queue performs all synchronization at dispatch time: handlers
+// for messages with disjoint key sets run in parallel, handlers for
+// messages with overlapping key sets run serially in enqueue order, and no
+// locks or busy-waiting are needed inside handlers. Two reserved dispatch
+// modes complete the model:
+//
+//   - Sequential: the message is a full barrier in queue order. Dispatch
+//     stops, all in-flight handlers drain, the handler runs in isolation,
+//     and then parallel dispatch resumes. Protocol operations that touch a
+//     large resource group (e.g. page allocation in a fine-grain DSM) use
+//     this mode.
+//   - NoSync: the handler needs no synchronization at all and may dispatch
+//     whenever a worker is free, regardless of other in-flight handlers
+//     (but never overtaking an active sequential barrier).
+//
+// Messages are shaped by functional options:
+//
+//	q := pdq.New(pdq.WithSearchWindow(64), pdq.WithCapacity(1 << 16))
+//	err := q.Enqueue(handler, pdq.WithKeys(from, to), pdq.WithData(amount))
+//	err = q.Enqueue(audit, pdq.Sequential())
+//	err = q.Enqueue(heartbeat, pdq.NoSync())
+//
+// The implementation mirrors the paper's hardware organization: a FIFO of
+// entries, an associative "search engine" bounded by a small window at the
+// head of the queue, and per-worker dispatch. Both a low-level interface
+// (TryDequeue/DequeueContext/Complete, the software analogue of the paper's
+// Protocol Dispatch Register) and a high-level worker pool (Serve) are
+// provided. DequeueContext and EnqueueWait integrate with context
+// cancellation, and EnqueueWait converts a full queue into backpressure
+// instead of an ErrFull failure.
+package pdq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Key is a synchronization key. A message carries a set of keys; handlers
+// for messages with overlapping key sets are mutually exclusive and execute
+// in enqueue order, while handlers for messages with disjoint key sets may
+// execute concurrently. The zero key is an ordinary key with no special
+// meaning.
+type Key uint64
+
+// Mode selects how an entry synchronizes with other entries.
+type Mode uint8
+
+const (
+	// ModeKeyed entries serialize against entries whose key set overlaps
+	// theirs. An entry with an empty key set synchronizes with nothing.
+	ModeKeyed Mode = iota
+	// ModeSequential entries act as a full barrier: every earlier entry
+	// completes before the handler runs, the handler runs alone, and no
+	// later entry dispatches until it completes.
+	ModeSequential
+	// ModeNoSync entries dispatch without any key synchronization.
+	ModeNoSync
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeKeyed:
+		return "keyed"
+	case ModeSequential:
+		return "sequential"
+	case ModeNoSync:
+		return "nosync"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Message is the unit of work carried by the queue. Handler receives Data
+// when the dispatcher (or a manual dequeue caller) executes the message.
+// Most callers build messages implicitly through Enqueue options; the
+// struct is exported for the low-level EnqueueMessage path.
+type Message struct {
+	// Keys is the synchronization key set (ModeKeyed only; it must be
+	// empty in the other modes). Duplicate keys are permitted and act as
+	// a single key.
+	Keys    []Key
+	Mode    Mode
+	Data    any
+	Handler func(data any)
+}
+
+// Entry is a dispatched queue entry. Callers using the low-level dequeue
+// interface must pass the entry back to Complete exactly once after running
+// the handler.
+type Entry struct {
+	msg Message
+	seq uint64 // enqueue sequence number, for diagnostics and ordering
+}
+
+// Message returns the message carried by the entry.
+func (e *Entry) Message() Message { return e.msg }
+
+// Seq returns the entry's enqueue sequence number. Sequence numbers are
+// assigned in enqueue order starting at 1.
+func (e *Entry) Seq() uint64 { return e.seq }
+
+// DefaultSearchWindow bounds the associative search at the head of the
+// queue, mirroring the small dispatch buffer of a hardware PDQ
+// implementation (paper Section 3.2).
+const DefaultSearchWindow = 64
+
+// Errors returned by queue operations.
+var (
+	ErrClosed     = errors.New("pdq: queue closed")
+	ErrFull       = errors.New("pdq: queue full")
+	ErrNilHandler = errors.New("pdq: nil handler")
+)
+
+// node is a pending-list node. A hand-rolled list avoids container/list's
+// interface boxing on this hot path.
+type node struct {
+	entry      Entry
+	prev, next *node
+}
+
+// Queue is a Parallel Dispatch Queue. All methods are safe for concurrent
+// use. The zero value is not usable; call New.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled when dispatchability may have changed
+	space  *sync.Cond // signaled when pending capacity may have freed
+	window int
+	cap    int
+
+	head, tail *node
+	pending    int
+
+	inflight    map[Key]int    // in-flight handler count per key
+	shadow      map[Key]uint64 // keys of skipped entries, stamped by scan generation
+	scanGen     uint64         // current dequeue scan generation
+	inflightAll int            // all in-flight handlers (any mode)
+	barrier     bool           // a sequential handler is executing
+	closed      bool
+	notify      func() // optional hook: dispatchability may have changed
+	nextSeq     uint64
+	freeList    *node // reuse nodes to reduce allocation churn
+	freeLen     int
+	maxFree     int
+	stats       Stats
+	waitersEmpty []chan struct{}
+}
+
+// New returns an empty queue shaped by opts.
+func New(opts ...Option) *Queue {
+	cfg := config{searchWindow: DefaultSearchWindow}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q := &Queue{
+		window:   cfg.searchWindow,
+		cap:      cfg.capacity,
+		inflight: make(map[Key]int),
+		shadow:   make(map[Key]uint64),
+		maxFree:  256,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.space = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends a message invoking handler(data), shaped by opts: the
+// synchronization key set comes from WithKey/WithKeys, the payload from
+// WithData, and the dispatch mode from Sequential or NoSync (default
+// keyed). With no key options the message synchronizes with nothing.
+// Enqueue never blocks; on a full bounded queue it fails with ErrFull
+// (use EnqueueWait for backpressure instead).
+func (q *Queue) Enqueue(handler func(data any), opts ...EnqueueOption) error {
+	m, err := buildMessage(handler, opts)
+	if err != nil {
+		return err
+	}
+	return q.EnqueueMessage(m)
+}
+
+// EnqueueWait appends a message like Enqueue but, when the queue is at
+// capacity, blocks until space frees, ctx is done, or the queue closes —
+// backpressure in place of ErrFull. Calling EnqueueWait from inside a
+// handler can deadlock a full queue (the handler's worker is the one that
+// must drain it); handlers should use Enqueue.
+func (q *Queue) EnqueueWait(ctx context.Context, handler func(data any), opts ...EnqueueOption) error {
+	m, err := buildMessage(handler, opts)
+	if err != nil {
+		return err
+	}
+	return q.EnqueueMessageWait(ctx, m)
+}
+
+// EnqueueMessage appends m to the queue without blocking; a full bounded
+// queue fails with ErrFull.
+func (q *Queue) EnqueueMessage(m Message) error {
+	if err := checkMessage(&m); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.cap > 0 && q.pending >= q.cap {
+		q.stats.Rejected++
+		return ErrFull
+	}
+	q.enqueueLocked(m)
+	return nil
+}
+
+// EnqueueMessageWait appends m, blocking for capacity as EnqueueWait does.
+func (q *Queue) EnqueueMessageWait(ctx context.Context, m Message) error {
+	if err := checkMessage(&m); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	if q.cap <= 0 || q.pending < q.cap {
+		q.enqueueLocked(m)
+		q.mu.Unlock()
+		return nil
+	}
+	q.mu.Unlock()
+	// Slow path: arrange a context wakeup, then wait for space.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			q.mu.Lock()
+			q.space.Broadcast()
+			q.mu.Unlock()
+		})
+		defer stop()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if q.cap <= 0 || q.pending < q.cap {
+			q.enqueueLocked(m)
+			return nil
+		}
+		q.stats.EnqueueWaits++
+		q.space.Wait()
+	}
+}
+
+// checkMessage validates a caller-built message.
+func checkMessage(m *Message) error {
+	if m.Handler == nil {
+		return ErrNilHandler
+	}
+	if m.Mode != ModeKeyed && len(m.Keys) > 0 {
+		return fmt.Errorf("pdq: %v message must not carry keys", m.Mode)
+	}
+	return nil
+}
+
+// enqueueLocked links m at the tail. Caller holds q.mu and has checked
+// closed/capacity.
+func (q *Queue) enqueueLocked(m Message) {
+	q.nextSeq++
+	n := q.newNode()
+	n.entry = Entry{msg: m, seq: q.nextSeq}
+	if q.tail == nil {
+		q.head, q.tail = n, n
+	} else {
+		n.prev = q.tail
+		q.tail.next = n
+		q.tail = n
+	}
+	q.pending++
+	q.stats.Enqueued++
+	if q.pending > q.stats.MaxPending {
+		q.stats.MaxPending = q.pending
+	}
+	if len(m.Keys) > q.stats.MaxKeySet {
+		q.stats.MaxKeySet = len(m.Keys)
+	}
+	q.cond.Signal()
+	if q.notify != nil {
+		q.notify()
+	}
+}
+
+// TryDequeue removes and returns the first dispatchable entry within the
+// search window, or ok=false if none is currently dispatchable. The caller
+// must invoke the entry's handler and then call Complete. TryDequeue never
+// blocks.
+func (q *Queue) TryDequeue() (e *Entry, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dequeueLocked()
+}
+
+// Dequeue blocks until an entry is dispatchable or the queue is closed and
+// fully drained. It returns ok=false only on close+drain.
+func (q *Queue) Dequeue() (e *Entry, ok bool) {
+	e, err := q.DequeueContext(context.Background())
+	return e, err == nil
+}
+
+// DequeueContext blocks until an entry is dispatchable, ctx is done, or
+// the queue is closed and fully drained. It returns ErrClosed on
+// close+drain and ctx.Err() on cancellation; any other return is a
+// dispatched entry the caller must Complete.
+func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
+	q.mu.Lock()
+	if e, ok := q.dequeueLocked(); ok {
+		q.mu.Unlock()
+		return e, nil
+	}
+	if q.closed && q.pending == 0 {
+		q.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		q.mu.Unlock()
+		return nil, err
+	}
+	q.mu.Unlock()
+	// Slow path: arrange a context wakeup, then wait on the condition
+	// variable like any other consumer.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		defer stop()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if e, ok := q.dequeueLocked(); ok {
+			return e, nil
+		}
+		if q.closed && q.pending == 0 {
+			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		q.stats.Waits++
+		q.cond.Wait()
+	}
+}
+
+// dequeueLocked performs the bounded associative search. It must be called
+// with q.mu held.
+//
+// Order preservation across key sets: when a keyed entry is skipped, every
+// key it carries is "shadowed" for the remainder of the scan, and a later
+// entry overlapping a shadowed key may not dispatch even if all its keys
+// are idle — otherwise {B} could overtake an earlier blocked {A,B}. This
+// generalizes the single-key FIFO rule (where a later equal key is blocked
+// by the same in-flight count that blocked the earlier one) to sets.
+func (q *Queue) dequeueLocked() (*Entry, bool) {
+	if q.barrier {
+		// A sequential handler owns the machine; nothing dispatches.
+		q.stats.BarrierStalls++
+		return nil, false
+	}
+	scanned := 0
+	q.scanGen++
+	gen := q.scanGen
+	// Entries stamped with an older generation are dead; reallocating at a
+	// scan boundary keeps the map from accumulating every key ever skipped
+	// (high-cardinality workloads would otherwise leak it unboundedly). A
+	// single scan can add at most window×keys-per-entry live entries, far
+	// below this bound.
+	if len(q.shadow) > 4096 {
+		q.shadow = make(map[Key]uint64)
+	}
+	shadowing := false // no shadow lookups until something has been skipped
+	for n := q.head; n != nil; n = n.next {
+		if q.window > 0 && scanned >= q.window {
+			q.stats.WindowStalls++
+			return nil, false
+		}
+		scanned++
+		m := &n.entry.msg
+		switch m.Mode {
+		case ModeSequential:
+			// Dispatchable only as the head of the queue with an idle
+			// machine; otherwise it blocks everything behind it.
+			if n == q.head && q.inflightAll == 0 {
+				q.unlink(n)
+				q.barrier = true
+				q.inflightAll++
+				q.stats.Dispatched++
+				q.stats.SeqDispatched++
+				return q.take(n), true
+			}
+			q.stats.SeqStalls++
+			return nil, false
+		case ModeNoSync:
+			q.unlink(n)
+			q.inflightAll++
+			q.stats.Dispatched++
+			q.stats.NoSyncDispatched++
+			return q.take(n), true
+		default: // ModeKeyed
+			conflict, ordered := false, false
+			for _, k := range m.Keys {
+				if q.inflight[k] > 0 {
+					conflict = true
+					break
+				}
+				if shadowing && q.shadow[k] == gen {
+					conflict, ordered = true, true
+					break
+				}
+			}
+			if !conflict {
+				q.unlink(n)
+				for _, k := range m.Keys {
+					q.inflight[k]++
+				}
+				q.inflightAll++
+				q.stats.Dispatched++
+				if len(m.Keys) > 1 {
+					q.stats.MultiKeyDispatched++
+				}
+				return q.take(n), true
+			}
+			if ordered {
+				q.stats.OrderConflicts++
+			} else {
+				q.stats.KeyConflicts++
+			}
+			for _, k := range m.Keys {
+				q.shadow[k] = gen
+			}
+			shadowing = true
+		}
+	}
+	return nil, false
+}
+
+// take copies the entry out of a node, recycles the node, and returns a
+// heap entry handed to the caller.
+func (q *Queue) take(n *node) *Entry {
+	e := n.entry
+	q.recycle(n)
+	return &e
+}
+
+// Complete marks a previously dequeued entry's handler as finished,
+// releasing its key set (or the sequential barrier) and waking waiters.
+func (q *Queue) Complete(e *Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch e.msg.Mode {
+	case ModeSequential:
+		if !q.barrier {
+			panic("pdq: Complete(sequential) without active barrier")
+		}
+		q.barrier = false
+	case ModeNoSync:
+		// No key state to release.
+	default:
+		for _, k := range e.msg.Keys {
+			c := q.inflight[k]
+			if c <= 0 {
+				panic("pdq: Complete for key with no in-flight handler")
+			}
+			if c == 1 {
+				delete(q.inflight, k)
+			} else {
+				q.inflight[k] = c - 1
+			}
+		}
+	}
+	q.inflightAll--
+	q.stats.Completed++
+	if q.pending == 0 && q.inflightAll == 0 {
+		q.notifyEmptyLocked()
+	}
+	q.cond.Broadcast()
+	if q.notify != nil {
+		q.notify()
+	}
+}
+
+// Close prevents further enqueues. Pending entries still dispatch; blocked
+// Dequeue calls return ok=false once the queue drains.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	if q.pending == 0 && q.inflightAll == 0 {
+		q.notifyEmptyLocked()
+	}
+	q.cond.Broadcast()
+	q.space.Broadcast()
+	if q.notify != nil {
+		q.notify()
+	}
+	q.mu.Unlock()
+}
+
+// Drain blocks until the queue holds no pending entries and no handler is
+// in flight. It does not close the queue; new work may arrive afterwards.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	if q.pending == 0 && q.inflightAll == 0 {
+		q.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	q.waitersEmpty = append(q.waitersEmpty, ch)
+	q.mu.Unlock()
+	<-ch
+}
+
+func (q *Queue) notifyEmptyLocked() {
+	for _, ch := range q.waitersEmpty {
+		close(ch)
+	}
+	q.waitersEmpty = nil
+}
+
+// Len returns the number of pending (undispatched) entries.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// InFlight returns the number of dispatched-but-incomplete handlers.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflightAll
+}
+
+// unlink removes n from the pending list. Caller holds q.mu.
+func (q *Queue) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	q.pending--
+	if q.cap > 0 {
+		q.space.Signal()
+	}
+}
+
+func (q *Queue) newNode() *node {
+	if q.freeList != nil {
+		n := q.freeList
+		q.freeList = n.next
+		q.freeLen--
+		n.next = nil
+		return n
+	}
+	return &node{}
+}
+
+func (q *Queue) recycle(n *node) {
+	if q.freeLen >= q.maxFree {
+		return
+	}
+	n.entry = Entry{}
+	n.prev = nil
+	n.next = q.freeList
+	q.freeList = n
+	q.freeLen++
+}

@@ -3,71 +3,45 @@ package pdq
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 )
 
 // Pool runs a fixed set of worker goroutines that dequeue entries from a
 // Queue and invoke their handlers — the software analogue of the paper's
-// protocol processors, each fed through a Protocol Dispatch Register.
+// protocol processors, each fed through a Protocol Dispatch Register. The
+// pool is built entirely on the public DequeueContext/Complete interface.
 type Pool struct {
 	q       *Queue
 	wg      sync.WaitGroup
 	cancel  context.CancelFunc
-	stopped atomic.Bool
 	workers int
 }
 
 // Serve starts n worker goroutines dispatching from q and returns a Pool
 // controlling them. Workers exit when ctx is cancelled, Stop is called, or
-// the queue is closed and drained. n must be at least 1.
+// the queue is closed and drained. n is clamped to at least 1.
 func Serve(ctx context.Context, q *Queue, n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	p := &Pool{q: q, cancel: cancel, workers: n}
-	// Translate context cancellation into a wakeup so workers blocked on
-	// the queue's condition variable observe it.
-	go func() {
-		<-ctx.Done()
-		p.stopped.Store(true)
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	}()
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
-		go p.worker()
+		go p.worker(ctx)
 	}
 	return p
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(ctx context.Context) {
 	defer p.wg.Done()
-	q := p.q
 	for {
-		q.mu.Lock()
-		var e *Entry
-		for {
-			if p.stopped.Load() {
-				q.mu.Unlock()
-				return
-			}
-			var ok bool
-			if e, ok = q.dequeueLocked(); ok {
-				break
-			}
-			if q.closed && q.pending == 0 {
-				q.mu.Unlock()
-				return
-			}
-			q.stats.Waits++
-			q.cond.Wait()
+		e, err := p.q.DequeueContext(ctx)
+		if err != nil {
+			return // cancelled, or closed and drained
 		}
-		q.mu.Unlock()
 		m := e.Message()
 		m.Handler(m.Data)
-		q.Complete(e)
+		p.q.Complete(e)
 	}
 }
 

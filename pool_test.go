@@ -9,11 +9,11 @@ import (
 )
 
 func TestPoolProcessesAll(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	var count atomic.Int64
 	const n = 5000
 	for i := 0; i < n; i++ {
-		if err := q.Enqueue(Key(i%31), func(any) { count.Add(1) }, nil); err != nil {
+		if err := q.Enqueue(func(any) { count.Add(1) }, WithKey(Key(i%31))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -26,7 +26,7 @@ func TestPoolProcessesAll(t *testing.T) {
 }
 
 func TestPoolMutualExclusionPerKey(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	const keys = 8
 	var active [keys]atomic.Int32
 	var violations atomic.Int32
@@ -39,7 +39,7 @@ func TestPoolMutualExclusionPerKey(t *testing.T) {
 		for k := 0; k < keys; k++ {
 			k := k
 			i := i
-			err := q.Enqueue(Key(k), func(any) {
+			err := q.Enqueue(func(any) {
 				if active[k].Add(1) != 1 {
 					violations.Add(1)
 				}
@@ -50,7 +50,7 @@ func TestPoolMutualExclusionPerKey(t *testing.T) {
 				order[k].last = i + 1
 				order[k].mu.Unlock()
 				active[k].Add(-1)
-			}, nil)
+			}, WithKey(Key(k)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,13 +65,13 @@ func TestPoolMutualExclusionPerKey(t *testing.T) {
 }
 
 func TestPoolParallelismAcrossKeys(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	var cur, peak atomic.Int32
 	block := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(4)
 	for k := 0; k < 4; k++ {
-		err := q.Enqueue(Key(k), func(any) {
+		err := q.Enqueue(func(any) {
 			c := cur.Add(1)
 			for {
 				p := peak.Load()
@@ -82,7 +82,7 @@ func TestPoolParallelismAcrossKeys(t *testing.T) {
 			wg.Done()
 			<-block
 			cur.Add(-1)
-		}, nil)
+		}, WithKey(Key(k)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,21 +98,21 @@ func TestPoolParallelismAcrossKeys(t *testing.T) {
 }
 
 func TestPoolSequentialIsolation(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	var running atomic.Int32
 	var seqSawOthers atomic.Bool
 	var before, after atomic.Int32
 	var seqDone atomic.Bool
 	for i := 0; i < 50; i++ {
-		if err := q.Enqueue(Key(i), func(any) {
+		if err := q.Enqueue(func(any) {
 			running.Add(1)
 			before.Add(1)
 			running.Add(-1)
-		}, nil); err != nil {
+		}, WithKey(Key(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := q.EnqueueSequential(func(any) {
+	if err := q.Enqueue(func(any) {
 		if running.Load() != 0 {
 			seqSawOthers.Store(true)
 		}
@@ -123,16 +123,16 @@ func TestPoolSequentialIsolation(t *testing.T) {
 			seqSawOthers.Store(true) // later entries must not have started
 		}
 		seqDone.Store(true)
-	}, nil); err != nil {
+	}, Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if err := q.Enqueue(Key(i), func(any) {
+		if err := q.Enqueue(func(any) {
 			if !seqDone.Load() {
 				seqSawOthers.Store(true)
 			}
 			after.Add(1)
-		}, nil); err != nil {
+		}, WithKey(Key(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -148,7 +148,7 @@ func TestPoolSequentialIsolation(t *testing.T) {
 }
 
 func TestPoolStopCancels(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	p := Serve(context.Background(), q, 3)
 	done := make(chan struct{})
 	go func() { p.Stop(); close(done) }()
@@ -160,7 +160,7 @@ func TestPoolStopCancels(t *testing.T) {
 }
 
 func TestPoolContextCancel(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	ctx, cancel := context.WithCancel(context.Background())
 	p := Serve(ctx, q, 2)
 	cancel()
@@ -174,7 +174,7 @@ func TestPoolContextCancel(t *testing.T) {
 }
 
 func TestPoolMinWorkers(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	p := Serve(context.Background(), q, 0)
 	if p.Workers() != 1 {
 		t.Fatalf("Workers() = %d, want clamp to 1", p.Workers())
@@ -186,7 +186,7 @@ func TestPoolMinWorkers(t *testing.T) {
 func TestPoolWorkDuringOperation(t *testing.T) {
 	// Enqueue from several producers while the pool runs; everything must
 	// be handled exactly once.
-	q := New(Config{})
+	q := New()
 	var count atomic.Int64
 	p := Serve(context.Background(), q, 4)
 	var wg sync.WaitGroup
@@ -196,7 +196,7 @@ func TestPoolWorkDuringOperation(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if err := q.Enqueue(Key(w*per+i), func(any) { count.Add(1) }, nil); err != nil {
+				if err := q.Enqueue(func(any) { count.Add(1) }, WithKey(Key(w*per+i))); err != nil {
 					t.Error(err)
 					return
 				}
@@ -208,5 +208,24 @@ func TestPoolWorkDuringOperation(t *testing.T) {
 	p.Wait()
 	if count.Load() != producers*per {
 		t.Fatalf("handled %d, want %d", count.Load(), producers*per)
+	}
+}
+
+func TestPoolWithBoundedQueueAndEnqueueWait(t *testing.T) {
+	// End-to-end backpressure: a tiny bounded queue, slow-ish handlers,
+	// and a producer that only uses EnqueueWait. Nothing may be lost.
+	q := New(WithCapacity(4))
+	var count atomic.Int64
+	p := Serve(context.Background(), q, 2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := q.EnqueueWait(context.Background(), func(any) { count.Add(1) }, WithKey(Key(i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	p.Wait()
+	if count.Load() != n {
+		t.Fatalf("handled %d, want %d", count.Load(), n)
 	}
 }

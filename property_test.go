@@ -18,10 +18,14 @@ const (
 	opNoSync
 )
 
-// scriptEntry is one generated enqueue.
+// keyUniverse bounds the generated key space so conflicts are common.
+const keyUniverse = 5
+
+// scriptEntry is one generated enqueue: a mode and a key set of 1–3 keys
+// for keyed entries (the v2 key-set surface).
 type scriptEntry struct {
 	kind opKind
-	key  Key
+	keys []Key
 }
 
 func genScript(r *rand.Rand, n int) []scriptEntry {
@@ -33,7 +37,12 @@ func genScript(r *rand.Rand, n int) []scriptEntry {
 		case 1:
 			s[i] = scriptEntry{kind: opNoSync}
 		default:
-			s[i] = scriptEntry{kind: opKeyed, key: Key(r.Intn(5))}
+			nk := 1 + r.Intn(3)
+			ks := make([]Key, nk)
+			for j := range ks {
+				ks[j] = Key(r.Intn(keyUniverse))
+			}
+			s[i] = scriptEntry{kind: opKeyed, keys: ks}
 		}
 	}
 	return s
@@ -41,15 +50,16 @@ func genScript(r *rand.Rand, n int) []scriptEntry {
 
 // runScript executes a script on a pool and checks the PDQ invariants:
 //  1. every enqueued handler runs exactly once;
-//  2. handlers with equal keys never overlap and run in enqueue order;
+//  2. handlers with overlapping key sets never overlap in time and run in
+//     enqueue order on every shared key;
 //  3. a sequential handler overlaps nothing and observes all earlier
 //     handlers complete and no later handler started.
 func runScript(t *testing.T, script []scriptEntry, workers, window int) bool {
-	q := New(Config{SearchWindow: window})
+	q := New(WithSearchWindow(window))
 	var ran atomic.Int64
 	var bad atomic.Int32
 	var activeAll atomic.Int32
-	var activeKey [5]atomic.Int32
+	var activeKey [keyUniverse]atomic.Int32
 	var mu sync.Mutex
 	lastPerKey := map[Key]int{}
 	doneBefore := make([]atomic.Bool, len(script))
@@ -59,7 +69,7 @@ func runScript(t *testing.T, script []scriptEntry, workers, window int) bool {
 		var err error
 		switch op.kind {
 		case opSeq:
-			err = q.EnqueueSequential(func(any) {
+			err = q.Enqueue(func(any) {
 				if activeAll.Add(1) != 1 {
 					bad.Add(1)
 				}
@@ -76,32 +86,43 @@ func runScript(t *testing.T, script []scriptEntry, workers, window int) bool {
 				doneBefore[i].Store(true)
 				ran.Add(1)
 				activeAll.Add(-1)
-			}, nil)
+			}, Sequential())
 		case opNoSync:
-			err = q.EnqueueNoSync(func(any) {
+			err = q.Enqueue(func(any) {
 				activeAll.Add(1)
 				doneBefore[i].Store(true)
 				ran.Add(1)
 				activeAll.Add(-1)
-			}, nil)
+			}, NoSync())
 		default:
-			k := op.key
-			err = q.Enqueue(k, func(any) {
+			ks := op.keys
+			err = q.Enqueue(func(any) {
 				activeAll.Add(1)
-				if activeKey[k].Add(1) != 1 {
-					bad.Add(1) // two handlers with the same key overlap
+				seen := map[Key]bool{}
+				for _, k := range ks {
+					if seen[k] {
+						continue // duplicate key in the set
+					}
+					seen[k] = true
+					if activeKey[k].Add(1) != 1 {
+						bad.Add(1) // two handlers sharing a key overlap
+					}
 				}
 				mu.Lock()
-				if lastPerKey[k] >= i+1 {
-					bad.Add(1) // out of enqueue order within a key
+				for k := range seen {
+					if lastPerKey[k] >= i+1 {
+						bad.Add(1) // out of enqueue order on a shared key
+					}
+					lastPerKey[k] = i + 1
 				}
-				lastPerKey[k] = i + 1
 				mu.Unlock()
 				doneBefore[i].Store(true)
 				ran.Add(1)
-				activeKey[k].Add(-1)
+				for k := range seen {
+					activeKey[k].Add(-1)
+				}
 				activeAll.Add(-1)
-			}, nil)
+			}, WithKeys(ks...))
 		}
 		if err != nil {
 			t.Fatalf("enqueue: %v", err)
@@ -143,11 +164,11 @@ func TestPropertyInvariantsRandomScripts(t *testing.T) {
 func TestPropertyDrainAlwaysEmpties(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		q := New(Config{})
+		q := New()
 		n := 50 + r.Intn(100)
 		var count atomic.Int64
 		for i := 0; i < n; i++ {
-			if err := q.Enqueue(Key(r.Intn(7)), func(any) { count.Add(1) }, nil); err != nil {
+			if err := q.Enqueue(func(any) { count.Add(1) }, WithKey(Key(r.Intn(7)))); err != nil {
 				return false
 			}
 		}
@@ -167,20 +188,20 @@ func TestPropertyDrainAlwaysEmpties(t *testing.T) {
 
 func TestPropertyStatsBalance(t *testing.T) {
 	// After close+drain: enqueued == dispatched == completed, regardless of
-	// the mix of modes, workers, or window size.
+	// the mix of modes, key-set sizes, workers, or window size.
 	f := func(seed int64, rawWorkers uint8) bool {
 		r := rand.New(rand.NewSource(seed))
-		q := New(Config{SearchWindow: 1 + r.Intn(32)})
+		q := New(WithSearchWindow(1 + r.Intn(32)))
 		script := genScript(r, 80)
 		for _, op := range script {
 			var err error
 			switch op.kind {
 			case opSeq:
-				err = q.EnqueueSequential(func(any) {}, nil)
+				err = q.Enqueue(func(any) {}, Sequential())
 			case opNoSync:
-				err = q.EnqueueNoSync(func(any) {}, nil)
+				err = q.Enqueue(func(any) {}, NoSync())
 			default:
-				err = q.Enqueue(op.key, func(any) {}, nil)
+				err = q.Enqueue(func(any) {}, WithKeys(op.keys...))
 			}
 			if err != nil {
 				return false
@@ -194,6 +215,30 @@ func TestPropertyStatsBalance(t *testing.T) {
 			s.Enqueued == uint64(len(script))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnqueueWaitLosesNothing(t *testing.T) {
+	// A bounded queue fed exclusively by EnqueueWait under a running pool
+	// handles every message exactly once, whatever the capacity.
+	f := func(seed int64, rawCap uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := int(rawCap%7) + 1
+		q := New(WithCapacity(capacity))
+		p := Serve(context.Background(), q, 1+r.Intn(4))
+		n := 100 + r.Intn(200)
+		var count atomic.Int64
+		for i := 0; i < n; i++ {
+			if err := q.EnqueueWait(context.Background(), func(any) { count.Add(1) }, WithKey(Key(r.Intn(4)))); err != nil {
+				return false
+			}
+		}
+		q.Close()
+		p.Wait()
+		return count.Load() == int64(n) && q.Stats().Rejected == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
 }

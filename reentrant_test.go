@@ -11,7 +11,7 @@ import (
 // queue must accept enqueues from inside handlers without deadlock and
 // drain completely.
 func TestHandlersEnqueueMessages(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	var handled atomic.Int64
 	var spawn func(depth int, key Key) func(any)
 	spawn = func(depth int, key Key) func(any) {
@@ -22,17 +22,17 @@ func TestHandlersEnqueueMessages(t *testing.T) {
 			}
 			// A "reply" to a different resource and a "forward" on the
 			// same resource (serialized behind us, not with us).
-			if err := q.Enqueue(key+1, spawn(depth-1, key+1), nil); err != nil {
+			if err := q.Enqueue(spawn(depth-1, key+1), WithKey(key+1)); err != nil {
 				t.Error(err)
 			}
-			if err := q.Enqueue(key, spawn(depth-1, key), nil); err != nil {
+			if err := q.Enqueue(spawn(depth-1, key), WithKey(key)); err != nil {
 				t.Error(err)
 			}
 		}
 	}
 	const roots, depth = 16, 6
 	for i := 0; i < roots; i++ {
-		if err := q.Enqueue(Key(i*100), spawn(depth, Key(i*100)), nil); err != nil {
+		if err := q.Enqueue(spawn(depth, Key(i*100)), WithKey(Key(i*100))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -50,20 +50,21 @@ func TestHandlersEnqueueMessages(t *testing.T) {
 // TestSequentialEnqueuedFromHandler verifies a handler can schedule a
 // barrier that then runs with full isolation semantics.
 func TestSequentialEnqueuedFromHandler(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	var before atomic.Int32
 	var barrierSawAll atomic.Bool
 	const n = 40
 	for i := 0; i < n; i++ {
-		err := q.Enqueue(Key(i), func(any) {
+		i := i
+		err := q.Enqueue(func(any) {
 			before.Add(1)
 			if i == 0 {
 				// First handler requests a cluster-wide operation.
-				_ = q.EnqueueSequential(func(any) {
+				_ = q.Enqueue(func(any) {
 					barrierSawAll.Store(before.Load() == n)
-				}, nil)
+				}, Sequential())
 			}
-		}, nil)
+		}, WithKey(Key(i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,9 +78,49 @@ func TestSequentialEnqueuedFromHandler(t *testing.T) {
 	}
 }
 
+// TestKeySetEnqueuedFromHandler: handlers may schedule follow-up work
+// holding multi-key sets; the queue drains without deadlock and the
+// follow-ups respect key-set exclusion.
+func TestKeySetEnqueuedFromHandler(t *testing.T) {
+	q := New()
+	var handled atomic.Int64
+	var violations atomic.Int32
+	var active [8]atomic.Int32
+	const roots = 8
+	for i := 0; i < roots; i++ {
+		a, b := Key(i), Key((i+1)%roots)
+		if err := q.Enqueue(func(any) {
+			handled.Add(1)
+			_ = q.Enqueue(func(any) {
+				for _, k := range []Key{a, b} {
+					if active[k].Add(1) != 1 {
+						violations.Add(1)
+					}
+				}
+				handled.Add(1)
+				for _, k := range []Key{a, b} {
+					active[k].Add(-1)
+				}
+			}, WithKeys(a, b))
+		}, WithKey(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Serve(context.Background(), q, 4)
+	q.Drain()
+	q.Close()
+	p.Wait()
+	if handled.Load() != 2*roots {
+		t.Fatalf("handled %d, want %d", handled.Load(), 2*roots)
+	}
+	if violations.Load() != 0 {
+		t.Fatal("key-set exclusion violated for handler-spawned entries")
+	}
+}
+
 // TestDequeueWakesOnClose ensures blocked consumers terminate.
 func TestDequeueWakesOnClose(t *testing.T) {
-	q := New(Config{})
+	q := New()
 	done := make(chan struct{})
 	go func() {
 		if _, ok := q.Dequeue(); ok {

@@ -1,0 +1,47 @@
+package pdq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errConflictingModes reports Sequential() combined with NoSync().
+var errConflictingModes = errors.New("pdq: conflicting dispatch modes")
+
+// Stats counts queue activity. All counters are cumulative since New. The
+// JSON field names are stable so external tooling (cmd/pdqbench's
+// BENCH_*.json, dashboards) can track them across versions.
+type Stats struct {
+	Enqueued           uint64 `json:"enqueued"`             // messages accepted
+	Rejected           uint64 `json:"rejected"`             // messages refused with ErrFull
+	Dispatched         uint64 `json:"dispatched"`           // entries handed to callers
+	Completed          uint64 `json:"completed"`            // Complete calls
+	SeqDispatched      uint64 `json:"seq_dispatched"`       // sequential entries dispatched
+	NoSyncDispatched   uint64 `json:"nosync_dispatched"`    // nosync entries dispatched
+	MultiKeyDispatched uint64 `json:"multikey_dispatched"`  // entries with two or more keys dispatched
+	KeyConflicts       uint64 `json:"key_conflicts"`        // scan skips due to an in-flight overlapping key
+	OrderConflicts     uint64 `json:"order_conflicts"`      // scan skips preserving enqueue order behind a blocked overlapping key set
+	SeqStalls          uint64 `json:"seq_stalls"`           // scans stopped at a non-dispatchable sequential entry
+	BarrierStalls      uint64 `json:"barrier_stalls"`       // dequeue attempts while a sequential handler ran
+	WindowStalls       uint64 `json:"window_stalls"`        // scans exhausted the search window
+	Waits              uint64 `json:"waits"`                // blocking dequeue sleeps
+	EnqueueWaits       uint64 `json:"enqueue_waits"`        // EnqueueWait sleeps for capacity
+	MaxPending         int    `json:"max_pending"`          // high-water mark of pending entries
+	MaxKeySet          int    `json:"max_key_set"`          // largest synchronization key set seen
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// String renders the counters compactly for logs and reports.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d maxPending=%d maxKeySet=%d rejected=%d",
+		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
+		s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
+		s.WindowStalls, s.Waits, s.EnqueueWaits, s.MaxPending, s.MaxKeySet, s.Rejected)
+}
