@@ -8,12 +8,15 @@
 //
 //	pdqbench [-strategy pdq|lock|oam|multiq|all] [-workers 8]
 //	         [-messages 200000] [-keys 64] [-skew 0] [-work 200]
-//	         [-setsize 1] [-json .]
+//	         [-setsize 1] [-shards 1] [-json .]
 //
 // skew > 0 draws keys from a Zipf-like distribution (hotspot); work is the
 // simulated handler body in nanoseconds of spinning. setsize > 1 gives
 // every message a synchronization key set of that many keys (pdq strategy
-// only — the baselines have no key-set notion).
+// only — the baselines have no key-set notion). shards partitions the pdq
+// dispatch core (1 = the classic single-queue scan, 0 = derive from
+// GOMAXPROCS); it is recorded in BENCH_pdq.json so sharded and unsharded
+// runs can be tracked side by side.
 //
 // Unless -json is empty, each strategy additionally writes a
 // machine-readable BENCH_<strategy>.json file into the given directory
@@ -41,6 +44,7 @@ type config struct {
 	messages int
 	keys     int
 	setSize  int
+	shards   int
 	skew     float64
 	work     time.Duration
 	seed     uint64
@@ -53,6 +57,7 @@ type result struct {
 	Messages   int     `json:"messages"`
 	Keys       int     `json:"keys"`
 	SetSize    int     `json:"set_size"`
+	Shards     int     `json:"shards"` // resolved shard count (pdq strategy)
 	Skew       float64 `json:"skew"`
 	WorkNanos  int64   `json:"work_ns"`
 	Seed       uint64  `json:"seed"`
@@ -74,13 +79,14 @@ func main() {
 		messages = flag.Int("messages", 200_000, "messages to dispatch")
 		keys     = flag.Int("keys", 64, "distinct synchronization keys")
 		setSize  = flag.Int("setsize", 1, "keys per message key set (pdq only)")
+		shards   = flag.Int("shards", 1, "pdq dispatch shards (0 = GOMAXPROCS-derived, pdq only)")
 		skew     = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
 		work     = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
 		seed     = flag.Uint64("seed", 7, "key sequence seed")
 		jsonDir  = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
 	)
 	flag.Parse()
-	cfg := config{*workers, *messages, *keys, *setSize, *skew, *work, *seed}
+	cfg := config{*workers, *messages, *keys, *setSize, *shards, *skew, *work, *seed}
 	names := []string{"pdq", "lock", "oam", "multiq"}
 	if *strategy != "all" {
 		names = []string{*strategy}
@@ -167,7 +173,7 @@ func runStrategy(name string, cfg config) (result, error) {
 	}
 	switch name {
 	case "pdq":
-		q := pdq.New()
+		q := pdq.New(pdq.WithShards(cfg.shards))
 		start := time.Now()
 		p := pdq.Serve(context.Background(), q, cfg.workers)
 		set := make([]pdq.Key, cfg.setSize)
@@ -184,6 +190,7 @@ func runStrategy(name string, cfg config) (result, error) {
 		stats := q.Stats()
 		finish(start, stats.Completed)
 		res.PDQ = &stats
+		res.Shards = stats.Shards
 		return res, nil
 	case "lock", "oam":
 		strat := lockq.SpinLock

@@ -1,0 +1,779 @@
+// Package pdq implements the Parallel Dispatch Queue abstraction from
+// Falsafi & Wood, "Parallel Dispatch Queue: A Queue-Based Programming
+// Abstraction To Parallelize Fine-Grain Communication Protocols" (HPCA 1999).
+//
+// A PDQ is a single logical message queue in which every message carries a
+// synchronization key set naming the group of resources its handler will
+// touch. The queue performs all synchronization at dispatch time: handlers
+// for messages with disjoint key sets run in parallel, handlers for
+// messages with overlapping key sets run serially in enqueue order, and no
+// locks or busy-waiting are needed inside handlers. Two reserved dispatch
+// modes complete the model:
+//
+//   - Sequential: the message is a full barrier in queue order. Dispatch
+//     stops, all in-flight handlers drain, the handler runs in isolation,
+//     and then parallel dispatch resumes. Protocol operations that touch a
+//     large resource group (e.g. page allocation in a fine-grain DSM) use
+//     this mode.
+//   - NoSync: the handler needs no synchronization at all and may dispatch
+//     whenever a worker is free, regardless of other in-flight handlers
+//     (but never overtaking an active sequential barrier).
+//
+// Messages are shaped by functional options:
+//
+//	q := pdq.New(pdq.WithSearchWindow(64), pdq.WithCapacity(1 << 16))
+//	err := q.Enqueue(handler, pdq.WithKeys(from, to), pdq.WithData(amount))
+//	err = q.Enqueue(audit, pdq.Sequential())
+//	err = q.Enqueue(heartbeat, pdq.NoSync())
+//
+// The implementation mirrors the paper's hardware organization: a FIFO of
+// entries, an associative "search engine" bounded by a small window at the
+// head of the queue, and per-worker dispatch. Both a low-level interface
+// (TryDequeue/DequeueContext/Complete, the software analogue of the paper's
+// Protocol Dispatch Register) and a high-level worker pool (Serve) are
+// provided. DequeueContext and EnqueueWait integrate with context
+// cancellation, and EnqueueWait converts a full queue into backpressure
+// instead of an ErrFull failure.
+//
+// # Sharded dispatch core
+//
+// Internally the queue is a sharded dispatch core: the key space is
+// partitioned across N shards (WithShards), each owning its own pending
+// list, in-flight map, per-key claim queues, free list, and lock, so
+// single-key traffic to different shards never contends on a shared
+// mutex. A multi-key entry is homed on the shard of its lowest-hashing
+// key and registers claims on every shard its key set touches; Sequential
+// entries are a cross-shard epoch barrier that drains all shards, runs
+// alone, and releases. Global enqueue-order FIFO for overlapping key sets
+// is preserved by the global sequence numbers stamped on every entry. The
+// default of one shard preserves the exact bounded-window scan semantics
+// of the unsharded dispatcher; see shard.go and barrier.go for the split.
+package pdq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a synchronization key. A message carries a set of keys; handlers
+// for messages with overlapping key sets are mutually exclusive and execute
+// in enqueue order, while handlers for messages with disjoint key sets may
+// execute concurrently. The zero key is an ordinary key with no special
+// meaning.
+type Key uint64
+
+// Mode selects how an entry synchronizes with other entries.
+type Mode uint8
+
+const (
+	// ModeKeyed entries serialize against entries whose key set overlaps
+	// theirs. An entry with an empty key set synchronizes with nothing.
+	ModeKeyed Mode = iota
+	// ModeSequential entries act as a full barrier: every earlier entry
+	// completes before the handler runs, the handler runs alone, and no
+	// later entry dispatches until it completes.
+	ModeSequential
+	// ModeNoSync entries dispatch without any key synchronization.
+	ModeNoSync
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeKeyed:
+		return "keyed"
+	case ModeSequential:
+		return "sequential"
+	case ModeNoSync:
+		return "nosync"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Message is the unit of work carried by the queue. Handler receives Data
+// when the dispatcher (or a manual dequeue caller) executes the message.
+// Most callers build messages implicitly through Enqueue options; the
+// struct is exported for the low-level EnqueueMessage path.
+type Message struct {
+	// Keys is the synchronization key set (ModeKeyed only; it must be
+	// empty in the other modes). Duplicate keys are permitted and act as
+	// a single key.
+	Keys    []Key
+	Mode    Mode
+	Data    any
+	Handler func(data any)
+}
+
+// Entry is a dispatched queue entry. Callers using the low-level dequeue
+// interface must pass the entry back to Complete exactly once after running
+// the handler.
+type Entry struct {
+	msg   Message
+	seq   uint64 // global enqueue sequence number, for ordering and diagnostics
+	smask uint64 // bit set of shard indexes the key set touches
+}
+
+// Message returns the message carried by the entry.
+func (e *Entry) Message() Message { return e.msg }
+
+// Seq returns the entry's enqueue sequence number. Sequence numbers are
+// assigned in enqueue order starting at 1.
+func (e *Entry) Seq() uint64 { return e.seq }
+
+// DefaultSearchWindow bounds the associative search at the head of the
+// queue, mirroring the small dispatch buffer of a hardware PDQ
+// implementation (paper Section 3.2).
+const DefaultSearchWindow = 64
+
+// Errors returned by queue operations.
+var (
+	ErrClosed     = errors.New("pdq: queue closed")
+	ErrFull       = errors.New("pdq: queue full")
+	ErrNilHandler = errors.New("pdq: nil handler")
+)
+
+// Queue is a Parallel Dispatch Queue. All methods are safe for concurrent
+// use. The zero value is not usable; call New.
+type Queue struct {
+	window int
+	cap    int
+	mask   uint32  // len(shards) - 1; shard count is a power of two
+	shards []shard // fixed at construction, indexed by key hash
+
+	nextSeq     atomic.Uint64 // global enqueue sequence counter
+	closed      atomic.Bool
+	inflightAll atomic.Int64  // all in-flight handlers (any mode)
+	rr          atomic.Uint32 // rotates scan start and keyless placement
+
+	bar barrier // cross-shard epoch barrier for Sequential entries
+
+	// Bounded-capacity slot accounting (cap > 0 only). Slots are reserved
+	// before any shard lock is taken and released when an entry dispatches,
+	// so EnqueueWait sleeps without holding dispatch locks.
+	capUsed atomic.Int64
+	spaceMu sync.Mutex
+	space   *sync.Cond
+
+	// Consumer eventcount: every dispatchability change bumps a generation
+	// counter (per shard, so producers on different shards don't share a
+	// cacheline; extraGen covers barrier and close events). A consumer that
+	// read generation-sum g only sleeps while the sum is still g, closing
+	// the scan-then-sleep race without a global dispatch lock.
+	extraGen atomic.Uint64
+	waiters  atomic.Int32
+	waitMu   sync.Mutex
+	waitCond *sync.Cond
+
+	drainMu      sync.Mutex
+	drainWaiters atomic.Int32 // registered Drain callers (gates the empty check)
+	waitersEmpty []chan struct{}
+
+	notify func() // optional hook: dispatchability may have changed
+
+	g globalCounters
+}
+
+// globalCounters are the queue-level stats that cannot live on one shard.
+// They sit on slow or stall paths only; hot-path counters are per shard.
+type globalCounters struct {
+	rejected      atomic.Uint64
+	barrierStalls atomic.Uint64
+	seqStalls     atomic.Uint64
+	waits         atomic.Uint64
+	enqueueWaits  atomic.Uint64
+	crossShard    atomic.Uint64
+	maxKeySet     atomic.Int64
+}
+
+// New returns an empty queue shaped by opts.
+func New(opts ...Option) *Queue {
+	cfg := config{searchWindow: DefaultSearchWindow, shards: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := resolveShards(cfg.shards)
+	q := &Queue{
+		window: cfg.searchWindow,
+		cap:    cfg.capacity,
+		mask:   uint32(n - 1),
+		shards: make([]shard, n),
+	}
+	for i := range q.shards {
+		q.shards[i].init(uint32(i))
+	}
+	q.space = sync.NewCond(&q.spaceMu)
+	q.waitCond = sync.NewCond(&q.waitMu)
+	return q
+}
+
+// resolveShards maps the WithShards argument to a concrete shard count:
+// n <= 0 derives the count from GOMAXPROCS, and any count is rounded up to
+// a power of two and capped at 64 (the shard set must fit a 64-bit mask).
+func resolveShards(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > 64 {
+		n = 64
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Enqueue appends a message invoking handler(data), shaped by opts: the
+// synchronization key set comes from WithKey/WithKeys, the payload from
+// WithData, and the dispatch mode from Sequential or NoSync (default
+// keyed). With no key options the message synchronizes with nothing.
+// Enqueue never blocks; on a full bounded queue it fails with ErrFull
+// (use EnqueueWait for backpressure instead).
+func (q *Queue) Enqueue(handler func(data any), opts ...EnqueueOption) error {
+	m, err := buildMessage(handler, opts)
+	if err != nil {
+		return err
+	}
+	return q.EnqueueMessage(m)
+}
+
+// EnqueueWait appends a message like Enqueue but, when the queue is at
+// capacity, blocks until space frees, ctx is done, or the queue closes —
+// backpressure in place of ErrFull. Calling EnqueueWait from inside a
+// handler can deadlock a full queue (the handler's worker is the one that
+// must drain it); handlers should use Enqueue.
+func (q *Queue) EnqueueWait(ctx context.Context, handler func(data any), opts ...EnqueueOption) error {
+	m, err := buildMessage(handler, opts)
+	if err != nil {
+		return err
+	}
+	return q.EnqueueMessageWait(ctx, m)
+}
+
+// EnqueueMessage appends m to the queue without blocking; a full bounded
+// queue fails with ErrFull.
+func (q *Queue) EnqueueMessage(m Message) error {
+	if err := checkMessage(&m); err != nil {
+		return err
+	}
+	if q.closed.Load() {
+		return ErrClosed
+	}
+	if q.cap > 0 && !q.tryReserveSlot() {
+		q.g.rejected.Add(1)
+		return ErrFull
+	}
+	return q.enqueueReserved(m)
+}
+
+// EnqueueMessageWait appends m, blocking for capacity as EnqueueWait does.
+func (q *Queue) EnqueueMessageWait(ctx context.Context, m Message) error {
+	if err := checkMessage(&m); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if q.closed.Load() {
+		return ErrClosed
+	}
+	if q.cap > 0 {
+		if err := q.reserveSlotWait(ctx); err != nil {
+			return err
+		}
+	}
+	return q.enqueueReserved(m)
+}
+
+// checkMessage validates a caller-built message.
+func checkMessage(m *Message) error {
+	if m.Handler == nil {
+		return ErrNilHandler
+	}
+	if m.Mode != ModeKeyed && len(m.Keys) > 0 {
+		return fmt.Errorf("pdq: %v message must not carry keys", m.Mode)
+	}
+	return nil
+}
+
+// enqueueReserved routes a validated message (capacity slot already held
+// for bounded queues) to the barrier queue or its home shard.
+func (q *Queue) enqueueReserved(m Message) error {
+	if m.Mode == ModeSequential {
+		if err := q.enqueueSequential(m); err != nil {
+			q.releaseSlot()
+			return err
+		}
+		q.wakeGlobal()
+		return nil
+	}
+	home, err := q.enqueueSharded(m)
+	if err != nil {
+		q.releaseSlot()
+		return err
+	}
+	q.wakeShard(home)
+	return nil
+}
+
+// enqueueSharded links a keyed or nosync message into its home shard,
+// registering a claim for every key on the key's owning shard. Every
+// involved shard is locked (in index order) across sequence assignment so
+// that per-key claim queues are pushed in strictly increasing seq order —
+// the property the whole cross-shard FIFO discipline rests on.
+func (q *Queue) enqueueSharded(m Message) (*shard, error) {
+	var smask uint64
+	var home uint32
+	if len(m.Keys) > 0 {
+		best := ^uint64(0)
+		for _, k := range m.Keys {
+			h := mix64(uint64(k))
+			smask |= 1 << (uint32(h) & q.mask)
+			if h <= best {
+				best = h
+				home = uint32(h) & q.mask
+			}
+		}
+	} else {
+		// Keyless and nosync entries synchronize with nothing; spread them
+		// round-robin so they never pile onto one shard.
+		home = 0
+		if q.mask != 0 {
+			home = q.rr.Add(1) & q.mask
+		}
+		smask = 1 << home
+	}
+	q.lockMask(smask)
+	if q.closed.Load() {
+		q.unlockMask(smask)
+		return nil, ErrClosed
+	}
+	seq := q.nextSeq.Add(1)
+	for _, k := range m.Keys {
+		q.shardOf(k).pushClaim(k, seq)
+	}
+	h := &q.shards[home]
+	n := h.newNode()
+	n.entry = Entry{msg: m, seq: seq, smask: smask}
+	h.link(n)
+	h.stats.enqueued++
+	q.unlockMask(smask)
+	if l := int64(len(m.Keys)); l > 0 {
+		for {
+			cur := q.g.maxKeySet.Load()
+			if l <= cur || q.g.maxKeySet.CompareAndSwap(cur, l) {
+				break
+			}
+		}
+	}
+	return h, nil
+}
+
+// lockMask locks every shard named in mask in ascending index order.
+func (q *Queue) lockMask(mask uint64) {
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << i
+		q.shards[i].mu.Lock()
+	}
+}
+
+// unlockMask unlocks every shard named in mask.
+func (q *Queue) unlockMask(mask uint64) {
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << i
+		q.shards[i].mu.Unlock()
+	}
+}
+
+// TryDequeue removes and returns the first dispatchable entry found within
+// the per-shard search windows, or ok=false if none is currently
+// dispatchable. The caller must invoke the entry's handler and then call
+// Complete. TryDequeue never blocks (under cross-shard lock contention it
+// may conservatively report nothing dispatchable).
+func (q *Queue) TryDequeue() (e *Entry, ok bool) {
+	e, ok, _ = q.tryDequeue()
+	return e, ok
+}
+
+// tryDequeue makes one dispatch attempt across the barrier and all shards.
+// retry reports that a cross-shard TryLock failed, i.e. the attempt was
+// inconclusive and the caller should rescan rather than sleep.
+func (q *Queue) tryDequeue() (e *Entry, ok bool, retry bool) {
+	if q.bar.active.Load() {
+		// A sequential handler owns the machine; nothing dispatches.
+		q.g.barrierStalls.Add(1)
+		return nil, false, false
+	}
+	barPending := q.bar.minSeq.Load() != 0
+	if barPending {
+		if e, ok := q.tryActivateBarrier(); ok {
+			return e, true, false
+		}
+	}
+	var start uint32
+	if q.mask != 0 {
+		start = q.rr.Add(1)
+	}
+	for i := uint32(0); i <= q.mask; i++ {
+		s := &q.shards[(start+i)&q.mask]
+		if s.npending.Load() == 0 {
+			continue
+		}
+		e, ok, r := q.scanShard(s)
+		if ok {
+			return e, true, false
+		}
+		retry = retry || r
+	}
+	if barPending {
+		q.g.seqStalls.Add(1)
+	}
+	return nil, false, retry
+}
+
+// Dequeue blocks until an entry is dispatchable or the queue is closed and
+// fully drained. It returns ok=false only on close+drain.
+func (q *Queue) Dequeue() (e *Entry, ok bool) {
+	e, err := q.DequeueContext(context.Background())
+	return e, err == nil
+}
+
+// DequeueContext blocks until an entry is dispatchable, ctx is done, or
+// the queue is closed and fully drained. It returns ErrClosed on
+// close+drain and ctx.Err() on cancellation; any other return is a
+// dispatched entry the caller must Complete.
+func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
+	var stop func() bool
+	defer func() {
+		if stop != nil {
+			stop()
+		}
+	}()
+	for {
+		g := q.wakeSum()
+		e, ok, retry := q.tryDequeue()
+		if ok {
+			return e, nil
+		}
+		if q.closed.Load() && q.confirmDrained() {
+			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if retry {
+			// A cross-shard dispatch lost a TryLock race; the state is
+			// unknown, so rescan instead of sleeping on a stale generation.
+			runtime.Gosched()
+			continue
+		}
+		if stop == nil && ctx.Done() != nil {
+			stop = context.AfterFunc(ctx, func() {
+				q.waitMu.Lock()
+				q.waitCond.Broadcast()
+				q.waitMu.Unlock()
+			})
+		}
+		q.waitMu.Lock()
+		// Publish the waiter BEFORE re-checking the generation: a producer
+		// that bumps the generation and then reads waiters == 0 is thereby
+		// guaranteed (seq-cst order) that this re-check observes its bump,
+		// so skipping the broadcast cannot strand us.
+		q.waiters.Add(1)
+		if q.wakeSum() == g {
+			q.g.waits.Add(1)
+			q.waitCond.Wait()
+		}
+		q.waiters.Add(-1)
+		q.waitMu.Unlock()
+	}
+}
+
+// Complete marks a previously dequeued entry's handler as finished,
+// releasing its key set (or the sequential barrier) and waking waiters.
+func (q *Queue) Complete(e *Entry) {
+	var ws *shard // shard credited with the completion and woken
+	switch e.msg.Mode {
+	case ModeSequential:
+		q.completeBarrier()
+	case ModeNoSync:
+		// No key state to release.
+		ws = q.shardFromMask(e.smask)
+	default:
+		mask := e.smask
+		if len(e.msg.Keys) > 0 {
+			if mask == 0 {
+				// Entry not minted by this queue's dispatch path (possible
+				// through the exported struct); recompute its shard set.
+				mask = q.keysMask(e.msg.Keys)
+			}
+			for m := mask; m != 0; {
+				i := bits.TrailingZeros64(m)
+				m &^= 1 << i
+				s := &q.shards[i]
+				s.mu.Lock()
+				for _, k := range e.msg.Keys {
+					if q.shardIndex(k) != s.idx {
+						continue
+					}
+					c := s.inflight[k]
+					if c <= 0 {
+						s.mu.Unlock()
+						panic("pdq: Complete for key with no in-flight handler")
+					}
+					if c == 1 {
+						delete(s.inflight, k)
+					} else {
+						s.inflight[k] = c - 1
+					}
+				}
+				s.mu.Unlock()
+			}
+		}
+		ws = q.shardFromMask(mask)
+	}
+	if ws != nil {
+		ws.completed.Add(1)
+	}
+	// The drainWaiters gate is sound because Drain publishes its waiter
+	// count before checking emptiness itself; isIdle re-checks in the one
+	// read order the dispatch protocol makes safe.
+	if q.inflightAll.Add(-1) == 0 && q.drainWaiters.Load() > 0 && q.isIdle() {
+		q.notifyEmpty()
+	}
+	if ws != nil {
+		q.wakeShard(ws)
+	} else {
+		q.wakeGlobal()
+	}
+}
+
+// shardFromMask picks the representative shard (lowest index) of a shard
+// bit set, defaulting to shard 0 for entries with no recorded mask.
+func (q *Queue) shardFromMask(mask uint64) *shard {
+	if mask == 0 {
+		return &q.shards[0]
+	}
+	return &q.shards[bits.TrailingZeros64(mask)]
+}
+
+// Close prevents further enqueues. Pending entries still dispatch; blocked
+// Dequeue calls return ok=false once the queue drains.
+func (q *Queue) Close() {
+	q.closed.Store(true)
+	if q.isIdle() {
+		q.notifyEmpty()
+	}
+	q.spaceMu.Lock()
+	q.space.Broadcast()
+	q.spaceMu.Unlock()
+	q.extraGen.Add(1)
+	q.waitMu.Lock()
+	q.waitCond.Broadcast()
+	q.waitMu.Unlock()
+	if q.notify != nil {
+		q.notify()
+	}
+}
+
+// Drain blocks until the queue holds no pending entries and no handler is
+// in flight. It does not close the queue; new work may arrive afterwards.
+func (q *Queue) Drain() {
+	q.drainMu.Lock()
+	// Publish the waiter before checking emptiness: a completer that reads
+	// drainWaiters == 0 is then guaranteed this Drain's own check ran (or
+	// will run) after the completer's decrement, so no wakeup is lost.
+	q.drainWaiters.Add(1)
+	if q.isIdle() {
+		q.drainWaiters.Add(-1)
+		q.drainMu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	q.waitersEmpty = append(q.waitersEmpty, ch)
+	q.drainMu.Unlock()
+	<-ch
+}
+
+func (q *Queue) notifyEmpty() {
+	q.drainMu.Lock()
+	if n := len(q.waitersEmpty); n > 0 {
+		for _, ch := range q.waitersEmpty {
+			close(ch)
+		}
+		q.waitersEmpty = nil
+		q.drainWaiters.Add(int32(-n))
+	}
+	q.drainMu.Unlock()
+}
+
+// wakeShard publishes a dispatchability change scoped to one shard (its
+// enqueues or key releases): it advances the shard's eventcount generation
+// and wakes sleeping consumers and the mux hook. It must not be called
+// with any shard lock held (the notify hook may be arbitrary).
+func (q *Queue) wakeShard(s *shard) {
+	s.wakeGen.Add(1)
+	if q.waiters.Load() > 0 {
+		q.waitMu.Lock()
+		q.waitCond.Broadcast()
+		q.waitMu.Unlock()
+	}
+	if q.notify != nil {
+		q.notify()
+	}
+}
+
+// wakeGlobal publishes a queue-wide dispatchability change (barrier
+// traffic, close).
+func (q *Queue) wakeGlobal() {
+	q.extraGen.Add(1)
+	if q.waiters.Load() > 0 {
+		q.waitMu.Lock()
+		q.waitCond.Broadcast()
+		q.waitMu.Unlock()
+	}
+	if q.notify != nil {
+		q.notify()
+	}
+}
+
+// wakeSum snapshots the eventcount: the sum only ever grows, and any
+// dispatchability change anywhere changes it, so "sum unchanged" is a safe
+// sleep condition for consumers.
+func (q *Queue) wakeSum() uint64 {
+	g := q.extraGen.Load()
+	for i := range q.shards {
+		g += q.shards[i].wakeGen.Load()
+	}
+	return g
+}
+
+// totalPending counts undispatched entries across all shards plus queued
+// sequential barriers.
+func (q *Queue) totalPending() int64 {
+	n := q.bar.npending.Load()
+	for i := range q.shards {
+		n += q.shards[i].npending.Load()
+	}
+	return n
+}
+
+// isIdle reports that nothing is pending and nothing is in flight. The
+// read order matters: dispatch increments inflightAll BEFORE it
+// decrements a shard's pending count, so reading pending first and
+// in-flight second can never observe an entry mid-dispatch as absent
+// from both — if the pending read missed it, the in-flight read sees it
+// (or it already completed, in which case that Complete re-runs the
+// check). The reverse order has no such guarantee.
+func (q *Queue) isIdle() bool {
+	return q.totalPending() == 0 && q.inflightAll.Load() == 0
+}
+
+// closedAndDrained reports close+drain for mux bookkeeping.
+func (q *Queue) closedAndDrained() bool {
+	return q.closed.Load() && q.confirmDrained()
+}
+
+// confirmDrained certifies that no pending entry exists and none can
+// still appear. A bare pending-count read is not enough after Close: an
+// enqueuer that passed its closed re-check just before Close landed may
+// hold a shard (or the barrier) lock with its entry not yet linked and
+// its pending count not yet bumped. Sweeping every lock serializes
+// behind any such enqueuer — everything that was admitted is linked and
+// counted by the time the sweep finishes — and closed is sticky, so no
+// new enqueue can be admitted afterwards. Only the closed exit paths
+// call this; it is never on the dispatch hot path.
+func (q *Queue) confirmDrained() bool {
+	if q.totalPending() != 0 {
+		return false
+	}
+	for i := range q.shards {
+		q.shards[i].mu.Lock()
+		q.shards[i].mu.Unlock() //lint:ignore SA2001 barrier against in-flight enqueues
+	}
+	q.bar.mu.Lock()
+	q.bar.mu.Unlock() //lint:ignore SA2001 barrier against in-flight enqueues
+	return q.totalPending() == 0
+}
+
+// Len returns the number of pending (undispatched) entries.
+func (q *Queue) Len() int {
+	return int(q.totalPending())
+}
+
+// InFlight returns the number of dispatched-but-incomplete handlers.
+func (q *Queue) InFlight() int {
+	return int(q.inflightAll.Load())
+}
+
+// Shards returns the resolved shard count of the dispatch core (see
+// WithShards). Sizing a worker pool at or above this number lets every
+// shard dispatch concurrently.
+func (q *Queue) Shards() int {
+	return len(q.shards)
+}
+
+// tryReserveSlot claims one capacity slot without blocking (cap > 0 only).
+func (q *Queue) tryReserveSlot() bool {
+	for {
+		u := q.capUsed.Load()
+		if u >= int64(q.cap) {
+			return false
+		}
+		if q.capUsed.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+// reserveSlotWait claims one capacity slot, sleeping for space like the
+// unsharded queue's EnqueueMessageWait slow path.
+func (q *Queue) reserveSlotWait(ctx context.Context) error {
+	if q.tryReserveSlot() {
+		return nil
+	}
+	// Slow path: arrange a context wakeup, then wait for space.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			q.spaceMu.Lock()
+			q.space.Broadcast()
+			q.spaceMu.Unlock()
+		})
+		defer stop()
+	}
+	q.spaceMu.Lock()
+	defer q.spaceMu.Unlock()
+	for {
+		if q.closed.Load() {
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if q.tryReserveSlot() {
+			return nil
+		}
+		q.g.enqueueWaits.Add(1)
+		q.space.Wait()
+	}
+}
+
+// releaseSlot returns one capacity slot when an entry dispatches (pending
+// shrinks before Complete, exactly as in the unsharded queue).
+func (q *Queue) releaseSlot() {
+	if q.cap <= 0 {
+		return
+	}
+	q.capUsed.Add(-1)
+	q.spaceMu.Lock()
+	q.space.Signal()
+	q.spaceMu.Unlock()
+}

@@ -1,0 +1,112 @@
+package pdq
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzKeySetDispatch feeds random operation scripts and shard counts to a
+// served queue and asserts the two core PDQ invariants:
+//
+//  1. mutual exclusion — no two in-flight handlers share a key;
+//  2. enqueue-order FIFO — handlers whose key sets overlap run in enqueue
+//     order on every shared key.
+//
+// Each script byte encodes one enqueue: bytes divisible by 16 become
+// Sequential barriers (isolation is asserted too), bytes ≡ 1 (mod 16)
+// become NoSync entries, and everything else becomes a keyed entry with a
+// 1–3 key set drawn from a small universe so conflicts are common. The
+// shard selector sweeps 1, 2, 4, and 8 shards, so single-shard scans,
+// cross-shard reservations, and the epoch barrier are all exercised.
+func FuzzKeySetDispatch(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{7, 7, 7, 7}, uint8(0))
+	f.Add([]byte{3, 16, 5, 1, 200, 32, 9}, uint8(1))
+	f.Add([]byte{250, 17, 80, 5, 5, 64, 33, 2, 96, 128, 40}, uint8(2))
+	f.Add([]byte{16, 16, 1, 1, 255, 254, 253, 48, 11, 23}, uint8(3))
+	f.Fuzz(func(t *testing.T, script []byte, rawShards uint8) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		const universe = 7
+		shards := 1 << (rawShards % 4)
+		q := New(WithShards(shards))
+		p := Serve(context.Background(), q, 6)
+
+		var ran atomic.Int64
+		var bad atomic.Int32
+		var activeAll atomic.Int32
+		var activeKey [universe]atomic.Int32
+		var mu sync.Mutex
+		lastPerKey := make(map[Key]int)
+
+		for i, b := range script {
+			i := i
+			var err error
+			switch {
+			case b%16 == 0:
+				err = q.Enqueue(func(any) {
+					if activeAll.Add(1) != 1 {
+						bad.Add(1) // barrier overlapped another handler
+					}
+					ran.Add(1)
+					activeAll.Add(-1)
+				}, Sequential())
+			case b%16 == 1:
+				err = q.Enqueue(func(any) {
+					activeAll.Add(1)
+					ran.Add(1)
+					activeAll.Add(-1)
+				}, NoSync())
+			default:
+				nk := 1 + int(b>>6)%3
+				ks := make([]Key, nk)
+				for j := range ks {
+					ks[j] = Key((int(b) + j*5 + i*3) % universe)
+				}
+				err = q.Enqueue(func(any) {
+					activeAll.Add(1)
+					seen := make(map[Key]bool, len(ks))
+					for _, k := range ks {
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						if activeKey[k].Add(1) != 1 {
+							bad.Add(1) // two handlers sharing a key overlapped
+						}
+					}
+					mu.Lock()
+					for k := range seen {
+						if lastPerKey[k] >= i+1 {
+							bad.Add(1) // out of enqueue order on a shared key
+						}
+						lastPerKey[k] = i + 1
+					}
+					mu.Unlock()
+					ran.Add(1)
+					for k := range seen {
+						activeKey[k].Add(-1)
+					}
+					activeAll.Add(-1)
+				}, WithKeys(ks...))
+			}
+			if err != nil {
+				t.Fatalf("enqueue op %d: %v", i, err)
+			}
+		}
+		q.Close()
+		p.Wait()
+		if got := ran.Load(); got != int64(len(script)) {
+			t.Fatalf("ran %d of %d handlers (shards=%d)", got, len(script), shards)
+		}
+		if v := bad.Load(); v != 0 {
+			t.Fatalf("%d invariant violations (shards=%d)", v, shards)
+		}
+		if s := q.Stats(); s.Dispatched != s.Completed || s.Enqueued != uint64(len(script)) {
+			t.Fatalf("inconsistent stats (shards=%d): %s", shards, s)
+		}
+	})
+}

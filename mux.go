@@ -47,12 +47,24 @@ func NewMux() *Mux {
 // ErrMuxClosed is returned when creating a queue on a closed mux.
 var ErrMuxClosed = errors.New("pdq: mux closed")
 
+// ErrQueueExists is returned by Mux.Queue when construction options are
+// passed for a name that is already registered: the options cannot be
+// applied retroactively, and silently ignoring them would hide a
+// misconfiguration. The existing queue is returned alongside the error,
+// so callers that treat the options as best-effort can proceed with it.
+var ErrQueueExists = errors.New("pdq: queue already exists")
+
 // Queue returns the virtual queue with the given name, creating it shaped
-// by opts if absent (opts are ignored for existing queues).
+// by opts if absent. A plain lookup (no opts) of an existing queue
+// succeeds; passing opts for an existing name returns that queue together
+// with ErrQueueExists.
 func (m *Mux) Queue(name string, opts ...Option) (*Queue, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if q, ok := m.names[name]; ok {
+		if len(opts) > 0 {
+			return q, ErrQueueExists
+		}
 		return q, nil
 	}
 	if m.closed {
@@ -147,10 +159,7 @@ func (m *Mux) drained() bool {
 		return false
 	}
 	for _, q := range m.queues {
-		q.mu.Lock()
-		done := q.closed && q.pending == 0
-		q.mu.Unlock()
-		if !done {
+		if !q.closedAndDrained() {
 			return false
 		}
 	}

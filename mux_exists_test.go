@@ -1,0 +1,40 @@
+package pdq
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMuxQueueExistsSentinel: passing construction options for a name that
+// is already registered must surface ErrQueueExists (alongside the
+// existing queue) instead of silently ignoring the options, while a plain
+// lookup stays error-free.
+func TestMuxQueueExistsSentinel(t *testing.T) {
+	m := NewMux()
+	a, err := m.Queue("net", WithCapacity(8))
+	if err != nil || a == nil {
+		t.Fatalf("create: q=%v err=%v", a, err)
+	}
+	b, err := m.Queue("net")
+	if err != nil || b != a {
+		t.Fatalf("plain lookup: q=%v err=%v, want the existing queue and nil error", b, err)
+	}
+	c, err := m.Queue("net", WithCapacity(16))
+	if !errors.Is(err, ErrQueueExists) {
+		t.Fatalf("err = %v, want ErrQueueExists when opts target an existing queue", err)
+	}
+	if c != a {
+		t.Fatal("ErrQueueExists must still return the existing queue")
+	}
+	// The original queue's shape is untouched by the rejected options.
+	nop := func(any) {}
+	for i := 0; i < 8; i++ {
+		if err := a.Enqueue(nop, WithKey(Key(i))); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if err := a.Enqueue(nop, WithKey(9)); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull at the original capacity of 8", err)
+	}
+	m.Close()
+}

@@ -42,7 +42,12 @@ func TestMuxProcessesAllQueues(t *testing.T) {
 func TestMuxQueueLookupIdempotent(t *testing.T) {
 	m := NewMux()
 	a, _ := m.Queue("x")
-	b, _ := m.Queue("x", WithSearchWindow(1)) // opts ignored on lookup
+	// Opts for an existing name are rejected with ErrQueueExists, but the
+	// existing queue still comes back (see TestMuxQueueExistsSentinel).
+	b, err := m.Queue("x", WithSearchWindow(1))
+	if !errors.Is(err, ErrQueueExists) {
+		t.Fatalf("err = %v, want ErrQueueExists for opts on an existing name", err)
+	}
 	if a != b {
 		t.Fatal("same name returned distinct queues")
 	}

@@ -5,6 +5,7 @@ package pdq
 type config struct {
 	searchWindow int
 	capacity     int
+	shards       int
 }
 
 // Option configures a Queue at construction time. Options are applied in
@@ -25,6 +26,22 @@ func WithSearchWindow(n int) Option {
 // modeled by an unbounded queue). n <= 0 means unbounded, the default.
 func WithCapacity(n int) Option {
 	return func(c *config) { c.capacity = n }
+}
+
+// WithShards partitions the synchronization key space across n dispatch
+// shards, each with its own pending list, in-flight map, claim queues, and
+// lock, so traffic on keys owned by different shards never contends on a
+// shared mutex. n is rounded up to a power of two and capped at 64;
+// n <= 0 derives the count from GOMAXPROCS. Multi-key entries spanning
+// shards are homed on the shard of their lowest-hashing key and reserve
+// their remaining keys on the other shards, and Sequential entries drain
+// all shards through a cross-shard epoch barrier. Queues default to a
+// single shard, which preserves the exact global bounded-window scan
+// semantics of the unsharded dispatcher (with n > 1 the search window
+// bounds each shard's scan instead, so head-of-line blocking is per
+// shard).
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
 }
 
 // EnqueueOption shapes one enqueued message. It is a small value type (not

@@ -9,6 +9,9 @@ import (
 // Queue and invoke their handlers — the software analogue of the paper's
 // protocol processors, each fed through a Protocol Dispatch Register. The
 // pool is built entirely on the public DequeueContext/Complete interface.
+// On a sharded queue (WithShards), workers self-distribute across shards:
+// each dispatch attempt starts its shard sweep at a rotating offset, so
+// n >= Queue.Shards() workers keep every shard's dispatch lane busy.
 type Pool struct {
 	q       *Queue
 	wg      sync.WaitGroup
@@ -18,7 +21,8 @@ type Pool struct {
 
 // Serve starts n worker goroutines dispatching from q and returns a Pool
 // controlling them. Workers exit when ctx is cancelled, Stop is called, or
-// the queue is closed and drained. n is clamped to at least 1.
+// the queue is closed and drained. n is clamped to at least 1; a natural
+// choice for a sharded queue is max(q.Shards(), GOMAXPROCS).
 func Serve(ctx context.Context, q *Queue, n int) *Pool {
 	if n < 1 {
 		n = 1

@@ -54,8 +54,8 @@ func genScript(r *rand.Rand, n int) []scriptEntry {
 //     enqueue order on every shared key;
 //  3. a sequential handler overlaps nothing and observes all earlier
 //     handlers complete and no later handler started.
-func runScript(t *testing.T, script []scriptEntry, workers, window int) bool {
-	q := New(WithSearchWindow(window))
+func runScript(t *testing.T, script []scriptEntry, workers, window int, extra ...Option) bool {
+	q := New(append([]Option{WithSearchWindow(window)}, extra...)...)
 	var ran atomic.Int64
 	var bad atomic.Int32
 	var activeAll atomic.Int32

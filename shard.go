@@ -1,0 +1,374 @@
+package pdq
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// shard is one partition of the sharded dispatch core. Each shard owns the
+// pending list of entries homed on it, the in-flight counts and claim
+// queues for the keys it owns, a node free list, and its own lock, so
+// single-key traffic to different shards never contends.
+type shard struct {
+	mu         sync.Mutex
+	idx        uint32
+	head, tail *node
+	npending   atomic.Int64  // entries homed here, readable without mu
+	minSeq     atomic.Uint64 // seq of the head entry; MaxUint64 when empty
+	wakeGen    atomic.Uint64 // this shard's slice of the consumer eventcount
+	completed  atomic.Uint64 // Complete calls credited to this shard
+
+	inflight map[Key]int      // in-flight handler count per owned key
+	claims   map[Key]*seqFIFO // pending claim seqs per owned key
+	fifoPool []*seqFIFO       // recycled claim queues
+
+	freeList *node // reuse nodes to reduce allocation churn
+	freeLen  int
+	maxFree  int
+
+	stats shardCounters
+}
+
+// shardCounters are the per-shard slice of Stats, guarded by shard.mu and
+// summed by Queue.Stats.
+type shardCounters struct {
+	enqueued           uint64
+	dispatched         uint64
+	noSyncDispatched   uint64
+	multiKeyDispatched uint64
+	keyConflicts       uint64
+	orderConflicts     uint64
+	windowStalls       uint64
+	maxPending         int
+}
+
+func (s *shard) init(idx uint32) {
+	s.idx = idx
+	s.inflight = make(map[Key]int)
+	s.claims = make(map[Key]*seqFIFO)
+	s.maxFree = 256
+	s.minSeq.Store(math.MaxUint64)
+}
+
+// node is a pending-list node. A hand-rolled list avoids container/list's
+// interface boxing on this hot path.
+type node struct {
+	entry      Entry
+	prev, next *node
+}
+
+// seqFIFO is an ordered queue of enqueue sequence numbers claiming one
+// key. Sequence numbers are assigned while every involved shard is locked,
+// so claimants of a key serialize on the key's owning shard and push in
+// strictly increasing order: the head is always the earliest pending
+// claim. An entry may dispatch only when it heads the claim queue of every
+// key it carries and none of those keys is in flight — the sharded
+// generalization of the v2 shadow-set scan (which blocked a later entry
+// behind any earlier skipped entry sharing a key), extended so the
+// discipline holds across shards, not just within one scan.
+type seqFIFO struct {
+	buf  []uint64
+	head int
+}
+
+func (f *seqFIFO) push(seq uint64) { f.buf = append(f.buf, seq) }
+func (f *seqFIFO) peek() uint64    { return f.buf[f.head] }
+func (f *seqFIFO) empty() bool     { return f.head == len(f.buf) }
+
+func (f *seqFIFO) pop() uint64 {
+	v := f.buf[f.head]
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
+}
+
+// mix64 is the 64-bit finalizer from MurmurHash3: full-avalanche mixing so
+// adjacent keys spread across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// shardIndex maps a key to the index of its owning shard.
+func (q *Queue) shardIndex(k Key) uint32 {
+	return uint32(mix64(uint64(k))) & q.mask
+}
+
+// shardOf returns the shard owning k.
+func (q *Queue) shardOf(k Key) *shard {
+	return &q.shards[q.shardIndex(k)]
+}
+
+// keysMask computes the bit set of shard indexes a key set touches.
+func (q *Queue) keysMask(keys []Key) uint64 {
+	var m uint64
+	for _, k := range keys {
+		m |= 1 << q.shardIndex(k)
+	}
+	return m
+}
+
+// pushClaim appends seq to k's claim queue. Caller holds s.mu and s owns k.
+func (s *shard) pushClaim(k Key, seq uint64) {
+	f := s.claims[k]
+	if f == nil {
+		if n := len(s.fifoPool); n > 0 {
+			f = s.fifoPool[n-1]
+			s.fifoPool = s.fifoPool[:n-1]
+		} else {
+			f = &seqFIFO{}
+		}
+		s.claims[k] = f
+	}
+	f.push(seq)
+}
+
+// popClaim removes the head claim for k, which must be seq (the dispatch
+// path only pops after verifying the entry heads every claim queue).
+func (s *shard) popClaim(k Key, seq uint64) {
+	f := s.claims[k]
+	if f == nil || f.pop() != seq {
+		panic("pdq: claim queue out of order")
+	}
+	if f.empty() {
+		delete(s.claims, k)
+		if len(s.fifoPool) < 64 {
+			s.fifoPool = append(s.fifoPool, f)
+		}
+	}
+}
+
+// link appends n to the shard's pending list. Caller holds s.mu; the list
+// stays seq-ascending because sequence numbers are assigned under the
+// home shard's lock.
+func (s *shard) link(n *node) {
+	if s.tail == nil {
+		s.head, s.tail = n, n
+		s.minSeq.Store(n.entry.seq)
+	} else {
+		n.prev = s.tail
+		s.tail.next = n
+		s.tail = n
+	}
+	p := s.npending.Add(1)
+	if int(p) > s.stats.maxPending {
+		s.stats.maxPending = int(p)
+	}
+}
+
+// unlink removes n from the pending list. Caller holds s.mu.
+func (s *shard) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+		if s.head != nil {
+			s.minSeq.Store(s.head.entry.seq)
+		} else {
+			s.minSeq.Store(math.MaxUint64)
+		}
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	s.npending.Add(-1)
+}
+
+// take copies the entry out of a node, recycles the node, and returns a
+// heap entry handed to the caller.
+func (s *shard) take(n *node) *Entry {
+	e := n.entry
+	s.recycle(n)
+	return &e
+}
+
+func (s *shard) newNode() *node {
+	if s.freeList != nil {
+		n := s.freeList
+		s.freeList = n.next
+		s.freeLen--
+		n.next = nil
+		return n
+	}
+	return &node{}
+}
+
+func (s *shard) recycle(n *node) {
+	if s.freeLen >= s.maxFree {
+		return
+	}
+	n.entry = Entry{}
+	n.prev = nil
+	n.next = s.freeList
+	s.freeList = n
+	s.freeLen++
+}
+
+// Conflict kinds returned by the claim checks.
+const (
+	conflictNone  = iota
+	conflictKey   // an overlapping key is in flight
+	conflictOrder // an earlier enqueued entry claims an overlapping key
+)
+
+// conflictLocal checks a key subset owned by s against s's in-flight and
+// claim state, mirroring the original scan's per-key order: an in-flight
+// key counts as a key conflict, an earlier claim as an order conflict.
+// all=true checks every key (single-shard entries); otherwise only keys
+// owned by s are examined. Caller holds s.mu.
+func (s *shard) conflictLocal(q *Queue, keys []Key, seq uint64, all bool) int {
+	for _, k := range keys {
+		if !all && q.shardIndex(k) != s.idx {
+			continue
+		}
+		if s.inflight[k] > 0 {
+			return conflictKey
+		}
+		if s.claims[k].peek() != seq {
+			return conflictOrder
+		}
+	}
+	return conflictNone
+}
+
+func (s *shard) countConflict(kind int) {
+	if kind == conflictOrder {
+		s.stats.orderConflicts++
+	} else {
+		s.stats.keyConflicts++
+	}
+}
+
+// scanShard performs the bounded associative search over one shard's
+// pending list — the per-shard analogue of the paper's dispatch-buffer
+// scan. The list is seq-ascending, so a pending sequential barrier gates
+// the scan with a single comparison, and order preservation across key
+// sets falls out of the claim queues: a later entry overlapping any
+// earlier pending entry's key cannot head that key's claim queue.
+//
+// The shard lock is TryLock'd: a consumer never parks on a shard another
+// consumer is already scanning (that consumer will dispatch whatever is
+// dispatchable there). retry reports such an inconclusive skip, or a
+// cross-shard TryLock failure; the caller rescans instead of sleeping.
+func (q *Queue) scanShard(s *shard) (e *Entry, ok bool, retry bool) {
+	if !s.mu.TryLock() {
+		return nil, false, true
+	}
+	defer s.mu.Unlock()
+	barSeq := q.bar.minSeq.Load()
+	scanned := 0
+	for n := s.head; n != nil; n = n.next {
+		if q.window > 0 && scanned >= q.window {
+			s.stats.windowStalls++
+			return nil, false, retry
+		}
+		if barSeq != 0 && n.entry.seq >= barSeq {
+			// Entries at or past a pending sequential barrier's queue
+			// position may not dispatch until the barrier completes; the
+			// list is seq-ordered, so everything further is blocked too.
+			return nil, false, retry
+		}
+		scanned++
+		m := &n.entry.msg
+		if m.Mode == ModeNoSync {
+			q.inflightAll.Add(1)
+			s.unlink(n)
+			q.releaseSlot()
+			s.stats.dispatched++
+			s.stats.noSyncDispatched++
+			return s.take(n), true, retry
+		}
+		// ModeKeyed (a keyless entry has an empty key set and no conflicts).
+		if n.entry.smask == 1<<s.idx {
+			kind := s.conflictLocal(q, m.Keys, n.entry.seq, true)
+			if kind == conflictNone {
+				q.inflightAll.Add(1)
+				for _, k := range m.Keys {
+					s.inflight[k]++
+					s.popClaim(k, n.entry.seq)
+				}
+				s.unlink(n)
+				q.releaseSlot()
+				s.stats.dispatched++
+				if len(m.Keys) > 1 {
+					s.stats.multiKeyDispatched++
+				}
+				return s.take(n), true, retry
+			}
+			s.countConflict(kind)
+			continue
+		}
+		ok2, kind, r := q.tryDispatchCross(s, n)
+		if ok2 {
+			return s.take(n), true, retry
+		}
+		if r {
+			retry = true
+		} else {
+			s.countConflict(kind)
+		}
+	}
+	return nil, false, retry
+}
+
+// tryDispatchCross attempts to dispatch a cross-shard entry homed on s
+// (s.mu held). Foreign shards are TryLock'd — never blocked on while
+// holding s.mu — so lock contention aborts with retry=true instead of
+// risking an ABBA deadlock; the consumer rescans. On success every key is
+// acquired on its owning shard and the entry is unlinked from s.
+func (q *Queue) tryDispatchCross(s *shard, n *node) (ok bool, kind int, retry bool) {
+	e := &n.entry
+	// Cheap local pre-check before touching other shards.
+	if kind := s.conflictLocal(q, e.msg.Keys, e.seq, false); kind != conflictNone {
+		return false, kind, false
+	}
+	var locked uint64
+	defer func() { q.unlockMask(locked) }()
+	for m := e.smask &^ (1 << s.idx); m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << i
+		if !q.shards[i].mu.TryLock() {
+			return false, conflictNone, true
+		}
+		locked |= 1 << i
+	}
+	for m := locked; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << i
+		f := &q.shards[i]
+		if kind := f.conflictLocal(q, e.msg.Keys, e.seq, false); kind != conflictNone {
+			return false, kind, false
+		}
+	}
+	// Dispatchable: acquire every key on its owning shard.
+	q.inflightAll.Add(1)
+	for _, k := range e.msg.Keys {
+		o := q.shardOf(k)
+		o.inflight[k]++
+		o.popClaim(k, e.seq)
+	}
+	s.unlink(n)
+	q.releaseSlot()
+	s.stats.dispatched++
+	if len(e.msg.Keys) > 1 {
+		s.stats.multiKeyDispatched++
+	}
+	q.g.crossShard.Add(1)
+	return true, conflictNone, false
+}

@@ -12,36 +12,69 @@ var errConflictingModes = errors.New("pdq: conflicting dispatch modes")
 // JSON field names are stable so external tooling (cmd/pdqbench's
 // BENCH_*.json, dashboards) can track them across versions.
 type Stats struct {
-	Enqueued           uint64 `json:"enqueued"`             // messages accepted
-	Rejected           uint64 `json:"rejected"`             // messages refused with ErrFull
-	Dispatched         uint64 `json:"dispatched"`           // entries handed to callers
-	Completed          uint64 `json:"completed"`            // Complete calls
-	SeqDispatched      uint64 `json:"seq_dispatched"`       // sequential entries dispatched
-	NoSyncDispatched   uint64 `json:"nosync_dispatched"`    // nosync entries dispatched
-	MultiKeyDispatched uint64 `json:"multikey_dispatched"`  // entries with two or more keys dispatched
-	KeyConflicts       uint64 `json:"key_conflicts"`        // scan skips due to an in-flight overlapping key
-	OrderConflicts     uint64 `json:"order_conflicts"`      // scan skips preserving enqueue order behind a blocked overlapping key set
-	SeqStalls          uint64 `json:"seq_stalls"`           // scans stopped at a non-dispatchable sequential entry
-	BarrierStalls      uint64 `json:"barrier_stalls"`       // dequeue attempts while a sequential handler ran
-	WindowStalls       uint64 `json:"window_stalls"`        // scans exhausted the search window
-	Waits              uint64 `json:"waits"`                // blocking dequeue sleeps
-	EnqueueWaits       uint64 `json:"enqueue_waits"`        // EnqueueWait sleeps for capacity
-	MaxPending         int    `json:"max_pending"`          // high-water mark of pending entries
-	MaxKeySet          int    `json:"max_key_set"`          // largest synchronization key set seen
+	Enqueued           uint64 `json:"enqueued"`            // messages accepted
+	Rejected           uint64 `json:"rejected"`            // messages refused with ErrFull
+	Dispatched         uint64 `json:"dispatched"`          // entries handed to callers
+	Completed          uint64 `json:"completed"`           // Complete calls
+	SeqDispatched      uint64 `json:"seq_dispatched"`      // sequential entries dispatched
+	NoSyncDispatched   uint64 `json:"nosync_dispatched"`   // nosync entries dispatched
+	MultiKeyDispatched uint64 `json:"multikey_dispatched"` // entries with two or more keys dispatched
+	KeyConflicts       uint64 `json:"key_conflicts"`       // scan skips due to an in-flight overlapping key
+	OrderConflicts     uint64 `json:"order_conflicts"`     // scan skips preserving enqueue order behind an earlier overlapping claim
+	SeqStalls          uint64 `json:"seq_stalls"`          // dispatch attempts stopped by a pending sequential barrier
+	BarrierStalls      uint64 `json:"barrier_stalls"`      // dequeue attempts while a sequential handler ran
+	WindowStalls       uint64 `json:"window_stalls"`       // scans exhausting a shard's search window
+	Waits              uint64 `json:"waits"`               // blocking dequeue sleeps
+	EnqueueWaits       uint64 `json:"enqueue_waits"`       // EnqueueWait sleeps for capacity
+	CrossShard         uint64 `json:"cross_shard"`         // dispatched entries whose key set spanned shards
+	Shards             int    `json:"shards"`              // shard count of the dispatch core
+	MaxPending         int    `json:"max_pending"`         // high-water mark of pending entries (summed per shard: an upper bound when shards > 1)
+	MaxKeySet          int    `json:"max_key_set"`         // largest synchronization key set seen
 }
 
-// Stats returns a snapshot of the queue's counters.
+// Stats returns a snapshot of the queue's counters, aggregated across the
+// dispatch shards and the barrier queue.
 func (q *Queue) Stats() Stats {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.stats
+	var s Stats
+	for i := range q.shards {
+		sh := &q.shards[i]
+		sh.mu.Lock()
+		c := sh.stats
+		sh.mu.Unlock()
+		s.Enqueued += c.enqueued
+		s.Dispatched += c.dispatched
+		s.NoSyncDispatched += c.noSyncDispatched
+		s.MultiKeyDispatched += c.multiKeyDispatched
+		s.KeyConflicts += c.keyConflicts
+		s.OrderConflicts += c.orderConflicts
+		s.WindowStalls += c.windowStalls
+		s.MaxPending += c.maxPending
+		s.Completed += sh.completed.Load()
+	}
+	b := &q.bar
+	b.mu.Lock()
+	s.MaxPending += b.maxPending
+	b.mu.Unlock()
+	s.SeqDispatched = b.dispatched.Load()
+	s.Enqueued += b.enqueued.Load()
+	s.Dispatched += s.SeqDispatched
+	s.Completed += b.completed.Load()
+	s.Rejected = q.g.rejected.Load()
+	s.BarrierStalls = q.g.barrierStalls.Load()
+	s.SeqStalls = q.g.seqStalls.Load()
+	s.Waits = q.g.waits.Load()
+	s.EnqueueWaits = q.g.enqueueWaits.Load()
+	s.CrossShard = q.g.crossShard.Load()
+	s.MaxKeySet = int(q.g.maxKeySet.Load())
+	s.Shards = len(q.shards)
+	return s
 }
 
 // String renders the counters compactly for logs and reports.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d maxPending=%d maxKeySet=%d rejected=%d",
+		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
 		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
 		s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
-		s.WindowStalls, s.Waits, s.EnqueueWaits, s.MaxPending, s.MaxKeySet, s.Rejected)
+		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard, s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected)
 }
