@@ -33,10 +33,11 @@ type barrier struct {
 // the barrier's sequence fetch and the exact store below. The floor is at
 // most the barrier's final seq, so it can only over-block, and only until
 // the exact value replaces it a few instructions later.
-func (q *Queue) enqueueSequential(m Message) error {
+func (q *Queue) enqueueSequential(m Message, attempt uint32, lastErr error) error {
 	b := &q.bar
 	b.mu.Lock()
-	if q.closed.Load() {
+	if attempt == 0 && q.closed.Load() {
+		// As in enqueueSharded: retries re-admit pre-close work.
 		b.mu.Unlock()
 		return ErrClosed
 	}
@@ -44,7 +45,7 @@ func (q *Queue) enqueueSequential(m Message) error {
 		b.minSeq.Store(q.nextSeq.Load() + 1)
 	}
 	seq := q.nextSeq.Add(1)
-	b.queue = append(b.queue, Entry{msg: m, seq: seq})
+	b.queue = append(b.queue, Entry{msg: m, seq: seq, attempt: attempt, err: lastErr})
 	if !b.active.Load() {
 		// Exact publication. While a barrier is active its own (smaller)
 		// seq must keep gating the scans, so leave minSeq alone then.
@@ -99,13 +100,14 @@ func (q *Queue) tryActivateBarrier() (*Entry, bool) {
 }
 
 // completeBarrier releases an active barrier and publishes the next queued
-// barrier's position (or clears the gate).
+// barrier's position (or clears the gate). Shared by Complete and Release;
+// the completed counter is Complete's alone, so it is bumped there.
 func (q *Queue) completeBarrier() {
 	b := &q.bar
 	b.mu.Lock()
 	if !b.active.Load() {
 		b.mu.Unlock()
-		panic("pdq: Complete(sequential) without active barrier")
+		panic("pdq: Complete/Release of sequential entry without active barrier")
 	}
 	b.active.Store(false)
 	if len(b.queue) > 0 {
@@ -114,5 +116,4 @@ func (q *Queue) completeBarrier() {
 		b.minSeq.Store(0)
 	}
 	b.mu.Unlock()
-	b.completed.Add(1)
 }

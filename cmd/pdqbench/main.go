@@ -8,7 +8,7 @@
 //
 //	pdqbench [-strategy pdq|lock|oam|multiq|all] [-workers 8]
 //	         [-messages 200000] [-keys 64] [-skew 0] [-work 200]
-//	         [-setsize 1] [-shards 1] [-json .]
+//	         [-setsize 1] [-shards 1] [-panicrate 0] [-json .]
 //
 // skew > 0 draws keys from a Zipf-like distribution (hotspot); work is the
 // simulated handler body in nanoseconds of spinning. setsize > 1 gives
@@ -16,7 +16,11 @@
 // only — the baselines have no key-set notion). shards partitions the pdq
 // dispatch core (1 = the classic single-queue scan, 0 = derive from
 // GOMAXPROCS); it is recorded in BENCH_pdq.json so sharded and unsharded
-// runs can be tracked side by side.
+// runs can be tracked side by side. panicrate > 0 makes each handler
+// execution panic with that probability (pdq only), exercising the
+// recover/Release/retry/dead-letter failure path; the queue runs with
+// WithRetry(1) and a no-op dead-letter hook, and the resulting panics,
+// retries, and dead_lettered counters land in BENCH_pdq.json.
 //
 // Unless -json is empty, each strategy additionally writes a
 // machine-readable BENCH_<strategy>.json file into the given directory
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"pdq"
@@ -40,14 +45,15 @@ import (
 )
 
 type config struct {
-	workers  int
-	messages int
-	keys     int
-	setSize  int
-	shards   int
-	skew     float64
-	work     time.Duration
-	seed     uint64
+	workers   int
+	messages  int
+	keys      int
+	setSize   int
+	shards    int
+	skew      float64
+	panicRate float64
+	work      time.Duration
+	seed      uint64
 }
 
 // result is the machine-readable record written to BENCH_<strategy>.json.
@@ -59,6 +65,7 @@ type result struct {
 	SetSize    int     `json:"set_size"`
 	Shards     int     `json:"shards"` // resolved shard count (pdq strategy)
 	Skew       float64 `json:"skew"`
+	PanicRate  float64 `json:"panic_rate,omitempty"` // injected handler failure probability (pdq strategy)
 	WorkNanos  int64   `json:"work_ns"`
 	Seed       uint64  `json:"seed"`
 	ElapsedNS  int64   `json:"elapsed_ns"`
@@ -74,19 +81,20 @@ type result struct {
 
 func main() {
 	var (
-		strategy = flag.String("strategy", "all", "pdq, lock, oam, multiq, or all")
-		workers  = flag.Int("workers", 8, "worker goroutines / partitions")
-		messages = flag.Int("messages", 200_000, "messages to dispatch")
-		keys     = flag.Int("keys", 64, "distinct synchronization keys")
-		setSize  = flag.Int("setsize", 1, "keys per message key set (pdq only)")
-		shards   = flag.Int("shards", 1, "pdq dispatch shards (0 = GOMAXPROCS-derived, pdq only)")
-		skew     = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
-		work     = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
-		seed     = flag.Uint64("seed", 7, "key sequence seed")
-		jsonDir  = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
+		strategy  = flag.String("strategy", "all", "pdq, lock, oam, multiq, or all")
+		workers   = flag.Int("workers", 8, "worker goroutines / partitions")
+		messages  = flag.Int("messages", 200_000, "messages to dispatch")
+		keys      = flag.Int("keys", 64, "distinct synchronization keys")
+		setSize   = flag.Int("setsize", 1, "keys per message key set (pdq only)")
+		shards    = flag.Int("shards", 1, "pdq dispatch shards (0 = GOMAXPROCS-derived, pdq only)")
+		skew      = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
+		panicRate = flag.Float64("panicrate", 0, "probability a handler execution panics (pdq only)")
+		work      = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
+		seed      = flag.Uint64("seed", 7, "key sequence seed")
+		jsonDir   = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
 	)
 	flag.Parse()
-	cfg := config{*workers, *messages, *keys, *setSize, *shards, *skew, *work, *seed}
+	cfg := config{*workers, *messages, *keys, *setSize, *shards, *skew, *panicRate, *work, *seed}
 	names := []string{"pdq", "lock", "oam", "multiq"}
 	if *strategy != "all" {
 		names = []string{*strategy}
@@ -96,6 +104,10 @@ func main() {
 	}
 	if cfg.setSize > 1 && (len(names) != 1 || names[0] != "pdq") {
 		fmt.Fprintln(os.Stderr, "pdqbench: -setsize > 1 requires -strategy pdq")
+		os.Exit(1)
+	}
+	if cfg.panicRate > 0 && (len(names) != 1 || names[0] != "pdq") {
+		fmt.Fprintln(os.Stderr, "pdqbench: -panicrate > 0 requires -strategy pdq")
 		os.Exit(1)
 	}
 	for _, name := range names {
@@ -163,6 +175,7 @@ func runStrategy(name string, cfg config) (result, error) {
 	res := result{
 		Strategy: name, Workers: cfg.workers, Messages: cfg.messages,
 		Keys: cfg.keys, SetSize: cfg.setSize, Skew: cfg.skew,
+		PanicRate: cfg.panicRate,
 		WorkNanos: cfg.work.Nanoseconds(), Seed: cfg.seed,
 	}
 	finish := func(start time.Time, handled uint64) {
@@ -173,7 +186,30 @@ func runStrategy(name string, cfg config) (result, error) {
 	}
 	switch name {
 	case "pdq":
-		q := pdq.New(pdq.WithShards(cfg.shards))
+		opts := []pdq.Option{pdq.WithShards(cfg.shards)}
+		if cfg.panicRate > 0 {
+			// Failure injection: each execution panics with probability
+			// panicrate (a seeded per-execution draw; the exact failure
+			// count still varies run to run because retries add
+			// scheduling-dependent executions). One retry per entry, then
+			// a silent dead-letter; the full panics/released/retries/
+			// dead_lettered counter surface lands in BENCH_pdq.json via
+			// the embedded pdq.Stats.
+			var ctr atomic.Uint64
+			base := handler
+			handler = func(d any) {
+				base(d)
+				// A counter-seeded one-shot sim.Rand gives a goroutine-safe
+				// draw from the project's one canonical PRNG.
+				if sim.NewRand(ctr.Add(1) ^ cfg.seed).Pick(cfg.panicRate) {
+					panic("pdqbench: injected handler failure")
+				}
+			}
+			opts = append(opts,
+				pdq.WithRetry(1),
+				pdq.WithDeadLetter(func(pdq.Message, error) {}))
+		}
+		q := pdq.New(opts...)
 		start := time.Now()
 		p := pdq.Serve(context.Background(), q, cfg.workers)
 		set := make([]pdq.Key, cfg.setSize)

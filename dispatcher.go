@@ -35,6 +35,25 @@
 // cancellation, and EnqueueWait converts a full queue into backpressure
 // instead of an ErrFull failure.
 //
+// # Entry lifecycle and failure isolation
+//
+// A dispatched entry holds its synchronization key set (or the sequential
+// barrier) from dequeue until the caller resolves it with exactly one of
+// Complete (success) or Release (failure). A handler that never reaches
+// either wedges every later entry overlapping its key set, so the failure
+// path is part of the dispatch contract, not an afterthought: Release
+// frees the key state identically to Complete but routes the entry through
+// the queue's failure policy — WithRetry(n) re-enqueues it at the tail
+// (fresh sequence number, Entry.Attempt incremented, Entry.Err carrying
+// the failure) up to n times, after which, or immediately with no retry
+// budget, the entry is handed to the WithDeadLetter hook together with its
+// Message and error (default: logged via the standard log package). Pool
+// and MuxPool workers execute handlers through Queue.Run, which recovers a
+// handler panic into Release(e, &PanicError{...}) and keeps the worker
+// alive. Manual TryDequeue/DequeueContext callers should invoke handlers
+// through Run — or replicate its Complete-or-Release discipline — so a
+// panicking handler cannot hold its keys forever.
+//
 // # Sharded dispatch core
 //
 // Internally the queue is a sharded dispatch core: the key space is
@@ -58,6 +77,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Key is a synchronization key. A message carries a set of keys; handlers
@@ -111,20 +131,31 @@ type Message struct {
 }
 
 // Entry is a dispatched queue entry. Callers using the low-level dequeue
-// interface must pass the entry back to Complete exactly once after running
-// the handler.
+// interface must resolve the entry exactly once after running the handler:
+// Complete on success, Release on failure (Run does this automatically).
 type Entry struct {
-	msg   Message
-	seq   uint64 // global enqueue sequence number, for ordering and diagnostics
-	smask uint64 // bit set of shard indexes the key set touches
+	msg     Message
+	seq     uint64 // global enqueue sequence number, for ordering and diagnostics
+	smask   uint64 // bit set of shard indexes the key set touches
+	attempt uint32 // prior failed executions (0 = first dispatch)
+	err     error  // error from the Release that caused this retry, if any
 }
 
 // Message returns the message carried by the entry.
 func (e *Entry) Message() Message { return e.msg }
 
 // Seq returns the entry's enqueue sequence number. Sequence numbers are
-// assigned in enqueue order starting at 1.
+// assigned in enqueue order starting at 1; a retried entry is re-enqueued
+// with a fresh number, so its position is always its latest admission.
 func (e *Entry) Seq() uint64 { return e.seq }
+
+// Attempt returns how many times the entry has previously been dispatched
+// and Released: 0 on first dispatch, n on the n-th retry.
+func (e *Entry) Attempt() int { return int(e.attempt) }
+
+// Err returns the error passed to the Release that caused this retry, or
+// nil on the entry's first dispatch.
+func (e *Entry) Err() error { return e.err }
 
 // DefaultSearchWindow bounds the associative search at the head of the
 // queue, mirroring the small dispatch buffer of a hardware PDQ
@@ -141,10 +172,12 @@ var (
 // Queue is a Parallel Dispatch Queue. All methods are safe for concurrent
 // use. The zero value is not usable; call New.
 type Queue struct {
-	window int
-	cap    int
-	mask   uint32  // len(shards) - 1; shard count is a power of two
-	shards []shard // fixed at construction, indexed by key hash
+	window     int
+	cap        int
+	retry      int                        // retry budget per entry (WithRetry)
+	deadLetter func(m Message, err error) // terminal failure hook (WithDeadLetter)
+	mask       uint32                     // len(shards) - 1; shard count is a power of two
+	shards     []shard                    // fixed at construction, indexed by key hash
 
 	nextSeq     atomic.Uint64 // global enqueue sequence counter
 	closed      atomic.Bool
@@ -155,10 +188,13 @@ type Queue struct {
 
 	// Bounded-capacity slot accounting (cap > 0 only). Slots are reserved
 	// before any shard lock is taken and released when an entry dispatches,
-	// so EnqueueWait sleeps without holding dispatch locks.
-	capUsed atomic.Int64
-	spaceMu sync.Mutex
-	space   *sync.Cond
+	// so EnqueueWait sleeps without holding dispatch locks. spaceWaiters
+	// gates the release-side cond handshake exactly like the consumer
+	// side's waiters: no sleeper published, no lock taken.
+	capUsed      atomic.Int64
+	spaceWaiters atomic.Int32
+	spaceMu      sync.Mutex
+	space        *sync.Cond
 
 	// Consumer eventcount: every dispatchability change bumps a generation
 	// counter (per shard, so producers on different shards don't share a
@@ -189,6 +225,10 @@ type globalCounters struct {
 	enqueueWaits  atomic.Uint64
 	crossShard    atomic.Uint64
 	maxKeySet     atomic.Int64
+	panics        atomic.Uint64
+	released      atomic.Uint64
+	retries       atomic.Uint64
+	deadLettered  atomic.Uint64
 }
 
 // New returns an empty queue shaped by opts.
@@ -199,10 +239,12 @@ func New(opts ...Option) *Queue {
 	}
 	n := resolveShards(cfg.shards)
 	q := &Queue{
-		window: cfg.searchWindow,
-		cap:    cfg.capacity,
-		mask:   uint32(n - 1),
-		shards: make([]shard, n),
+		window:     cfg.searchWindow,
+		cap:        cfg.capacity,
+		retry:      cfg.retry,
+		deadLetter: cfg.deadLetter,
+		mask:       uint32(n - 1),
+		shards:     make([]shard, n),
 	}
 	for i := range q.shards {
 		q.shards[i].init(uint32(i))
@@ -240,7 +282,8 @@ func (q *Queue) Enqueue(handler func(data any), opts ...EnqueueOption) error {
 	if err != nil {
 		return err
 	}
-	return q.EnqueueMessage(m)
+	// buildMessage assembled a fresh key slice; no defensive copy needed.
+	return q.admit(m)
 }
 
 // EnqueueWait appends a message like Enqueue but, when the queue is at
@@ -253,15 +296,44 @@ func (q *Queue) EnqueueWait(ctx context.Context, handler func(data any), opts ..
 	if err != nil {
 		return err
 	}
-	return q.EnqueueMessageWait(ctx, m)
+	return q.admitWait(ctx, m)
 }
 
 // EnqueueMessage appends m to the queue without blocking; a full bounded
-// queue fails with ErrFull.
+// queue fails with ErrFull. The key slice is copied at admission, so the
+// caller may reuse or mutate it freely afterwards.
 func (q *Queue) EnqueueMessage(m Message) error {
 	if err := checkMessage(&m); err != nil {
 		return err
 	}
+	m.Keys = cloneKeys(m.Keys)
+	return q.admit(m)
+}
+
+// EnqueueMessageWait appends m, blocking for capacity as EnqueueWait does.
+// Like EnqueueMessage, it copies the key slice at admission.
+func (q *Queue) EnqueueMessageWait(ctx context.Context, m Message) error {
+	if err := checkMessage(&m); err != nil {
+		return err
+	}
+	m.Keys = cloneKeys(m.Keys)
+	return q.admitWait(ctx, m)
+}
+
+// cloneKeys copies a caller-supplied key slice. The claim accounting
+// re-reads the same slice at enqueue, dispatch, and Complete/Release, so
+// admitting an aliased slice would let a caller's later mutation corrupt
+// the per-key claim queues.
+func cloneKeys(keys []Key) []Key {
+	if len(keys) == 0 {
+		return keys
+	}
+	return append([]Key(nil), keys...)
+}
+
+// admit performs the non-blocking admission of a validated message whose
+// key slice the queue owns.
+func (q *Queue) admit(m Message) error {
 	if q.closed.Load() {
 		return ErrClosed
 	}
@@ -269,14 +341,11 @@ func (q *Queue) EnqueueMessage(m Message) error {
 		q.g.rejected.Add(1)
 		return ErrFull
 	}
-	return q.enqueueReserved(m)
+	return q.enqueueReserved(m, 0, nil)
 }
 
-// EnqueueMessageWait appends m, blocking for capacity as EnqueueWait does.
-func (q *Queue) EnqueueMessageWait(ctx context.Context, m Message) error {
-	if err := checkMessage(&m); err != nil {
-		return err
-	}
+// admitWait is admit with EnqueueWait's blocking capacity reservation.
+func (q *Queue) admitWait(ctx context.Context, m Message) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -288,7 +357,7 @@ func (q *Queue) EnqueueMessageWait(ctx context.Context, m Message) error {
 			return err
 		}
 	}
-	return q.enqueueReserved(m)
+	return q.enqueueReserved(m, 0, nil)
 }
 
 // checkMessage validates a caller-built message.
@@ -303,17 +372,19 @@ func checkMessage(m *Message) error {
 }
 
 // enqueueReserved routes a validated message (capacity slot already held
-// for bounded queues) to the barrier queue or its home shard.
-func (q *Queue) enqueueReserved(m Message) error {
+// for bounded queues) to the barrier queue or its home shard. attempt and
+// lastErr carry the failure lifecycle state on the retry path (0, nil on
+// first admission).
+func (q *Queue) enqueueReserved(m Message, attempt uint32, lastErr error) error {
 	if m.Mode == ModeSequential {
-		if err := q.enqueueSequential(m); err != nil {
+		if err := q.enqueueSequential(m, attempt, lastErr); err != nil {
 			q.releaseSlot()
 			return err
 		}
 		q.wakeGlobal()
 		return nil
 	}
-	home, err := q.enqueueSharded(m)
+	home, err := q.enqueueSharded(m, attempt, lastErr)
 	if err != nil {
 		q.releaseSlot()
 		return err
@@ -327,7 +398,7 @@ func (q *Queue) enqueueReserved(m Message) error {
 // involved shard is locked (in index order) across sequence assignment so
 // that per-key claim queues are pushed in strictly increasing seq order —
 // the property the whole cross-shard FIFO discipline rests on.
-func (q *Queue) enqueueSharded(m Message) (*shard, error) {
+func (q *Queue) enqueueSharded(m Message, attempt uint32, lastErr error) (*shard, error) {
 	var smask uint64
 	var home uint32
 	if len(m.Keys) > 0 {
@@ -350,7 +421,9 @@ func (q *Queue) enqueueSharded(m Message) (*shard, error) {
 		smask = 1 << home
 	}
 	q.lockMask(smask)
-	if q.closed.Load() {
+	if attempt == 0 && q.closed.Load() {
+		// Retries (attempt > 0) re-admit work that was accepted before the
+		// close and may proceed; only fresh enqueues are refused.
 		q.unlockMask(smask)
 		return nil, ErrClosed
 	}
@@ -360,7 +433,7 @@ func (q *Queue) enqueueSharded(m Message) (*shard, error) {
 	}
 	h := &q.shards[home]
 	n := h.newNode()
-	n.entry = Entry{msg: m, seq: seq, smask: smask}
+	n.entry = Entry{msg: m, seq: seq, smask: smask, attempt: attempt, err: lastErr}
 	h.link(n)
 	h.stats.enqueued++
 	q.unlockMask(smask)
@@ -446,10 +519,23 @@ func (q *Queue) Dequeue() (e *Entry, ok bool) {
 	return e, err == nil
 }
 
+// maxDispatchSpins bounds how many consecutive inconclusive dispatch
+// attempts (cross-shard TryLock losses) a blocking dequeue re-runs with
+// Gosched before parking. Unbounded rescanning burns a core for as long
+// as the TryLocks keep colliding — exactly what happens when consumers
+// outnumber shards.
+const maxDispatchSpins = 64
+
+// dispatchBackoff is how long a retry-exhausted consumer parks before a
+// forced rescan. Colliding TryLocks leave no eventcount bump behind, so a
+// pure generation sleep could strand consumers that each lost a race to
+// the other; the timed broadcast guarantees a conclusive rescan instead.
+const dispatchBackoff = time.Millisecond
+
 // DequeueContext blocks until an entry is dispatchable, ctx is done, or
 // the queue is closed and fully drained. It returns ErrClosed on
 // close+drain and ctx.Err() on cancellation; any other return is a
-// dispatched entry the caller must Complete.
+// dispatched entry the caller must Complete (or Release — see Run).
 func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
 	var stop func() bool
 	defer func() {
@@ -457,6 +543,7 @@ func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
 			stop()
 		}
 	}()
+	spins := 0
 	for {
 		g := q.wakeSum()
 		e, ok, retry := q.tryDequeue()
@@ -469,12 +556,21 @@ func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		needBackstop := false
 		if retry {
 			// A cross-shard dispatch lost a TryLock race; the state is
-			// unknown, so rescan instead of sleeping on a stale generation.
-			runtime.Gosched()
-			continue
+			// unknown, so rescan rather than sleep on a stale generation —
+			// but boundedly, falling into the eventcount sleep (with a
+			// timed backstop, since the lost race may never bump it) once
+			// the collisions persist.
+			if spins < maxDispatchSpins {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			needBackstop = true
 		}
+		spins = 0
 		if stop == nil && ctx.Done() != nil {
 			stop = context.AfterFunc(ctx, func() {
 				q.waitMu.Lock()
@@ -490,7 +586,22 @@ func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
 		q.waiters.Add(1)
 		if q.wakeSum() == g {
 			q.g.waits.Add(1)
+			var backstop *time.Timer
+			if needBackstop {
+				// Armed under waitMu: the callback's own Lock cannot
+				// proceed until Wait has parked this consumer (releasing
+				// the mutex), so the broadcast can never fire into the
+				// pre-park window and be lost.
+				backstop = time.AfterFunc(dispatchBackoff, func() {
+					q.waitMu.Lock()
+					q.waitCond.Broadcast()
+					q.waitMu.Unlock()
+				})
+			}
 			q.waitCond.Wait()
+			if backstop != nil {
+				backstop.Stop()
+			}
 		}
 		q.waiters.Add(-1)
 		q.waitMu.Unlock()
@@ -499,14 +610,31 @@ func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
 
 // Complete marks a previously dequeued entry's handler as finished,
 // releasing its key set (or the sequential barrier) and waking waiters.
+// Its failure-path dual is Release; every dispatched entry must reach
+// exactly one of the two.
 func (q *Queue) Complete(e *Entry) {
-	var ws *shard // shard credited with the completion and woken
+	ws := q.releaseEntryState(e)
+	if ws != nil {
+		ws.completed.Add(1)
+	} else {
+		q.bar.completed.Add(1)
+	}
+	q.finishInflight(ws)
+}
+
+// releaseEntryState frees the synchronization state a dispatched entry
+// holds — its key set's in-flight counts, or the active sequential
+// barrier — and returns the shard credited with the event (nil for
+// sequential entries). It is the half of completion shared by Complete
+// and Release; neither counting nor waking happens here.
+func (q *Queue) releaseEntryState(e *Entry) *shard {
 	switch e.msg.Mode {
 	case ModeSequential:
 		q.completeBarrier()
+		return nil
 	case ModeNoSync:
 		// No key state to release.
-		ws = q.shardFromMask(e.smask)
+		return q.shardFromMask(e.smask)
 	default:
 		mask := e.smask
 		if len(e.msg.Keys) > 0 {
@@ -515,34 +643,16 @@ func (q *Queue) Complete(e *Entry) {
 				// through the exported struct); recompute its shard set.
 				mask = q.keysMask(e.msg.Keys)
 			}
-			for m := mask; m != 0; {
-				i := bits.TrailingZeros64(m)
-				m &^= 1 << i
-				s := &q.shards[i]
-				s.mu.Lock()
-				for _, k := range e.msg.Keys {
-					if q.shardIndex(k) != s.idx {
-						continue
-					}
-					c := s.inflight[k]
-					if c <= 0 {
-						s.mu.Unlock()
-						panic("pdq: Complete for key with no in-flight handler")
-					}
-					if c == 1 {
-						delete(s.inflight, k)
-					} else {
-						s.inflight[k] = c - 1
-					}
-				}
-				s.mu.Unlock()
-			}
+			q.releaseKeys(mask, e.msg.Keys)
 		}
-		ws = q.shardFromMask(mask)
+		return q.shardFromMask(mask)
 	}
-	if ws != nil {
-		ws.completed.Add(1)
-	}
+}
+
+// finishInflight retires one in-flight handler: it decrements the global
+// in-flight count, completes a Drain that was waiting on it, and wakes
+// consumers (scoped to ws when the event is shard-local).
+func (q *Queue) finishInflight(ws *shard) {
 	// The drainWaiters gate is sound because Drain publishes its waiter
 	// count before checking emptiness itself; isIdle re-checks in the one
 	// read order the dispatch protocol makes safe.
@@ -697,10 +807,12 @@ func (q *Queue) confirmDrained() bool {
 	}
 	for i := range q.shards {
 		q.shards[i].mu.Lock()
-		q.shards[i].mu.Unlock() //lint:ignore SA2001 barrier against in-flight enqueues
+		//lint:ignore SA2001 lock-sweep barrier against in-flight enqueues
+		q.shards[i].mu.Unlock()
 	}
 	q.bar.mu.Lock()
-	q.bar.mu.Unlock() //lint:ignore SA2001 barrier against in-flight enqueues
+	//lint:ignore SA2001 lock-sweep barrier against in-flight enqueues
+	q.bar.mu.Unlock()
 	return q.totalPending() == 0
 }
 
@@ -751,6 +863,12 @@ func (q *Queue) reserveSlotWait(ctx context.Context) error {
 	}
 	q.spaceMu.Lock()
 	defer q.spaceMu.Unlock()
+	// Publish the producer-waiter BEFORE the capacity re-checks below: a
+	// releaser that frees a slot and then reads spaceWaiters == 0 is
+	// thereby guaranteed (seq-cst order) that this producer's re-check
+	// observes the freed slot, so skipping the broadcast cannot strand it.
+	q.spaceWaiters.Add(1)
+	defer q.spaceWaiters.Add(-1)
 	for {
 		if q.closed.Load() {
 			return ErrClosed
@@ -767,13 +885,19 @@ func (q *Queue) reserveSlotWait(ctx context.Context) error {
 }
 
 // releaseSlot returns one capacity slot when an entry dispatches (pending
-// shrinks before Complete, exactly as in the unsharded queue).
+// shrinks before Complete, exactly as in the unsharded queue). It runs on
+// every bounded-queue dispatch — from under a shard lock in the scan — so
+// the cond handshake is gated on a published producer-waiter, mirroring
+// the consumer side's q.waiters gate: with nobody blocked in EnqueueWait,
+// freeing a slot is one atomic add.
 func (q *Queue) releaseSlot() {
 	if q.cap <= 0 {
 		return
 	}
 	q.capUsed.Add(-1)
-	q.spaceMu.Lock()
-	q.space.Signal()
-	q.spaceMu.Unlock()
+	if q.spaceWaiters.Load() > 0 {
+		q.spaceMu.Lock()
+		q.space.Broadcast()
+		q.spaceMu.Unlock()
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Mux multiplexes several named parallel dispatch queues over one set of
@@ -23,16 +24,33 @@ import (
 // signals; consumers re-scan after every token, and dispatchers re-arm
 // the token so bursts cascade to the other workers.
 //
+// Dispatch never holds the mux lock: the member-queue slice is published
+// as a copy-on-write snapshot and the round-robin cursor is an atomic, so
+// concurrent workers scan member queues fully in parallel — m.mu guards
+// only queue-set mutation (Queue, Close), never the dispatch path, which
+// would re-serialize every worker through one mutex and defeat the
+// sharded dispatch core inside each member queue.
+//
 // A Mux is safe for concurrent use.
 type Mux struct {
-	mu     sync.Mutex // guards queues, names, rr, closed, stats
-	queues []*Queue
+	mu     sync.Mutex // guards names, closed, and queue-set mutation
 	names  map[string]*Queue
-	rr     int // round-robin scan start
 	closed bool
 
-	wakeCh     chan struct{}
-	dispatched uint64
+	queues     atomic.Pointer[[]*Queue] // copy-on-write snapshot scanned lock-free
+	rr         atomic.Uint32            // round-robin scan start
+	dispatched atomic.Uint64
+
+	wakeCh chan struct{}
+}
+
+// snapshot returns the current member-queue slice. The slice is immutable
+// once published; Queue replaces it wholesale under m.mu.
+func (m *Mux) snapshot() []*Queue {
+	if p := m.queues.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // NewMux returns an empty mux; virtual queues are created on first use
@@ -73,7 +91,8 @@ func (m *Mux) Queue(name string, opts ...Option) (*Queue, error) {
 	q := New(opts...)
 	q.notify = m.wake // wake the mux on any dispatchability change
 	m.names[name] = q
-	m.queues = append(m.queues, q)
+	qs := append(append([]*Queue(nil), m.snapshot()...), q)
+	m.queues.Store(&qs)
 	return q, nil
 }
 
@@ -99,16 +118,24 @@ func (m *Mux) wake() {
 
 // TryDequeue scans the virtual queues round-robin and returns the first
 // dispatchable entry along with its owning queue (pass it to that queue's
-// Complete). ok=false means nothing is dispatchable right now.
+// Run, or Complete/Release). ok=false means nothing is dispatchable right
+// now. The scan takes no mux-wide lock, so any number of workers can
+// dispatch concurrently.
 func (m *Mux) TryDequeue() (q *Queue, e *Entry, ok bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n := len(m.queues)
+	qs := m.snapshot()
+	n := len(qs)
+	if n == 0 {
+		return nil, nil, false
+	}
+	start := int(m.rr.Load())
 	for i := 0; i < n; i++ {
-		cand := m.queues[(m.rr+i)%n]
+		cand := qs[(start+i)%n]
 		if e, ok := cand.TryDequeue(); ok {
-			m.rr = (m.rr + i + 1) % n // fairness: resume after this queue
-			m.dispatched++
+			// Fairness: resume after this queue. Concurrent dispatchers
+			// race on the cursor; any of their stores is a valid resume
+			// point, so a plain last-writer-wins store suffices.
+			m.rr.Store(uint32((start + i + 1) % n))
+			m.dispatched.Add(1)
 			return cand, e, true
 		}
 	}
@@ -125,8 +152,8 @@ func (m *Mux) Dequeue() (*Queue, *Entry, bool) {
 // DequeueContext blocks until an entry is dispatchable on some virtual
 // queue, ctx is done, or the mux is closed and every queue has drained.
 // It returns ErrMuxClosed on close+drain and ctx.Err() on cancellation;
-// otherwise the entry and its owning queue (pass the entry to that
-// queue's Complete).
+// otherwise the entry and its owning queue (execute it with that queue's
+// Run, or Complete/Release it manually).
 func (m *Mux) DequeueContext(ctx context.Context) (*Queue, *Entry, error) {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -154,11 +181,12 @@ func (m *Mux) DequeueContext(ctx context.Context) (*Queue, *Entry, error) {
 // closed with nothing pending or in flight.
 func (m *Mux) drained() bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.closed {
+	closed := m.closed
+	m.mu.Unlock()
+	if !closed {
 		return false
 	}
-	for _, q := range m.queues {
+	for _, q := range m.snapshot() {
 		if !q.closedAndDrained() {
 			return false
 		}
@@ -171,9 +199,8 @@ func (m *Mux) drained() bool {
 func (m *Mux) Close() {
 	m.mu.Lock()
 	m.closed = true
-	queues := append([]*Queue(nil), m.queues...)
 	m.mu.Unlock()
-	for _, q := range queues {
+	for _, q := range m.snapshot() {
 		q.Close()
 	}
 	m.wake()
@@ -187,9 +214,7 @@ type MuxStats struct {
 
 // Stats returns mux counters (per-queue stats live on each Queue).
 func (m *Mux) Stats() MuxStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return MuxStats{Queues: len(m.queues), Dispatched: m.dispatched}
+	return MuxStats{Queues: len(m.snapshot()), Dispatched: m.dispatched.Load()}
 }
 
 // String renders a short diagnostic line.
@@ -228,9 +253,9 @@ func (p *MuxPool) worker(ctx context.Context) {
 		if err != nil {
 			return // cancelled, or closed and drained
 		}
-		msg := e.Message()
-		msg.Handler(msg.Data)
-		q.Complete(e)
+		// Guarded execution on the owning queue: a panic becomes that
+		// queue's Release (retry/dead-letter) and the worker survives.
+		q.Run(e)
 	}
 }
 

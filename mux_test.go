@@ -3,6 +3,7 @@ package pdq
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -265,4 +266,125 @@ func TestMuxKeySetsIndependentAcrossQueues(t *testing.T) {
 	}
 	qa.Complete(e3)
 	m.Close()
+}
+
+// TestMuxTryDequeueWithoutMuxLock: the dispatch scan must not serialize
+// behind m.mu — a TryDequeue while the mux lock is held (queue-set
+// mutation in another goroutine) must still complete.
+func TestMuxTryDequeueWithoutMuxLock(t *testing.T) {
+	m := NewMux()
+	q, err := m.Queue("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEnqueue(t, q.Enqueue(func(any) {}, WithKey(1)))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if qq, e, ok := m.TryDequeue(); ok {
+			qq.Complete(e)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Mux.TryDequeue serialized behind the mux lock")
+	}
+}
+
+// TestMuxPoolDispatchesAcrossQueuesInParallel: a multi-worker MuxPool
+// must keep dispatching while the mux lock is held elsewhere — the mux
+// scan is lock-free with respect to m.mu. An implementation that
+// re-serializes dispatch through m.mu cannot dispatch a single entry
+// during the locked phase and times out at the first-dispatch check.
+func TestMuxPoolDispatchesAcrossQueuesInParallel(t *testing.T) {
+	const (
+		workers  = 4
+		perQueue = 64
+	)
+	m := NewMux()
+	qs := make([]*Queue, workers)
+	for i := range qs {
+		q, err := m.Queue(fmt.Sprintf("q%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	var once sync.Once
+	first := make(chan struct{})
+	allDone := make(chan struct{})
+	var done atomic.Int32
+	handler := func(any) {
+		once.Do(func() { close(first) })
+		if int(done.Add(1)) == workers*perQueue {
+			close(allDone)
+		}
+	}
+
+	// Hold the mux lock for the start of the dispatch phase. At least one
+	// worker always wins a member queue's dispatch lock, so with m.mu out
+	// of the dispatch path the first handler is guaranteed to run while
+	// m.mu is still held.
+	m.mu.Lock()
+	for i, q := range qs {
+		for j := 0; j < perQueue; j++ {
+			mustEnqueue(t, q.Enqueue(handler, WithKey(Key(i))))
+		}
+	}
+	pool := ServeMux(context.Background(), m, workers)
+	select {
+	case <-first:
+	case <-time.After(10 * time.Second):
+		m.mu.Unlock()
+		t.Fatal("mux dispatch re-serialized behind m.mu: no worker dispatched while the lock was held")
+	}
+	m.mu.Unlock()
+
+	select {
+	case <-allDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mux pool failed to drain all member queues")
+	}
+	m.Close()
+	pool.Wait()
+	if st := m.Stats(); st.Dispatched != workers*perQueue {
+		t.Fatalf("mux dispatched %d entries, want %d", st.Dispatched, workers*perQueue)
+	}
+}
+
+// TestMuxPoolWorkerSurvivesPanic: MuxPool workers run entries through the
+// owning queue's Run, so a panicking handler follows that queue's
+// retry/dead-letter policy and the worker keeps serving other queues.
+func TestMuxPoolWorkerSurvivesPanic(t *testing.T) {
+	m := NewMux()
+	dlCh := make(chan error, 1)
+	q, err := m.Queue("a", WithRetry(1), WithDeadLetter(func(_ Message, err error) { dlCh <- err }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ServeMux(context.Background(), m, 1)
+	mustEnqueue(t, q.Enqueue(func(any) { panic("mux boom") }, WithKey(9)))
+
+	select {
+	case err := <-dlCh:
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("dead-letter error = %v, want *PanicError", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("panicking handler never dead-lettered through the mux pool")
+	}
+	done := make(chan struct{})
+	mustEnqueue(t, q.Enqueue(func(any) { close(done) }, WithKey(9)))
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mux worker did not survive the handler panic")
+	}
+	m.Close()
+	pool.Wait()
 }

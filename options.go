@@ -6,6 +6,8 @@ type config struct {
 	searchWindow int
 	capacity     int
 	shards       int
+	retry        int
+	deadLetter   func(m Message, err error)
 }
 
 // Option configures a Queue at construction time. Options are applied in
@@ -42,6 +44,43 @@ func WithCapacity(n int) Option {
 // shard).
 func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
+}
+
+// WithRetry grants every entry a retry budget of n failed attempts: an
+// entry passed to Release (directly, or by Run recovering a handler
+// panic) is re-enqueued at the tail of the queue with a fresh sequence
+// number — losing its original ordering position, which its failure
+// already forfeited — until it has failed 1+n times, after which it goes
+// to the dead-letter hook. The retried entry carries its attempt count
+// and last error (Entry.Attempt, Entry.Err). n <= 0, the default, means
+// no retries: every released entry dead-letters immediately. The budget
+// is capped at maxRetryBudget (effectively unbounded).
+func WithRetry(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		if n > maxRetryBudget {
+			n = maxRetryBudget
+		}
+		c.retry = n
+	}
+}
+
+// maxRetryBudget caps WithRetry so the budget always fits the uint32
+// attempt counter carried on Entry (a larger value would truncate in the
+// attempt comparison and silently shrink the budget).
+const maxRetryBudget = 1 << 30
+
+// WithDeadLetter installs the terminal failure hook: fn receives the
+// Message and error of every entry that exhausts its retry budget (or is
+// Released with no budget configured). The hook runs on the goroutine
+// that called Release — a pool worker, for panics — before the entry is
+// counted out of flight, so Drain waits for it; it should be quick and
+// must not call back into blocking queue operations on a full queue. The
+// default policy logs the entry via the standard log package.
+func WithDeadLetter(fn func(m Message, err error)) Option {
+	return func(c *config) { c.deadLetter = fn }
 }
 
 // EnqueueOption shapes one enqueued message. It is a small value type (not

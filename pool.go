@@ -8,7 +8,9 @@ import (
 // Pool runs a fixed set of worker goroutines that dequeue entries from a
 // Queue and invoke their handlers — the software analogue of the paper's
 // protocol processors, each fed through a Protocol Dispatch Register. The
-// pool is built entirely on the public DequeueContext/Complete interface.
+// pool is built entirely on the public DequeueContext/Run interface, so
+// workers are panic-safe: a handler panic becomes Release + the queue's
+// retry/dead-letter policy, and the worker keeps serving.
 // On a sharded queue (WithShards), workers self-distribute across shards:
 // each dispatch attempt starts its shard sweep at a rotating offset, so
 // n >= Queue.Shards() workers keep every shard's dispatch lane busy.
@@ -43,9 +45,10 @@ func (p *Pool) worker(ctx context.Context) {
 		if err != nil {
 			return // cancelled, or closed and drained
 		}
-		m := e.Message()
-		m.Handler(m.Data)
-		p.q.Complete(e)
+		// Run recovers a handler panic into Release, so a failing handler
+		// frees its keys, follows the retry/dead-letter policy, and never
+		// kills the worker.
+		p.q.Run(e)
 	}
 }
 

@@ -220,6 +220,35 @@ func (s *shard) recycle(n *node) {
 	s.freeLen++
 }
 
+// releaseKeys decrements the in-flight count of every key in keys on the
+// shards named by mask — the inverse of the acquisition the dispatch path
+// performed. It is shared by the Complete and Release paths: both free
+// key state identically; they differ only in where the entry goes next.
+func (q *Queue) releaseKeys(mask uint64, keys []Key) {
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << i
+		s := &q.shards[i]
+		s.mu.Lock()
+		for _, k := range keys {
+			if q.shardIndex(k) != s.idx {
+				continue
+			}
+			c := s.inflight[k]
+			if c <= 0 {
+				s.mu.Unlock()
+				panic("pdq: Complete/Release for key with no in-flight handler")
+			}
+			if c == 1 {
+				delete(s.inflight, k)
+			} else {
+				s.inflight[k] = c - 1
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Conflict kinds returned by the claim checks.
 const (
 	conflictNone  = iota

@@ -12,9 +12,9 @@ var errConflictingModes = errors.New("pdq: conflicting dispatch modes")
 // JSON field names are stable so external tooling (cmd/pdqbench's
 // BENCH_*.json, dashboards) can track them across versions.
 type Stats struct {
-	Enqueued           uint64 `json:"enqueued"`            // messages accepted
+	Enqueued           uint64 `json:"enqueued"`            // admissions (a retried entry re-counts)
 	Rejected           uint64 `json:"rejected"`            // messages refused with ErrFull
-	Dispatched         uint64 `json:"dispatched"`          // entries handed to callers
+	Dispatched         uint64 `json:"dispatched"`          // entries handed to callers (retries re-count)
 	Completed          uint64 `json:"completed"`           // Complete calls
 	SeqDispatched      uint64 `json:"seq_dispatched"`      // sequential entries dispatched
 	NoSyncDispatched   uint64 `json:"nosync_dispatched"`   // nosync entries dispatched
@@ -27,6 +27,10 @@ type Stats struct {
 	Waits              uint64 `json:"waits"`               // blocking dequeue sleeps
 	EnqueueWaits       uint64 `json:"enqueue_waits"`       // EnqueueWait sleeps for capacity
 	CrossShard         uint64 `json:"cross_shard"`         // dispatched entries whose key set spanned shards
+	Panics             uint64 `json:"panics"`              // handler panics recovered by Run
+	Released           uint64 `json:"released"`            // Release calls (failure-path completions)
+	Retries            uint64 `json:"retries"`             // released entries re-enqueued for another attempt
+	DeadLettered       uint64 `json:"dead_lettered"`       // entries handed to the dead-letter hook
 	Shards             int    `json:"shards"`              // shard count of the dispatch core
 	MaxPending         int    `json:"max_pending"`         // high-water mark of pending entries (summed per shard: an upper bound when shards > 1)
 	MaxKeySet          int    `json:"max_key_set"`         // largest synchronization key set seen
@@ -65,6 +69,10 @@ func (q *Queue) Stats() Stats {
 	s.Waits = q.g.waits.Load()
 	s.EnqueueWaits = q.g.enqueueWaits.Load()
 	s.CrossShard = q.g.crossShard.Load()
+	s.Panics = q.g.panics.Load()
+	s.Released = q.g.released.Load()
+	s.Retries = q.g.retries.Load()
+	s.DeadLettered = q.g.deadLettered.Load()
 	s.MaxKeySet = int(q.g.maxKeySet.Load())
 	s.Shards = len(q.shards)
 	return s
@@ -73,8 +81,10 @@ func (q *Queue) Stats() Stats {
 // String renders the counters compactly for logs and reports.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
+		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
 		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
 		s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
-		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard, s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected)
+		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard,
+		s.Panics, s.Released, s.Retries, s.DeadLettered,
+		s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected)
 }
