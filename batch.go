@@ -1,0 +1,572 @@
+package pdq
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"runtime"
+	"time"
+	"unsafe"
+)
+
+// Batched dispatch amortizes the per-entry dispatch cost — a shard lock
+// acquire/release, an eventcount round trip, and a claim-queue walk per
+// entry — across a whole run of compatible entries: one harvest takes a
+// shard's lock once and collects up to max dispatchable entries, and one
+// blocking dequeue performs a single eventcount interaction for all of
+// them. The paper's economics (dispatch-time synchronization only wins
+// while the dispatch mechanism costs less than the handlers it orders)
+// are what make this matter: with fine-grain handlers of a few hundred
+// nanoseconds, per-entry locking is a constant tax batching removes.
+//
+// A batch is harvested in sequence order from a single shard's pending
+// list, so executing its entries in slice order on one goroutine (see
+// RunBatch) preserves exactly the dispatch order a per-entry consumer
+// would have produced. Entries in the same batch may even share keys: an
+// entry that fails the idle-key test only because an *earlier entry of
+// the same batch* holds the key is still harvested, because in-batch
+// order serializes the two on the executing goroutine. Outside the
+// batch, those keys read as in flight until each entry is Completed or
+// Released individually, so cross-consumer mutual exclusion and per-key
+// enqueue-order FIFO are unchanged.
+
+// TryDequeueBatch removes and returns up to max dispatchable entries from
+// one shard in a single lock acquisition, or ok=false if nothing is
+// currently dispatchable. The entries are in dispatch order: the caller
+// must execute them in slice order (or hand the slice to RunBatch) and
+// resolve each entry exactly once with Complete or Release. A pending
+// sequential barrier bounds the harvest; an activated barrier is returned
+// as a one-entry batch. max <= 1 harvests at most one entry.
+func (q *Queue) TryDequeueBatch(max int) (es []*Entry, ok bool) {
+	es, ok, _ = q.tryDequeueBatch(max)
+	return es, ok
+}
+
+// DequeueBatch blocks until at least one entry is dispatchable, then
+// returns a batch of up to max entries with a single eventcount
+// interaction. It returns ErrClosed once the queue is closed and fully
+// drained and ctx.Err() on cancellation. DequeueBatch(ctx, 1) behaves
+// identically to DequeueContext (one entry per batch).
+func (q *Queue) DequeueBatch(ctx context.Context, max int) ([]*Entry, error) {
+	if max <= 1 {
+		e, err := q.DequeueContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*Entry{e}, nil
+	}
+	var out []*Entry
+	err := q.blockDequeue(ctx, func() (ok, retry bool) {
+		out, ok, retry = q.tryDequeueBatch(max)
+		return ok, retry
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tryDequeueBatch makes one batched dispatch attempt: the barrier first
+// (an activated barrier is a batch of one), then the shards round-robin,
+// harvesting from the first shard that yields anything. retry reports an
+// inconclusive attempt (a TryLock loss), as in tryDequeue.
+func (q *Queue) tryDequeueBatch(max int) (es []*Entry, ok, retry bool) {
+	if max < 1 {
+		max = 1 // a batched dequeue always means at least one entry
+	}
+	if q.bar.active.Load() {
+		q.g.barrierStalls.Add(1)
+		return nil, false, false
+	}
+	barPending := q.bar.minSeq.Load() != 0
+	if barPending {
+		if e, ok := q.tryActivateBarrier(); ok {
+			return []*Entry{e}, true, false
+		}
+	}
+	var start uint32
+	if q.mask != 0 {
+		start = q.rr.Add(1)
+	}
+	for i := uint32(0); i <= q.mask; i++ {
+		s := &q.shards[(start+i)&q.mask]
+		if s.npending.Load() == 0 {
+			continue
+		}
+		es, r := q.harvestShard(s, max)
+		if len(es) > 0 {
+			return es, true, false
+		}
+		retry = retry || r
+	}
+	if barPending {
+		q.g.seqStalls.Add(1)
+	}
+	return nil, false, retry
+}
+
+// harvestShard is the batched form of scanShard: one TryLock'd pass over
+// s's pending list collecting every dispatchable entry until max entries
+// are harvested, the search window is exhausted, or a pending sequential
+// barrier's gate is reached. The per-entry dispatch protocol is identical
+// to scanShard's (inflightAll before unlink, claim pops under the lock);
+// the batch additions are the in-batch key suppression described at the
+// top of the file and, with WithCoalesce, the merging of identical-key
+// runs into one entry.
+func (q *Queue) harvestShard(s *shard, max int) (es []*Entry, retry bool) {
+	if !s.mu.TryLock() {
+		return nil, true
+	}
+	defer s.mu.Unlock()
+	barSeq := q.bar.minSeq.Load()
+	// acquired is the set of keys taken by earlier entries of this batch:
+	// an in-flight conflict on one of these keys is not a conflict for a
+	// later single-shard entry, because batch order serializes the two on
+	// the executing goroutine.
+	var acquired []Key
+	// The batch's entries live in one slab — one allocation and one GC
+	// object per harvest instead of one per entry, allocated lazily at
+	// the first dispatch so a gated or fully conflicted scan allocates
+	// nothing (like scanShard). The capacity is fixed at that first take
+	// (npending cannot grow under s.mu), so append never reallocates and
+	// the *Entry pointers stay valid.
+	var ents []Entry
+	take := func(n *node) *Entry {
+		if ents == nil {
+			// n itself is already unlinked, hence the +1.
+			c := int(s.npending.Load()) + 1
+			if c > max {
+				c = max
+			}
+			ents = make([]Entry, 0, c)
+			es = make([]*Entry, 0, c)
+		}
+		ents = append(ents, n.entry)
+		s.recycle(n)
+		return &ents[len(ents)-1]
+	}
+	scanned := 0
+	msgs := 0 // messages harvested: entries plus coalesced merges
+	for n := s.head; n != nil; {
+		if msgs >= max {
+			break
+		}
+		if q.window > 0 && scanned >= q.window {
+			if len(es) == 0 {
+				s.stats.windowStalls++
+			}
+			break
+		}
+		if barSeq != 0 && n.entry.seq >= barSeq {
+			// The pending list is seq-ascending: everything from here on
+			// is gated behind the sequential barrier.
+			break
+		}
+		scanned++
+		next := n.next // capture: dispatch unlinks and recycles n
+		m := &n.entry.msg
+		switch {
+		case m.Mode == ModeNoSync:
+			q.inflightAll.Add(1)
+			s.unlink(n)
+			q.releaseSlot()
+			s.stats.dispatched++
+			s.stats.noSyncDispatched++
+			msgs++
+			es = append(es, take(n))
+		case n.entry.smask == 1<<s.idx:
+			kind := s.conflictBatch(q, m.Keys, n.entry.seq, acquired)
+			if kind != conflictNone {
+				s.countConflict(kind)
+				break
+			}
+			q.inflightAll.Add(1)
+			for _, k := range m.Keys {
+				s.inflight[k]++
+				s.popClaim(k, n.entry.seq)
+			}
+			s.unlink(n)
+			q.releaseSlot()
+			s.stats.dispatched++
+			if len(m.Keys) > 1 {
+				s.stats.multiKeyDispatched++
+			}
+			acquired = append(acquired, m.Keys...)
+			msgs++
+			e := take(n) // n is recycled here; use e from now on
+			if q.coalesce && e.msg.Batch != nil && e.attempt == 0 {
+				// The representative already counts against max, so the
+				// merge budget is the batch's remaining message capacity.
+				next = q.coalesceRun(s, e, next, barSeq, &scanned, max-msgs)
+				msgs += len(e.extraList())
+			}
+			es = append(es, e)
+		default:
+			// Cross-shard entry: the standard TryLock'd dispatch, with no
+			// in-batch suppression (foreign shards know nothing of this
+			// batch). A lost lock race reports retry, as in scanShard.
+			ok, kind, r := q.tryDispatchCross(s, n)
+			if ok {
+				acquired = append(acquired, m.Keys...)
+				msgs++
+				es = append(es, take(n))
+			} else if r {
+				retry = true
+			} else {
+				s.countConflict(kind)
+			}
+		}
+		n = next
+	}
+	if len(es) > 0 {
+		s.stats.batches++
+		s.stats.batchEntries += uint64(msgs)
+		if msgs > s.stats.maxBatch {
+			s.stats.maxBatch = msgs
+		}
+	}
+	return es, retry
+}
+
+// conflictBatch is conflictLocal with the in-batch exception: a key held
+// in flight only counts as a conflict when it is not among the keys
+// acquired by earlier entries of the same batch. The claim-queue head
+// check is unchanged — earlier batch entries popped their claims at
+// harvest, so heading every claim queue *after* the batch's earlier pops
+// is exactly the required order condition. Caller holds s.mu; every key
+// in keys is owned by s.
+func (s *shard) conflictBatch(q *Queue, keys []Key, seq uint64, acquired []Key) int {
+	for _, k := range keys {
+		if s.inflight[k] > 0 && !keyIn(acquired, k) {
+			return conflictKey
+		}
+		if s.claims[k].peek() != seq {
+			return conflictOrder
+		}
+	}
+	return conflictNone
+}
+
+// keyIn reports whether k was acquired earlier in the batch. Batches are
+// small (bounded by max and the search window), so a linear scan beats a
+// map here.
+func keyIn(acquired []Key, k Key) bool {
+	for _, a := range acquired {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+// coalesceRun merges the run of pending entries immediately compatible
+// with representative e — same shard, ModeKeyed, a Batch handler, first
+// attempt, an identical key slice, and heading every claim queue after
+// the previous merge's pops — into e, so one Batch invocation handles
+// the whole run. Merged messages pop their claims and give back their
+// capacity slots like any dispatch, but do not touch the in-flight
+// counts: the representative's single acquisition covers the run, and
+// its single Complete (or Release) resolves it. budget bounds how many
+// additional messages may merge (the batch's remaining capacity);
+// WithCoalesce's own limit applies on top, and a pending sequential
+// barrier's gate (barSeq) stops the run exactly as it stops the
+// enclosing harvest — a post-barrier message must not ride a
+// pre-barrier invocation. Caller holds s.mu. Returns the first node not
+// merged.
+func (q *Queue) coalesceRun(s *shard, e *Entry, n *node, barSeq uint64, scanned *int, budget int) *node {
+	if q.coalesceMax > 0 && budget > q.coalesceMax-1 {
+		budget = q.coalesceMax - 1
+	}
+	for n != nil && budget > 0 {
+		if q.window > 0 && *scanned >= q.window {
+			return n
+		}
+		if barSeq != 0 && n.entry.seq >= barSeq {
+			return n
+		}
+		m := &n.entry.msg
+		if m.Mode != ModeKeyed || n.entry.attempt != 0 ||
+			!sameBatchHandler(m.Batch, e.msg.Batch) ||
+			!keysEqual(m.Keys, e.msg.Keys) {
+			return n
+		}
+		if s.headsClaims(m.Keys, n.entry.seq) != conflictNone {
+			return n
+		}
+		*scanned++
+		next := n.next
+		for _, k := range m.Keys {
+			s.popClaim(k, n.entry.seq)
+		}
+		s.unlink(n)
+		q.releaseSlot()
+		s.stats.dispatched++
+		if len(m.Keys) > 1 {
+			s.stats.multiKeyDispatched++
+		}
+		s.stats.coalesced++
+		if e.extra == nil {
+			e.extra = new([]Message)
+		}
+		*e.extra = append(*e.extra, *m)
+		s.recycle(n)
+		budget--
+		n = next
+	}
+	return n
+}
+
+// headsClaims checks only the claim-queue head condition (the in-flight
+// keys are held by the representative itself during a coalesce run).
+// Caller holds s.mu; every key is owned by s.
+func (s *shard) headsClaims(keys []Key, seq uint64) int {
+	for _, k := range keys {
+		if s.claims[k].peek() != seq {
+			return conflictOrder
+		}
+	}
+	return conflictNone
+}
+
+// sameBatchHandler reports whether two Batch handlers are the same
+// function value. Merging a message into a run discards its own handler
+// in favor of the representative's, so it is only sound when the two
+// are literally the same — comparing function *values* (the closure
+// object, not just the code pointer) means two closures of the same
+// body with different captured state never merge. The common coalescing
+// producer enqueues one shared handler value, which always matches.
+func sameBatchHandler(a, b func(datas []any)) bool {
+	return a != nil && b != nil &&
+		*(*unsafe.Pointer)(unsafe.Pointer(&a)) == *(*unsafe.Pointer)(unsafe.Pointer(&b))
+}
+
+// keysEqual reports element-wise equality of two key slices. Coalescing
+// requires identical slices (same keys, same order), the cheap exact
+// form of "same key set" that the common produce-loop traffic satisfies.
+func keysEqual(a, b []Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, k := range a {
+		if b[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// RunBatch executes a batch from TryDequeueBatch/DequeueBatch in order
+// with the per-entry failure lifecycle of PR 3 preserved inside the
+// batch: each handler runs under Run's recovery guard, a panicking
+// handler is Released immediately — freeing only that entry's keys, with
+// the queue's retry/dead-letter policy applied — and the remaining
+// entries still execute. Successful entries group-commit: their
+// completions are applied together when the batch finishes, taking each
+// involved shard's lock once instead of once per entry (the completion
+// analogue of the harvest's amortization), so their keys read as in
+// flight until the whole batch has run. The input slice is not
+// modified. The returned error joins the recovered *PanicErrors of
+// every failed entry (nil when all succeeded). If a handler terminates
+// the goroutine with runtime.Goexit (see ErrHandlerExited), the entries
+// already run are completed on the way out, and the never-executed
+// remainder — which did not fail and owes no retry budget — is handed
+// back to the queue at the tail with its attempt counts intact (the
+// messages forfeit their queue positions; on a bounded queue that
+// cannot re-admit them they dead-letter with ErrHandlerExited), so no
+// entry is stranded holding its keys.
+func (q *Queue) RunBatch(es []*Entry) error {
+	succ := make([]*Entry, 0, len(es)) // ran to completion, not yet resolved
+	idx := 0                           // es[idx:] have not started
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		// Only runtime.Goexit can unwind past runHandler's recovery (and
+		// runHandler Released the entry it was unwound from): resolve
+		// everything else on the way out.
+		q.completeBatch(succ)
+		for _, e := range es[idx:] {
+			q.releaseUnrun(e)
+		}
+	}()
+	var errs []error
+	for idx < len(es) {
+		e := es[idx]
+		idx++
+		if pe := q.runHandler(e); pe != nil {
+			q.g.panics.Add(1)
+			q.Release(e, pe)
+			errs = append(errs, pe)
+			continue
+		}
+		succ = append(succ, e)
+	}
+	finished = true
+	q.completeBatch(succ)
+	return errors.Join(errs...)
+}
+
+// releaseUnrun resolves a dispatched entry whose handler never started
+// (its batch's goroutine is unwinding under runtime.Goexit): the key
+// state is freed like any release, and each message the entry carries is
+// re-admitted at the tail with its attempt count intact — it did not
+// fail, so the retry budget does not apply — falling back to the
+// dead-letter hook only when re-admission is impossible (a bounded queue
+// with no free slot, or a fresh message on a queue that closed — a
+// pre-close retry re-admits as always).
+func (q *Queue) releaseUnrun(e *Entry) {
+	ws := q.releaseEntryState(e)
+	q.g.released.Add(1)
+	q.readmitOrDeadLetter(e.msg, e.attempt, e.err)
+	for _, m := range e.extraList() {
+		q.readmitOrDeadLetter(m, e.attempt, e.err)
+	}
+	q.finishInflight(ws)
+}
+
+// readmitOrDeadLetter gives one never-executed message back to the
+// queue, dead-lettering it when the queue cannot take it back.
+func (q *Queue) readmitOrDeadLetter(m Message, attempt uint32, lastErr error) {
+	if q.cap > 0 && !q.tryReserveSlot() {
+		q.deadLetterMsg(m, ErrHandlerExited)
+		return
+	}
+	// enqueueReserved returns the capacity slot itself on failure.
+	if q.enqueueReserved(m, attempt, lastErr) != nil {
+		q.deadLetterMsg(m, ErrHandlerExited)
+	}
+}
+
+// completeBatch applies the completions of a batch's successful entries
+// together: every involved shard is locked once to free all key state,
+// the in-flight count retires in one step, and consumers are woken once.
+// It is exactly len(es) Complete calls with the locking and waking
+// amortized; the drain check and read-order guarantees are unchanged.
+func (q *Queue) completeBatch(es []*Entry) {
+	if len(es) == 0 {
+		return
+	}
+	if len(es) == 1 {
+		q.Complete(es[0])
+		return
+	}
+	var mask uint64
+	for _, e := range es {
+		if e.msg.Mode == ModeSequential {
+			// Sequential entries only ever travel in batches of one, so
+			// this cannot happen for a harvested batch; stay correct for
+			// hand-built slices.
+			for _, e := range es {
+				q.Complete(e)
+			}
+			return
+		}
+		mask |= e.smask
+	}
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << i
+		s := &q.shards[i]
+		s.mu.Lock()
+		for _, e := range es {
+			if e.smask&(1<<i) == 0 || len(e.msg.Keys) == 0 {
+				continue
+			}
+			if !s.releaseOwned(q, e.msg.Keys) {
+				s.mu.Unlock()
+				panic("pdq: Complete/Release for key with no in-flight handler")
+			}
+		}
+		s.mu.Unlock()
+	}
+	ws := q.shardFromMask(mask)
+	ws.completed.Add(uint64(len(es)))
+	// As in finishInflight: the batch's entries retire together; the
+	// drain gate and the pending-before-inflight read order still hold.
+	if q.inflightAll.Add(-int64(len(es))) == 0 && q.drainWaiters.Load() > 0 && q.isIdle() {
+		q.notifyEmpty()
+	}
+	// One generation bump covers the whole batch: sleeping consumers wait
+	// on the generation sum, which any single-shard bump changes.
+	q.wakeShard(ws)
+}
+
+// blockDequeue is the eventcount wait loop shared by DequeueContext and
+// DequeueBatch: run attempt until it yields, ctx is done, or the queue is
+// closed and drained. attempt reports (dispatched, inconclusive-retry)
+// exactly like tryDequeue; the generation re-check under waitMu closes
+// the scan-then-sleep race, and the timed backstop bounds the window a
+// lost cross-shard TryLock race (which leaves no eventcount bump behind)
+// can hide a dispatchable entry.
+func (q *Queue) blockDequeue(ctx context.Context, attempt func() (ok, retry bool)) error {
+	var stop func() bool
+	defer func() {
+		if stop != nil {
+			stop()
+		}
+	}()
+	spins := 0
+	for {
+		g := q.wakeSum()
+		ok, retry := attempt()
+		if ok {
+			return nil
+		}
+		if q.closed.Load() && q.confirmDrained() {
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		needBackstop := false
+		if retry {
+			// A cross-shard dispatch lost a TryLock race; the state is
+			// unknown, so rescan rather than sleep on a stale generation —
+			// but boundedly, falling into the eventcount sleep (with a
+			// timed backstop, since the lost race may never bump it) once
+			// the collisions persist.
+			if spins < maxDispatchSpins {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			needBackstop = true
+		}
+		spins = 0
+		if stop == nil && ctx.Done() != nil {
+			stop = context.AfterFunc(ctx, func() {
+				q.waitMu.Lock()
+				q.waitCond.Broadcast()
+				q.waitMu.Unlock()
+			})
+		}
+		q.waitMu.Lock()
+		// Publish the waiter BEFORE re-checking the generation: a producer
+		// that bumps the generation and then reads waiters == 0 is thereby
+		// guaranteed (seq-cst order) that this re-check observes its bump,
+		// so skipping the broadcast cannot strand us.
+		q.waiters.Add(1)
+		if q.wakeSum() == g {
+			q.g.waits.Add(1)
+			var backstop *time.Timer
+			if needBackstop {
+				// Armed under waitMu: the callback's own Lock cannot
+				// proceed until Wait has parked this consumer (releasing
+				// the mutex), so the broadcast can never fire into the
+				// pre-park window and be lost.
+				backstop = time.AfterFunc(dispatchBackoff, func() {
+					q.waitMu.Lock()
+					q.waitCond.Broadcast()
+					q.waitMu.Unlock()
+				})
+			}
+			q.waitCond.Wait()
+			if backstop != nil {
+				backstop.Stop()
+			}
+		}
+		q.waiters.Add(-1)
+		q.waitMu.Unlock()
+	}
+}

@@ -1,0 +1,126 @@
+// Command benchguard compares a freshly measured pdqbench result against
+// a committed baseline and fails when throughput regresses beyond an
+// allowed fraction — the mechanical regression gate behind the CI bench
+// job, so dispatch-path slowdowns are caught by the build instead of
+// anecdotally.
+//
+// Usage:
+//
+//	benchguard -baseline bench/baseline/BENCH_pdq.json \
+//	           -current  bench/out/BENCH_pdq.json \
+//	           [-max-regress 0.25]
+//
+// The comparison is intentionally one-sided: a current run is allowed to
+// be arbitrarily faster than the baseline (CI machines routinely beat
+// the machine that seeded it), and fails only when it drops below
+// baseline * (1 - max-regress). On an improvement worth locking in,
+// re-seed the baseline by copying the current file over it.
+//
+// benchguard also sanity-checks that the two results ran the same
+// workload shape (strategy, messages, keys, set size, shards, batch,
+// coalesce, work, seed) — comparing throughput across different
+// workloads would make the gate meaningless.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// bench is the subset of pdqbench's result relevant to the gate. Field
+// names mirror cmd/pdqbench's stable JSON names.
+type bench struct {
+	Strategy   string  `json:"strategy"`
+	Workers    int     `json:"workers"`
+	Messages   int     `json:"messages"`
+	Keys       int     `json:"keys"`
+	SetSize    int     `json:"set_size"`
+	Shards     int     `json:"shards"`
+	Batch      int     `json:"batch"`
+	Coalesce   bool    `json:"coalesce"`
+	Skew       float64 `json:"skew"`
+	PanicRate  float64 `json:"panic_rate"`
+	WorkNanos  int64   `json:"work_ns"`
+	Seed       uint64  `json:"seed"`
+	Handled    uint64  `json:"handled"`
+	Throughput float64 `json:"throughput_msgs_per_sec"`
+}
+
+func load(path string) (bench, error) {
+	var b bench
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Throughput <= 0 {
+		return b, fmt.Errorf("%s: no throughput recorded", path)
+	}
+	return b, nil
+}
+
+// sameWorkload reports whether two results measured a comparable
+// configuration. Workers is compared too: a worker-count change shifts
+// throughput for scheduling reasons, not dispatch-path ones.
+func sameWorkload(a, b bench) bool {
+	return a.Strategy == b.Strategy &&
+		a.Workers == b.Workers &&
+		a.Messages == b.Messages &&
+		a.Keys == b.Keys &&
+		a.SetSize == b.SetSize &&
+		a.Shards == b.Shards &&
+		a.Batch == b.Batch &&
+		a.Coalesce == b.Coalesce &&
+		a.Skew == b.Skew &&
+		a.PanicRate == b.PanicRate &&
+		a.WorkNanos == b.WorkNanos &&
+		a.Seed == b.Seed
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline BENCH_*.json")
+		currentPath  = flag.String("current", "", "freshly measured BENCH_*.json")
+		maxRegress   = flag.Float64("max-regress", 0.25, "allowed fractional throughput regression")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		os.Exit(2)
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		fmt.Fprintln(os.Stderr, "benchguard: -max-regress must be in [0, 1)")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if !sameWorkload(baseline, current) {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: workload mismatch — baseline %+v vs current %+v\n",
+			baseline, current)
+		os.Exit(2)
+	}
+	floor := baseline.Throughput * (1 - *maxRegress)
+	ratio := current.Throughput / baseline.Throughput
+	fmt.Printf("benchguard: %s  baseline %.0f msg/s  current %.0f msg/s  (%.2fx, floor %.0f)\n",
+		baseline.Strategy, baseline.Throughput, current.Throughput, ratio, floor)
+	if current.Throughput < floor {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: FAIL — throughput regressed %.1f%% (allowed %.1f%%)\n",
+			(1-ratio)*100, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}

@@ -8,7 +8,8 @@
 //
 //	pdqbench [-strategy pdq|lock|oam|multiq|all] [-workers 8]
 //	         [-messages 200000] [-keys 64] [-skew 0] [-work 200]
-//	         [-setsize 1] [-shards 1] [-panicrate 0] [-json .]
+//	         [-setsize 1] [-shards 1] [-batch 1] [-coalesce]
+//	         [-panicrate 0] [-json .]
 //
 // skew > 0 draws keys from a Zipf-like distribution (hotspot); work is the
 // simulated handler body in nanoseconds of spinning. setsize > 1 gives
@@ -16,16 +17,26 @@
 // only — the baselines have no key-set notion). shards partitions the pdq
 // dispatch core (1 = the classic single-queue scan, 0 = derive from
 // GOMAXPROCS); it is recorded in BENCH_pdq.json so sharded and unsharded
-// runs can be tracked side by side. panicrate > 0 makes each handler
-// execution panic with that probability (pdq only), exercising the
+// runs can be tracked side by side. batch > 1 makes each pdq pool worker
+// dispatch through DequeueBatch/RunBatch in batches of that size
+// (WithWorkerBatch), and -coalesce additionally enables WithCoalesce with
+// BatchHandler messages, so identical-key runs merge into one handler
+// invocation; both are recorded in BENCH_pdq.json, and the batches,
+// batch_entries, max_batch, and coalesced counters land there through the
+// embedded pdq.Stats. panicrate > 0 makes each handler execution panic
+// with that probability (pdq only), exercising the
 // recover/Release/retry/dead-letter failure path; the queue runs with
 // WithRetry(1) and a no-op dead-letter hook, and the resulting panics,
 // retries, and dead_lettered counters land in BENCH_pdq.json.
 //
 // Unless -json is empty, each strategy additionally writes a
 // machine-readable BENCH_<strategy>.json file into the given directory
-// (throughput plus the full conflict/stall counter surface), so the
-// performance trajectory can be tracked across revisions.
+// (throughput plus the full conflict/stall counter surface, and the full
+// flag configuration), so the performance trajectory can be tracked
+// across revisions. Files are written atomically — marshalled to a
+// temporary file in the target directory and renamed into place — so a
+// failing later strategy of a -strategy all run can never leave a
+// truncated or half-overwritten BENCH_<strategy>.json behind.
 package main
 
 import (
@@ -50,6 +61,8 @@ type config struct {
 	keys      int
 	setSize   int
 	shards    int
+	batch     int
+	coalesce  bool
 	skew      float64
 	panicRate float64
 	work      time.Duration
@@ -63,7 +76,9 @@ type result struct {
 	Messages   int     `json:"messages"`
 	Keys       int     `json:"keys"`
 	SetSize    int     `json:"set_size"`
-	Shards     int     `json:"shards"` // resolved shard count (pdq strategy)
+	Shards     int     `json:"shards"`   // resolved shard count (pdq strategy)
+	Batch      int     `json:"batch"`    // worker dispatch batch size (pdq strategy)
+	Coalesce   bool    `json:"coalesce"` // identical-key runs merged (pdq strategy)
 	Skew       float64 `json:"skew"`
 	PanicRate  float64 `json:"panic_rate,omitempty"` // injected handler failure probability (pdq strategy)
 	WorkNanos  int64   `json:"work_ns"`
@@ -87,6 +102,8 @@ func main() {
 		keys      = flag.Int("keys", 64, "distinct synchronization keys")
 		setSize   = flag.Int("setsize", 1, "keys per message key set (pdq only)")
 		shards    = flag.Int("shards", 1, "pdq dispatch shards (0 = GOMAXPROCS-derived, pdq only)")
+		batch     = flag.Int("batch", 1, "pdq worker dispatch batch size (pdq only)")
+		coalesce  = flag.Bool("coalesce", false, "merge identical-key runs into one handler invocation (pdq only)")
 		skew      = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
 		panicRate = flag.Float64("panicrate", 0, "probability a handler execution panics (pdq only)")
 		work      = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
@@ -94,7 +111,7 @@ func main() {
 		jsonDir   = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
 	)
 	flag.Parse()
-	cfg := config{*workers, *messages, *keys, *setSize, *shards, *skew, *panicRate, *work, *seed}
+	cfg := config{*workers, *messages, *keys, *setSize, *shards, *batch, *coalesce, *skew, *panicRate, *work, *seed}
 	names := []string{"pdq", "lock", "oam", "multiq"}
 	if *strategy != "all" {
 		names = []string{*strategy}
@@ -102,13 +119,33 @@ func main() {
 	if cfg.setSize < 1 {
 		cfg.setSize = 1
 	}
-	if cfg.setSize > 1 && (len(names) != 1 || names[0] != "pdq") {
-		fmt.Fprintln(os.Stderr, "pdqbench: -setsize > 1 requires -strategy pdq")
-		os.Exit(1)
+	if cfg.batch < 1 {
+		cfg.batch = 1
 	}
-	if cfg.panicRate > 0 && (len(names) != 1 || names[0] != "pdq") {
-		fmt.Fprintln(os.Stderr, "pdqbench: -panicrate > 0 requires -strategy pdq")
-		os.Exit(1)
+	pdqOnly := func(flagDesc string) {
+		if len(names) != 1 || names[0] != "pdq" {
+			fmt.Fprintf(os.Stderr, "pdqbench: %s requires -strategy pdq\n", flagDesc)
+			os.Exit(1)
+		}
+	}
+	if cfg.setSize > 1 {
+		pdqOnly("-setsize > 1")
+	}
+	if cfg.panicRate > 0 {
+		pdqOnly("-panicrate > 0")
+	}
+	if cfg.batch > 1 {
+		pdqOnly("-batch > 1")
+	}
+	if cfg.coalesce {
+		pdqOnly("-coalesce")
+		if cfg.panicRate > 0 {
+			// The failure injection wraps the per-message handler; wiring it
+			// through coalesced BatchHandler invocations would make the
+			// injected rate depend on merge luck. Keep the two modes apart.
+			fmt.Fprintln(os.Stderr, "pdqbench: -coalesce is incompatible with -panicrate")
+			os.Exit(1)
+		}
 	}
 	for _, name := range names {
 		res, err := runStrategy(name, cfg)
@@ -131,8 +168,11 @@ func main() {
 }
 
 // writeJSON records res as BENCH_<strategy>.json in dir, creating dir if
-// needed.
-func writeJSON(dir string, res result) error {
+// needed. The write is atomic — a temporary file in dir renamed into
+// place — so an interrupted or failing run (e.g. a later strategy of a
+// -strategy all sweep crashing mid-write) can never leave a truncated
+// BENCH_<strategy>.json where a previous revision's complete one stood.
+func writeJSON(dir string, res result) (err error) {
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -140,8 +180,26 @@ func writeJSON(dir string, res result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, "BENCH_"+res.Strategy+".json")
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp, err := os.CreateTemp(dir, "BENCH_"+res.Strategy+".*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp.Name()) // best effort; never mask the write error
+		}
+	}()
+	if _, err = tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "BENCH_"+res.Strategy+".json"))
 }
 
 // keySeq precomputes the message key sequence so every strategy sees the
@@ -175,6 +233,7 @@ func runStrategy(name string, cfg config) (result, error) {
 	res := result{
 		Strategy: name, Workers: cfg.workers, Messages: cfg.messages,
 		Keys: cfg.keys, SetSize: cfg.setSize, Skew: cfg.skew,
+		Batch: cfg.batch, Coalesce: cfg.coalesce,
 		PanicRate: cfg.panicRate,
 		WorkNanos: cfg.work.Nanoseconds(), Seed: cfg.seed,
 	}
@@ -209,22 +268,47 @@ func runStrategy(name string, cfg config) (result, error) {
 				pdq.WithRetry(1),
 				pdq.WithDeadLetter(func(pdq.Message, error) {}))
 		}
+		// Coalescing counts handled messages in the handler itself: a
+		// merged invocation completes one entry but handles many messages,
+		// so stats.Completed undercounts the work done.
+		var coalesced atomic.Uint64
+		var batchHandler func(datas []any)
+		if cfg.coalesce {
+			opts = append(opts, pdq.WithCoalesce(0))
+			base := handler
+			batchHandler = func(datas []any) {
+				for _, d := range datas {
+					base(d)
+				}
+				coalesced.Add(uint64(len(datas)))
+			}
+		}
 		q := pdq.New(opts...)
 		start := time.Now()
-		p := pdq.Serve(context.Background(), q, cfg.workers)
+		p := pdq.Serve(context.Background(), q, cfg.workers, pdq.WithWorkerBatch(cfg.batch))
 		set := make([]pdq.Key, cfg.setSize)
 		for i := 0; i < cfg.messages; i++ {
 			for j := range set {
 				set[j] = pdq.Key(ks[i*cfg.setSize+j])
 			}
-			if err := q.Enqueue(handler, pdq.WithKeys(set...)); err != nil {
+			var err error
+			if cfg.coalesce {
+				err = q.Enqueue(nil, pdq.BatchHandler(batchHandler), pdq.WithKeys(set...))
+			} else {
+				err = q.Enqueue(handler, pdq.WithKeys(set...))
+			}
+			if err != nil {
 				return res, err
 			}
 		}
 		q.Close()
 		p.Wait()
 		stats := q.Stats()
-		finish(start, stats.Completed)
+		handled := stats.Completed
+		if cfg.coalesce {
+			handled = coalesced.Load()
+		}
+		finish(start, handled)
 		res.PDQ = &stats
 		res.Shards = stats.Shards
 		return res, nil

@@ -54,6 +54,21 @@
 // through Run — or replicate its Complete-or-Release discipline — so a
 // panicking handler cannot hold its keys forever.
 //
+// # Batched dispatch
+//
+// The per-entry dequeue path pays a shard-lock acquire/release and an
+// eventcount interaction per entry. TryDequeueBatch and DequeueBatch
+// amortize both across a run of compatible entries: one shard-lock
+// acquisition harvests up to max dispatchable entries (each heading
+// every claim queue it touches after the pops of the earlier entries of
+// the same batch), and RunBatch executes them in dispatch order with the
+// per-entry Complete/Release lifecycle — a mid-batch panic releases only
+// the panicking entry. Pool and MuxPool workers opt in with
+// WithWorkerBatch(n). On queues built WithCoalesce, a harvested run of
+// consecutive entries carrying identical key sets and Batch handlers
+// (the BatchHandler enqueue option) merges into one entry whose Batch
+// handler receives every payload in one invocation.
+//
 // # Sharded dispatch core
 //
 // Internally the queue is a sharded dispatch core: the key space is
@@ -128,6 +143,13 @@ type Message struct {
 	Mode    Mode
 	Data    any
 	Handler func(data any)
+
+	// Batch, when non-nil, replaces Handler (a message carries exactly
+	// one of the two): Run invokes it with the payloads of every message
+	// merged into the entry — len(datas) == 1 unless the queue was built
+	// WithCoalesce and the batch harvest merged an identical-key run (see
+	// the BatchHandler enqueue option).
+	Batch func(datas []any)
 }
 
 // Entry is a dispatched queue entry. Callers using the low-level dequeue
@@ -139,10 +161,43 @@ type Entry struct {
 	smask   uint64 // bit set of shard indexes the key set touches
 	attempt uint32 // prior failed executions (0 = first dispatch)
 	err     error  // error from the Release that caused this retry, if any
+
+	// extra holds the messages coalesced behind msg (WithCoalesce
+	// harvests). It is a pointer, not a slice, to keep the common
+	// uncoalesced Entry a size class smaller on the hot path.
+	extra *[]Message
 }
 
-// Message returns the message carried by the entry.
+// extraList returns the coalesced messages, nil for an ordinary entry.
+func (e *Entry) extraList() []Message {
+	if e.extra == nil {
+		return nil
+	}
+	return *e.extra
+}
+
+// Message returns the message carried by the entry (the representative,
+// if coalescing merged more — see Size).
 func (e *Entry) Message() Message { return e.msg }
+
+// Size returns how many messages the entry carries: 1, unless the queue
+// was built WithCoalesce and the batch harvest merged an identical-key
+// run into this entry. The merged messages' payloads are delivered
+// together to the representative's Batch handler; one Complete (or
+// Release) resolves the whole entry.
+func (e *Entry) Size() int { return 1 + len(e.extraList()) }
+
+// payloads collects the Data of every message the entry carries, in
+// enqueue order, for a Batch handler invocation.
+func (e *Entry) payloads() []any {
+	extra := e.extraList()
+	datas := make([]any, 1+len(extra))
+	datas[0] = e.msg.Data
+	for i := range extra {
+		datas[i+1] = extra[i].Data
+	}
+	return datas
+}
 
 // Seq returns the entry's enqueue sequence number. Sequence numbers are
 // assigned in enqueue order starting at 1; a retried entry is re-enqueued
@@ -172,12 +227,14 @@ var (
 // Queue is a Parallel Dispatch Queue. All methods are safe for concurrent
 // use. The zero value is not usable; call New.
 type Queue struct {
-	window     int
-	cap        int
-	retry      int                        // retry budget per entry (WithRetry)
-	deadLetter func(m Message, err error) // terminal failure hook (WithDeadLetter)
-	mask       uint32                     // len(shards) - 1; shard count is a power of two
-	shards     []shard                    // fixed at construction, indexed by key hash
+	window      int
+	cap         int
+	retry       int                        // retry budget per entry (WithRetry)
+	deadLetter  func(m Message, err error) // terminal failure hook (WithDeadLetter)
+	coalesce    bool                       // merge identical-key Batch runs at harvest (WithCoalesce)
+	coalesceMax int                        // messages per merged entry; <= 0 unbounded
+	mask        uint32                     // len(shards) - 1; shard count is a power of two
+	shards      []shard                    // fixed at construction, indexed by key hash
 
 	nextSeq     atomic.Uint64 // global enqueue sequence counter
 	closed      atomic.Bool
@@ -239,12 +296,14 @@ func New(opts ...Option) *Queue {
 	}
 	n := resolveShards(cfg.shards)
 	q := &Queue{
-		window:     cfg.searchWindow,
-		cap:        cfg.capacity,
-		retry:      cfg.retry,
-		deadLetter: cfg.deadLetter,
-		mask:       uint32(n - 1),
-		shards:     make([]shard, n),
+		window:      cfg.searchWindow,
+		cap:         cfg.capacity,
+		retry:       cfg.retry,
+		deadLetter:  cfg.deadLetter,
+		coalesce:    cfg.coalesce,
+		coalesceMax: cfg.coalesceMax,
+		mask:        uint32(n - 1),
+		shards:      make([]shard, n),
 	}
 	for i := range q.shards {
 		q.shards[i].init(uint32(i))
@@ -275,8 +334,10 @@ func resolveShards(n int) int {
 // synchronization key set comes from WithKey/WithKeys, the payload from
 // WithData, and the dispatch mode from Sequential or NoSync (default
 // keyed). With no key options the message synchronizes with nothing.
-// Enqueue never blocks; on a full bounded queue it fails with ErrFull
-// (use EnqueueWait for backpressure instead).
+// handler may be nil only when a BatchHandler option supplies the
+// message's handler instead. Enqueue never blocks; on a full bounded
+// queue it fails with ErrFull (use EnqueueWait for backpressure
+// instead).
 func (q *Queue) Enqueue(handler func(data any), opts ...EnqueueOption) error {
 	m, err := buildMessage(handler, opts)
 	if err != nil {
@@ -360,10 +421,14 @@ func (q *Queue) admitWait(ctx context.Context, m Message) error {
 	return q.enqueueReserved(m, 0, nil)
 }
 
-// checkMessage validates a caller-built message.
+// checkMessage validates a caller-built message: exactly one of Handler
+// and Batch, and keys only in keyed mode.
 func checkMessage(m *Message) error {
-	if m.Handler == nil {
+	if m.Handler == nil && m.Batch == nil {
 		return ErrNilHandler
+	}
+	if m.Handler != nil && m.Batch != nil {
+		return errBothHandlers
 	}
 	if m.Mode != ModeKeyed && len(m.Keys) > 0 {
 		return fmt.Errorf("pdq: %v message must not carry keys", m.Mode)
@@ -535,77 +600,19 @@ const dispatchBackoff = time.Millisecond
 // DequeueContext blocks until an entry is dispatchable, ctx is done, or
 // the queue is closed and fully drained. It returns ErrClosed on
 // close+drain and ctx.Err() on cancellation; any other return is a
-// dispatched entry the caller must Complete (or Release — see Run).
+// dispatched entry the caller must Complete (or Release — see Run). The
+// wait protocol lives in blockDequeue (batch.go), shared with
+// DequeueBatch.
 func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) {
-	var stop func() bool
-	defer func() {
-		if stop != nil {
-			stop()
-		}
-	}()
-	spins := 0
-	for {
-		g := q.wakeSum()
-		e, ok, retry := q.tryDequeue()
-		if ok {
-			return e, nil
-		}
-		if q.closed.Load() && q.confirmDrained() {
-			return nil, ErrClosed
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		needBackstop := false
-		if retry {
-			// A cross-shard dispatch lost a TryLock race; the state is
-			// unknown, so rescan rather than sleep on a stale generation —
-			// but boundedly, falling into the eventcount sleep (with a
-			// timed backstop, since the lost race may never bump it) once
-			// the collisions persist.
-			if spins < maxDispatchSpins {
-				spins++
-				runtime.Gosched()
-				continue
-			}
-			needBackstop = true
-		}
-		spins = 0
-		if stop == nil && ctx.Done() != nil {
-			stop = context.AfterFunc(ctx, func() {
-				q.waitMu.Lock()
-				q.waitCond.Broadcast()
-				q.waitMu.Unlock()
-			})
-		}
-		q.waitMu.Lock()
-		// Publish the waiter BEFORE re-checking the generation: a producer
-		// that bumps the generation and then reads waiters == 0 is thereby
-		// guaranteed (seq-cst order) that this re-check observes its bump,
-		// so skipping the broadcast cannot strand us.
-		q.waiters.Add(1)
-		if q.wakeSum() == g {
-			q.g.waits.Add(1)
-			var backstop *time.Timer
-			if needBackstop {
-				// Armed under waitMu: the callback's own Lock cannot
-				// proceed until Wait has parked this consumer (releasing
-				// the mutex), so the broadcast can never fire into the
-				// pre-park window and be lost.
-				backstop = time.AfterFunc(dispatchBackoff, func() {
-					q.waitMu.Lock()
-					q.waitCond.Broadcast()
-					q.waitMu.Unlock()
-				})
-			}
-			q.waitCond.Wait()
-			if backstop != nil {
-				backstop.Stop()
-			}
-		}
-		q.waiters.Add(-1)
-		q.waitMu.Unlock()
+	var out *Entry
+	err := q.blockDequeue(ctx, func() (ok, retry bool) {
+		out, ok, retry = q.tryDequeue()
+		return ok, retry
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // Complete marks a previously dequeued entry's handler as finished,

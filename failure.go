@@ -39,35 +39,49 @@ func (p *PanicError) Unwrap() error {
 // closed queue included, since the entry was admitted before the close;
 // otherwise — budget exhausted, no budget configured, or the queue at
 // capacity — the entry's Message and err go to the dead-letter hook
-// (WithDeadLetter; by default they are logged). Like Complete, Release
-// must be called exactly once per dispatched entry, in place of Complete.
+// (WithDeadLetter; by default they are logged). An entry that coalesced
+// several messages (WithCoalesce) routes every message it carries
+// through the policy individually — each retried message re-enqueues as
+// its own entry, each terminal one reaches the dead-letter hook with its
+// own Message — because the queue cannot know which payload of the
+// merged invocation failed. Like Complete, Release must be called
+// exactly once per dispatched entry, in place of Complete.
 func (q *Queue) Release(e *Entry, err error) {
 	ws := q.releaseEntryState(e)
 	q.g.released.Add(1)
-	if q.requeue(e, err) {
-		q.g.retries.Add(1)
-		// The retried entry is linked (pending > 0) before the in-flight
-		// count drops, so a concurrent Drain cannot observe an idle queue
-		// between the two.
-		q.finishInflight(ws)
-		return
+	// Each retried message is linked (pending > 0) before the in-flight
+	// count drops below, so a concurrent Drain cannot observe an idle
+	// queue between the two.
+	q.resolveFailed(e.msg, e.attempt, err)
+	for _, m := range e.extraList() {
+		q.resolveFailed(m, e.attempt, err)
 	}
-	q.deadLetterEntry(e, err)
 	q.finishInflight(ws)
 }
 
-// requeue re-admits a released entry for its next attempt. The dispatched
-// entry gave its capacity slot back at dispatch time, so on a bounded
-// queue the retry must win a fresh slot — retries take no precedence over
-// live producers, and a full queue fails the retry into the dead-letter
-// path rather than blocking a worker. A closed queue does NOT fail the
-// retry: the entry was admitted before the close, and Close's contract is
-// that admitted work still dispatches (the re-admission with attempt > 0
-// bypasses the enqueue-side closed check). That cannot strand the entry:
-// it is linked before the releasing worker retires the in-flight count,
-// so that worker's next dequeue — at the latest — finds it.
-func (q *Queue) requeue(e *Entry, err error) bool {
-	if q.retry <= 0 || e.attempt >= uint32(q.retry) {
+// resolveFailed routes one released message through the failure policy:
+// retry when budget remains, dead-letter otherwise.
+func (q *Queue) resolveFailed(m Message, attempt uint32, err error) {
+	if q.requeue(m, attempt, err) {
+		q.g.retries.Add(1)
+		return
+	}
+	q.deadLetterMsg(m, err)
+}
+
+// requeue re-admits a released message for its next attempt. The
+// dispatched entry gave its capacity slot back at dispatch time, so on a
+// bounded queue the retry must win a fresh slot — retries take no
+// precedence over live producers, and a full queue fails the retry into
+// the dead-letter path rather than blocking a worker. A closed queue
+// does NOT fail the retry: the message was admitted before the close,
+// and Close's contract is that admitted work still dispatches (the
+// re-admission with attempt > 0 bypasses the enqueue-side closed check).
+// That cannot strand the message: it is linked before the releasing
+// worker retires the in-flight count, so that worker's next dequeue — at
+// the latest — finds it.
+func (q *Queue) requeue(m Message, attempt uint32, err error) bool {
+	if q.retry <= 0 || attempt >= uint32(q.retry) {
 		return false
 	}
 	if errors.Is(err, ErrHandlerExited) {
@@ -82,15 +96,15 @@ func (q *Queue) requeue(e *Entry, err error) bool {
 	if q.cap > 0 && !q.tryReserveSlot() {
 		return false
 	}
-	return q.enqueueReserved(e.msg, e.attempt+1, err) == nil
+	return q.enqueueReserved(m, attempt+1, err) == nil
 }
 
-// deadLetterEntry hands a terminally failed entry to the dead-letter hook.
-// The hook runs before the entry's in-flight count is retired, so Drain
-// and Close observe dead-lettering as part of the entry's lifetime. A
-// panicking hook is contained (logged), never allowed to kill the worker
-// the way the handler's own panic would have.
-func (q *Queue) deadLetterEntry(e *Entry, err error) {
+// deadLetterMsg hands a terminally failed message to the dead-letter
+// hook. The hook runs before the entry's in-flight count is retired, so
+// Drain and Close observe dead-lettering as part of the entry's
+// lifetime. A panicking hook is contained (logged), never allowed to
+// kill the worker the way the handler's own panic would have.
+func (q *Queue) deadLetterMsg(m Message, err error) {
 	q.g.deadLettered.Add(1)
 	hook := q.deadLetter
 	if hook == nil {
@@ -101,7 +115,7 @@ func (q *Queue) deadLetterEntry(e *Entry, err error) {
 			log.Printf("pdq: dead-letter hook panicked: %v", r)
 		}
 	}()
-	hook(e.msg, err)
+	hook(m, err)
 }
 
 // logDeadLetter is the default dead-letter policy.
@@ -157,7 +171,13 @@ func (q *Queue) runHandler(e *Entry) (pe *PanicError) {
 		}
 	}()
 	m := e.Message()
-	m.Handler(m.Data)
+	if m.Batch != nil {
+		// Batch-form handler (BatchHandler): one invocation covers every
+		// message the entry carries — one, unless coalescing merged more.
+		m.Batch(e.payloads())
+	} else {
+		m.Handler(m.Data)
+	}
 	returned = true
 	return nil
 }

@@ -110,3 +110,133 @@ func FuzzKeySetDispatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchDispatch is FuzzKeySetDispatch's batched sibling: the same
+// operation scripts run through WithWorkerBatch workers (batch sizes
+// 1–16, so the DequeueBatch/RunBatch path is the only dispatch path) on
+// 1–8 shards, with coalescing enabled, and the same invariants must
+// survive batched harvesting:
+//
+//  1. mutual exclusion — no two concurrently executing handlers share a
+//     key (in-batch same-key runs are legal only because one goroutine
+//     executes them in order);
+//  2. per-key enqueue-order FIFO — including the payload order inside a
+//     coalesced Batch invocation;
+//  3. sequential barriers run alone, bounding every batch.
+//
+// Script bytes: ≡0 (mod 16) Sequential, ≡1 (mod 16) a coalescable
+// BatchHandler message on a single key, else a keyed entry with a 1–3
+// key set from a small universe.
+func FuzzBatchDispatch(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte{7, 7, 7, 7}, uint8(1), uint8(7))
+	f.Add([]byte{17, 17, 17, 33, 49}, uint8(0), uint8(15)) // coalescable runs
+	f.Add([]byte{3, 16, 5, 1, 200, 32, 9}, uint8(2), uint8(3))
+	f.Add([]byte{250, 17, 80, 5, 5, 64, 33, 2, 96, 128, 40}, uint8(3), uint8(11))
+	f.Fuzz(func(t *testing.T, script []byte, rawShards, rawBatch uint8) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		const universe = 7
+		shards := 1 << (rawShards % 4)
+		batch := 1 + int(rawBatch)%16
+		q := New(WithShards(shards), WithCoalesce(0))
+		p := Serve(context.Background(), q, 4, WithWorkerBatch(batch))
+
+		var ran atomic.Int64 // messages handled (each coalesced payload counts)
+		var bad atomic.Int32
+		var activeAll atomic.Int32
+		var activeKey [universe]atomic.Int32
+		var mu sync.Mutex
+		lastPerKey := make(map[Key]int)
+
+		for i, b := range script {
+			i := i
+			var err error
+			switch {
+			case b%16 == 0:
+				err = q.Enqueue(func(any) {
+					if activeAll.Add(1) != 1 {
+						bad.Add(1) // barrier overlapped another handler
+					}
+					if ran.Load() != int64(i) {
+						// Every op is one message, so at a barrier at
+						// position i exactly i messages must have run:
+						// fewer means the epoch did not drain, more means
+						// a later message crossed the gate (e.g. by
+						// riding a pre-barrier batch or coalesce run).
+						bad.Add(1)
+					}
+					ran.Add(1)
+					activeAll.Add(-1)
+				}, Sequential())
+			case b%16 == 1:
+				k := Key(int(b>>4) % universe)
+				err = q.Enqueue(nil, BatchHandler(func(datas []any) {
+					activeAll.Add(1)
+					if activeKey[k].Add(1) != 1 {
+						bad.Add(1) // coalesced run overlapped a same-key handler
+					}
+					mu.Lock()
+					for _, d := range datas {
+						if lastPerKey[k] >= d.(int)+1 {
+							bad.Add(1) // coalesced payloads out of enqueue order
+						}
+						lastPerKey[k] = d.(int) + 1
+					}
+					mu.Unlock()
+					ran.Add(int64(len(datas)))
+					activeKey[k].Add(-1)
+					activeAll.Add(-1)
+				}), WithKey(k), WithData(i))
+			default:
+				nk := 1 + int(b>>6)%3
+				ks := make([]Key, nk)
+				for j := range ks {
+					ks[j] = Key((int(b) + j*5 + i*3) % universe)
+				}
+				err = q.Enqueue(func(any) {
+					activeAll.Add(1)
+					seen := make(map[Key]bool, len(ks))
+					for _, k := range ks {
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						if activeKey[k].Add(1) != 1 {
+							bad.Add(1) // two handlers sharing a key overlapped
+						}
+					}
+					mu.Lock()
+					for k := range seen {
+						if lastPerKey[k] >= i+1 {
+							bad.Add(1) // out of enqueue order on a shared key
+						}
+						lastPerKey[k] = i + 1
+					}
+					mu.Unlock()
+					ran.Add(1)
+					for k := range seen {
+						activeKey[k].Add(-1)
+					}
+					activeAll.Add(-1)
+				}, WithKeys(ks...))
+			}
+			if err != nil {
+				t.Fatalf("enqueue op %d: %v", i, err)
+			}
+		}
+		q.Close()
+		p.Wait()
+		if got := ran.Load(); got != int64(len(script)) {
+			t.Fatalf("ran %d of %d messages (shards=%d batch=%d)", got, len(script), shards, batch)
+		}
+		if v := bad.Load(); v != 0 {
+			t.Fatalf("%d invariant violations (shards=%d batch=%d)", v, shards, batch)
+		}
+		s := q.Stats()
+		if s.Dispatched != s.Completed+s.Coalesced || s.Enqueued != uint64(len(script)) {
+			t.Fatalf("inconsistent stats (shards=%d batch=%d): %s", shards, batch, s)
+		}
+	})
+}

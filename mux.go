@@ -142,6 +142,90 @@ func (m *Mux) TryDequeue() (q *Queue, e *Entry, ok bool) {
 	return nil, nil, false
 }
 
+// MuxBatch is one virtual queue's slice of a batched mux dispatch: run
+// Entries in order through Queue.RunBatch (or resolve each with that
+// queue's Complete/Release).
+type MuxBatch struct {
+	Queue   *Queue
+	Entries []*Entry
+}
+
+// TryDequeueBatch fills a batch of up to max entries across the member
+// queues off the copy-on-write snapshot, round-robin from the fairness
+// cursor: each queue contributes one single-lock harvest
+// (Queue.TryDequeueBatch) until the batch is full or every queue has
+// been offered. ok=false means nothing was dispatchable anywhere. Like
+// TryDequeue, the scan takes no mux-wide lock.
+func (m *Mux) TryDequeueBatch(max int) (batches []MuxBatch, ok bool) {
+	qs := m.snapshot()
+	n := len(qs)
+	if n == 0 {
+		return nil, false
+	}
+	if max < 1 {
+		max = 1
+	}
+	start := int(m.rr.Load())
+	total := 0
+	for i := 0; i < n && total < max; i++ {
+		cand := qs[(start+i)%n]
+		if es, ok := cand.TryDequeueBatch(max - total); ok {
+			batches = append(batches, MuxBatch{Queue: cand, Entries: es})
+			total += len(es)
+			// Fairness: resume after this queue (last-writer-wins, as in
+			// TryDequeue).
+			m.rr.Store(uint32((start + i + 1) % n))
+			m.dispatched.Add(uint64(len(es)))
+		}
+	}
+	return batches, len(batches) > 0
+}
+
+// DequeueBatch blocks until at least one entry is dispatchable on some
+// virtual queue, then returns up to max entries grouped by owning queue
+// (see MuxBatch), ctx is done (ctx.Err()), or the mux is closed and
+// every queue has drained (ErrMuxClosed).
+func (m *Mux) DequeueBatch(ctx context.Context, max int) ([]MuxBatch, error) {
+	var out []MuxBatch
+	err := m.blockDequeue(ctx, func() (ok bool) {
+		out, ok = m.TryDequeueBatch(max)
+		return ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// blockDequeue is the token wait loop shared by DequeueContext and
+// DequeueBatch: run attempt until it dispatches, ctx is done, or the mux
+// is closed and drained. The wake-token re-arm rules live only here — on
+// every exit and on every dispatch a token is re-deposited, so a
+// consumed token can never be stranded on a terminating consumer and
+// bursts cascade to sibling workers.
+func (m *Mux) blockDequeue(ctx context.Context, attempt func() bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			m.wake() // re-arm: don't strand a consumed token on exit
+			return err
+		}
+		if attempt() {
+			// More entries may be dispatchable: cascade to siblings while
+			// the caller executes these handlers.
+			m.wake()
+			return nil
+		}
+		if m.drained() {
+			m.wake() // cascade: release other blocked consumers too
+			return ErrMuxClosed
+		}
+		select {
+		case <-m.wakeCh:
+		case <-ctx.Done():
+		}
+	}
+}
+
 // Dequeue blocks until an entry is dispatchable on some virtual queue, or
 // the mux is closed and every queue has drained (ok=false).
 func (m *Mux) Dequeue() (*Queue, *Entry, bool) {
@@ -155,26 +239,16 @@ func (m *Mux) Dequeue() (*Queue, *Entry, bool) {
 // otherwise the entry and its owning queue (execute it with that queue's
 // Run, or Complete/Release it manually).
 func (m *Mux) DequeueContext(ctx context.Context) (*Queue, *Entry, error) {
-	for {
-		if err := ctx.Err(); err != nil {
-			m.wake() // re-arm: don't strand a consumed token on exit
-			return nil, nil, err
-		}
-		if q, e, ok := m.TryDequeue(); ok {
-			// More entries may be dispatchable: cascade to siblings while
-			// the caller executes this handler.
-			m.wake()
-			return q, e, nil
-		}
-		if m.drained() {
-			m.wake() // cascade: release other blocked consumers too
-			return nil, nil, ErrMuxClosed
-		}
-		select {
-		case <-m.wakeCh:
-		case <-ctx.Done():
-		}
+	var q *Queue
+	var e *Entry
+	err := m.blockDequeue(ctx, func() (ok bool) {
+		q, e, ok = m.TryDequeue()
+		return ok
+	})
+	if err != nil {
+		return nil, nil, err
 	}
+	return q, e, nil
 }
 
 // drained reports whether the mux is closed and every member queue is
@@ -224,13 +298,19 @@ func (s MuxStats) String() string {
 
 // ServeMux runs n workers that dispatch from every virtual queue with
 // round-robin fairness. Workers exit when ctx is cancelled or the mux is
-// closed and drained.
-func ServeMux(ctx context.Context, m *Mux, n int) *MuxPool {
+// closed and drained. Worker behavior is shaped by opts (WithWorkerBatch
+// makes each worker fill a batch across the member queues per blocking
+// dispatch).
+func ServeMux(ctx context.Context, m *Mux, n int, opts ...PoolOption) *MuxPool {
 	if n < 1 {
 		n = 1
 	}
+	var cfg poolConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ctx, cancel := context.WithCancel(ctx)
-	p := &MuxPool{m: m, cancel: cancel, workers: n}
+	p := &MuxPool{m: m, cancel: cancel, workers: n, batch: cfg.batch}
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go p.worker(ctx)
@@ -244,10 +324,24 @@ type MuxPool struct {
 	wg      sync.WaitGroup
 	cancel  context.CancelFunc
 	workers int
+	batch   int
 }
 
 func (p *MuxPool) worker(ctx context.Context) {
 	defer p.wg.Done()
+	if p.batch > 1 {
+		for {
+			batches, err := p.m.DequeueBatch(ctx, p.batch)
+			if err != nil {
+				return // cancelled, or closed and drained
+			}
+			for _, b := range batches {
+				// Per-entry lifecycle on the owning queue, panic-isolated
+				// inside the batch.
+				b.Queue.RunBatch(b.Entries)
+			}
+		}
+	}
 	for {
 		q, e, err := p.m.DequeueContext(ctx)
 		if err != nil {

@@ -8,6 +8,8 @@ type config struct {
 	shards       int
 	retry        int
 	deadLetter   func(m Message, err error)
+	coalesce     bool
+	coalesceMax  int
 }
 
 // Option configures a Queue at construction time. Options are applied in
@@ -83,6 +85,28 @@ func WithDeadLetter(fn func(m Message, err error)) Option {
 	return func(c *config) { c.deadLetter = fn }
 }
 
+// WithCoalesce lets the batch harvest (TryDequeueBatch, DequeueBatch,
+// WithWorkerBatch workers) merge a run of consecutive dispatchable
+// entries carrying identical key sets and the same Batch handler
+// function value (the BatchHandler enqueue option; distinct closures —
+// even of the same body — never merge) into a single entry: that
+// handler is invoked once with every payload in enqueue order, and
+// one Complete or Release resolves the whole entry. max bounds how many
+// messages may merge into one invocation (<= 0 means bounded only by the
+// harvest's batch size). Coalescing is safe exactly when the handler is
+// written over the payload slice — per-key enqueue order is preserved
+// inside the slice, mutual exclusion is held for the merged run as a
+// unit — but failure isolation coarsens: a Release (e.g. a recovered
+// panic) of a merged entry retries or dead-letters every message it
+// carries, since the queue cannot know which payload failed. Retried
+// entries never coalesce. The default is no coalescing.
+func WithCoalesce(max int) Option {
+	return func(c *config) {
+		c.coalesce = true
+		c.coalesceMax = max
+	}
+}
+
 // EnqueueOption shapes one enqueued message. It is a small value type (not
 // a closure) so option construction costs nothing on the enqueue hot path.
 type EnqueueOption struct {
@@ -93,6 +117,7 @@ type EnqueueOption struct {
 	keyKind uint8 // 0 = none, 1 = single key, 2 = key slice
 	data    any
 	hasData bool
+	batch   func(datas []any)
 }
 
 // WithKey adds a single key to the message's synchronization key set. It
@@ -110,6 +135,17 @@ func WithKey(k Key) EnqueueOption {
 // duplicate keys are harmless.
 func WithKeys(keys ...Key) EnqueueOption {
 	return EnqueueOption{keys: keys, keyKind: 2}
+}
+
+// BatchHandler supplies the message's handler in batch form, in place of
+// the handler argument of Enqueue (which must then be nil): fn receives
+// the payloads of every message merged into the dispatched entry, in
+// enqueue order. Unless the queue was built WithCoalesce and the batch
+// harvest merged an identical-key run, len(datas) is 1, so fn is simply
+// the coalescable spelling of a normal handler. See WithCoalesce for
+// when merging is safe.
+func BatchHandler(fn func(datas []any)) EnqueueOption {
+	return EnqueueOption{batch: fn}
 }
 
 // WithData attaches an arbitrary payload, delivered to the handler as its
@@ -153,6 +189,9 @@ func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error)
 		}
 		if o.hasData {
 			m.Data = o.data
+		}
+		if o.batch != nil {
+			m.Batch = o.batch
 		}
 	}
 	if err := checkMessage(&m); err != nil {

@@ -8,9 +8,9 @@ import (
 // Pool runs a fixed set of worker goroutines that dequeue entries from a
 // Queue and invoke their handlers — the software analogue of the paper's
 // protocol processors, each fed through a Protocol Dispatch Register. The
-// pool is built entirely on the public DequeueContext/Run interface, so
-// workers are panic-safe: a handler panic becomes Release + the queue's
-// retry/dead-letter policy, and the worker keeps serving.
+// pool is built entirely on the public DequeueContext/DequeueBatch/Run
+// interface, so workers are panic-safe: a handler panic becomes Release +
+// the queue's retry/dead-letter policy, and the worker keeps serving.
 // On a sharded queue (WithShards), workers self-distribute across shards:
 // each dispatch attempt starts its shard sweep at a rotating offset, so
 // n >= Queue.Shards() workers keep every shard's dispatch lane busy.
@@ -19,18 +19,41 @@ type Pool struct {
 	wg      sync.WaitGroup
 	cancel  context.CancelFunc
 	workers int
+	batch   int
+}
+
+// PoolOption configures the workers started by Serve and ServeMux.
+type PoolOption func(*poolConfig)
+
+type poolConfig struct {
+	batch int
+}
+
+// WithWorkerBatch makes each worker dequeue up to n entries per blocking
+// dispatch (DequeueBatch) and execute them in order through RunBatch,
+// amortizing the shard-lock and eventcount cost of dispatch across the
+// batch. Per-entry failure isolation is preserved: a panicking handler
+// releases only its own entry and the rest of the batch still runs.
+// n <= 1, the default, keeps the per-entry DequeueContext path.
+func WithWorkerBatch(n int) PoolOption {
+	return func(c *poolConfig) { c.batch = n }
 }
 
 // Serve starts n worker goroutines dispatching from q and returns a Pool
 // controlling them. Workers exit when ctx is cancelled, Stop is called, or
 // the queue is closed and drained. n is clamped to at least 1; a natural
-// choice for a sharded queue is max(q.Shards(), GOMAXPROCS).
-func Serve(ctx context.Context, q *Queue, n int) *Pool {
+// choice for a sharded queue is max(q.Shards(), GOMAXPROCS). Worker
+// behavior is shaped by opts (see WithWorkerBatch).
+func Serve(ctx context.Context, q *Queue, n int, opts ...PoolOption) *Pool {
 	if n < 1 {
 		n = 1
 	}
+	var cfg poolConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ctx, cancel := context.WithCancel(ctx)
-	p := &Pool{q: q, cancel: cancel, workers: n}
+	p := &Pool{q: q, cancel: cancel, workers: n, batch: cfg.batch}
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go p.worker(ctx)
@@ -40,6 +63,17 @@ func Serve(ctx context.Context, q *Queue, n int) *Pool {
 
 func (p *Pool) worker(ctx context.Context) {
 	defer p.wg.Done()
+	if p.batch > 1 {
+		for {
+			es, err := p.q.DequeueBatch(ctx, p.batch)
+			if err != nil {
+				return // cancelled, or closed and drained
+			}
+			// RunBatch keeps the per-entry lifecycle inside the batch: a
+			// panicking handler releases only its own entry.
+			p.q.RunBatch(es)
+		}
+	}
 	for {
 		e, err := p.q.DequeueContext(ctx)
 		if err != nil {

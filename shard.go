@@ -41,7 +41,11 @@ type shardCounters struct {
 	keyConflicts       uint64
 	orderConflicts     uint64
 	windowStalls       uint64
+	batches            uint64 // successful batch harvests from this shard
+	batchEntries       uint64 // messages those harvests dispatched (coalesced included)
+	coalesced          uint64 // messages merged beyond their run's representative
 	maxPending         int
+	maxBatch           int // largest harvest from this shard, in messages
 }
 
 func (s *shard) init(idx uint32) {
@@ -230,23 +234,34 @@ func (q *Queue) releaseKeys(mask uint64, keys []Key) {
 		m &^= 1 << i
 		s := &q.shards[i]
 		s.mu.Lock()
-		for _, k := range keys {
-			if q.shardIndex(k) != s.idx {
-				continue
-			}
-			c := s.inflight[k]
-			if c <= 0 {
-				s.mu.Unlock()
-				panic("pdq: Complete/Release for key with no in-flight handler")
-			}
-			if c == 1 {
-				delete(s.inflight, k)
-			} else {
-				s.inflight[k] = c - 1
-			}
-		}
+		ok := s.releaseOwned(q, keys)
 		s.mu.Unlock()
+		if !ok {
+			panic("pdq: Complete/Release for key with no in-flight handler")
+		}
 	}
+}
+
+// releaseOwned decrements the in-flight count of every key in keys that
+// s owns. Caller holds s.mu. It reports false on a key with no in-flight
+// handler (an invariant violation the caller must turn into a panic —
+// after unlocking, so a recovering caller is not left holding the lock).
+func (s *shard) releaseOwned(q *Queue, keys []Key) bool {
+	for _, k := range keys {
+		if q.shardIndex(k) != s.idx {
+			continue
+		}
+		c := s.inflight[k]
+		if c <= 0 {
+			return false
+		}
+		if c == 1 {
+			delete(s.inflight, k)
+		} else {
+			s.inflight[k] = c - 1
+		}
+	}
+	return true
 }
 
 // Conflict kinds returned by the claim checks.

@@ -8,6 +8,10 @@ import (
 // errConflictingModes reports Sequential() combined with NoSync().
 var errConflictingModes = errors.New("pdq: conflicting dispatch modes")
 
+// errBothHandlers reports a message carrying both a plain Handler and a
+// Batch handler; a message must carry exactly one of the two.
+var errBothHandlers = errors.New("pdq: message carries both Handler and Batch")
+
 // Stats counts queue activity. All counters are cumulative since New. The
 // JSON field names are stable so external tooling (cmd/pdqbench's
 // BENCH_*.json, dashboards) can track them across versions.
@@ -27,6 +31,10 @@ type Stats struct {
 	Waits              uint64 `json:"waits"`               // blocking dequeue sleeps
 	EnqueueWaits       uint64 `json:"enqueue_waits"`       // EnqueueWait sleeps for capacity
 	CrossShard         uint64 `json:"cross_shard"`         // dispatched entries whose key set spanned shards
+	Batches            uint64 `json:"batches"`             // successful batch harvests (TryDequeueBatch/DequeueBatch)
+	BatchEntries       uint64 `json:"batch_entries"`       // messages dispatched through batch harvests (coalesced included)
+	MaxBatch           int    `json:"max_batch"`           // largest single batch harvest, in messages
+	Coalesced          uint64 `json:"coalesced"`           // messages merged into a representative entry beyond the first (WithCoalesce)
 	Panics             uint64 `json:"panics"`              // handler panics recovered by Run
 	Released           uint64 `json:"released"`            // Release calls (failure-path completions)
 	Retries            uint64 `json:"retries"`             // released entries re-enqueued for another attempt
@@ -53,6 +61,12 @@ func (q *Queue) Stats() Stats {
 		s.OrderConflicts += c.orderConflicts
 		s.WindowStalls += c.windowStalls
 		s.MaxPending += c.maxPending
+		s.Batches += c.batches
+		s.BatchEntries += c.batchEntries
+		s.Coalesced += c.coalesced
+		if c.maxBatch > s.MaxBatch {
+			s.MaxBatch = c.maxBatch
+		}
 		s.Completed += sh.completed.Load()
 	}
 	b := &q.bar
@@ -81,10 +95,11 @@ func (q *Queue) Stats() Stats {
 // String renders the counters compactly for logs and reports.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
+		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
 		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
 		s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
 		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard,
+		s.Batches, s.BatchEntries, s.MaxBatch, s.Coalesced,
 		s.Panics, s.Released, s.Retries, s.DeadLettered,
 		s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected)
 }
