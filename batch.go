@@ -3,6 +3,7 @@ package pdq
 import (
 	"context"
 	"errors"
+	"math"
 	"math/bits"
 	"runtime"
 	"time"
@@ -106,19 +107,36 @@ func (q *Queue) tryDequeueBatch(max int) (es []*Entry, ok, retry bool) {
 }
 
 // harvestShard is the batched form of scanShard: one TryLock'd pass over
-// s's pending list collecting every dispatchable entry until max entries
-// are harvested, the search window is exhausted, or a pending sequential
-// barrier's gate is reached. The per-entry dispatch protocol is identical
-// to scanShard's (inflightAll before unlink, claim pops under the lock);
-// the batch additions are the in-batch key suppression described at the
-// top of the file and, with WithCoalesce, the merging of identical-key
-// runs into one entry.
+// s's pending bands collecting every dispatchable entry until max
+// entries are harvested or the search window is exhausted. Ripe delayed
+// entries mature first, bands are harvested in scheduling order
+// (bandOrder — so a batch lists higher-band entries before lower), a
+// pending sequential barrier's gate bounds each band, and expired
+// entries are dropped to the dead-letter hook instead of harvested. The
+// per-entry dispatch protocol is identical to scanShard's (inflightAll
+// before unlink, claim pops under the lock); the batch additions are the
+// in-batch key suppression described at the top of the file and, with
+// WithCoalesce, the merging of identical-key runs into one entry.
 func (q *Queue) harvestShard(s *shard, max int) (es []*Entry, retry bool) {
 	if !s.mu.TryLock() {
 		return nil, true
 	}
-	defer s.mu.Unlock()
+	var expired []Message
+	es, retry = q.harvestLocked(s, max, &expired)
+	s.mu.Unlock()
+	q.finishExpired(expired)
+	return es, retry
+}
+
+// harvestLocked is harvestShard's body. Caller holds s.mu and must pass
+// the expired messages to finishExpired after unlocking.
+func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entry, retry bool) {
 	barSeq := q.bar.minSeq.Load()
+	var now int64
+	if s.timers.len() > 0 {
+		now = time.Now().UnixNano()
+		s.matureRipe(now)
+	}
 	// acquired is the set of keys taken by earlier entries of this batch:
 	// an in-flight conflict on one of these keys is not a conflict for a
 	// later single-shard entry, because batch order serializes the two on
@@ -145,78 +163,92 @@ func (q *Queue) harvestShard(s *shard, max int) (es []*Entry, retry bool) {
 		s.recycle(n)
 		return &ents[len(ents)-1]
 	}
-	scanned := 0
+	windowHit := false
 	msgs := 0 // messages harvested: entries plus coalesced merges
-	for n := s.head; n != nil; {
+	order := s.bandOrder()
+	for _, b := range order {
 		if msgs >= max {
 			break
 		}
-		if q.window > 0 && scanned >= q.window {
-			if len(es) == 0 {
-				s.stats.windowStalls++
-			}
-			break
-		}
-		if barSeq != 0 && n.entry.seq >= barSeq {
-			// The pending list is seq-ascending: everything from here on
-			// is gated behind the sequential barrier.
-			break
-		}
-		scanned++
-		next := n.next // capture: dispatch unlinks and recycles n
-		m := &n.entry.msg
-		switch {
-		case m.Mode == ModeNoSync:
-			q.inflightAll.Add(1)
-			s.unlink(n)
-			q.releaseSlot()
-			s.stats.dispatched++
-			s.stats.noSyncDispatched++
-			msgs++
-			es = append(es, take(n))
-		case n.entry.smask == 1<<s.idx:
-			kind := s.conflictBatch(q, m.Keys, n.entry.seq, acquired)
-			if kind != conflictNone {
-				s.countConflict(kind)
+		// Per-band window budget, as in scanLocked: a conflicted higher
+		// band must not starve the band holding the oldest dispatchable
+		// entry of its search window.
+		scanned := 0
+		for n := s.bands[b].head; n != nil && msgs < max; {
+			if q.window > 0 && scanned >= q.window {
+				windowHit = true
 				break
 			}
-			q.inflightAll.Add(1)
-			for _, k := range m.Keys {
-				s.inflight[k]++
-				s.popClaim(k, n.entry.seq)
+			if barSeq != 0 && n.entry.seq >= barSeq {
+				// The band is seq-ascending: the rest of it is gated
+				// behind the sequential barrier (other bands may still
+				// hold earlier entries).
+				break
 			}
-			s.unlink(n)
-			q.releaseSlot()
-			s.stats.dispatched++
-			if len(m.Keys) > 1 {
-				s.stats.multiKeyDispatched++
+			scanned++
+			next := n.next // capture: dispatch unlinks and recycles n
+			if handled, r := q.expireIfDue(s, n, &now, expired); handled {
+				retry = retry || r
+				n = next
+				continue
 			}
-			acquired = append(acquired, m.Keys...)
-			msgs++
-			e := take(n) // n is recycled here; use e from now on
-			if q.coalesce && e.msg.Batch != nil && e.attempt == 0 {
-				// The representative already counts against max, so the
-				// merge budget is the batch's remaining message capacity.
-				next = q.coalesceRun(s, e, next, barSeq, &scanned, max-msgs)
-				msgs += len(e.extraList())
-			}
-			es = append(es, e)
-		default:
-			// Cross-shard entry: the standard TryLock'd dispatch, with no
-			// in-batch suppression (foreign shards know nothing of this
-			// batch). A lost lock race reports retry, as in scanShard.
-			ok, kind, r := q.tryDispatchCross(s, n)
-			if ok {
-				acquired = append(acquired, m.Keys...)
+			m := &n.entry.msg
+			switch {
+			case m.Mode == ModeNoSync:
+				q.inflightAll.Add(1)
+				s.unlink(n)
+				q.releaseSlot()
+				s.stats.dispatched++
+				s.stats.noSyncDispatched++
+				s.creditDispatch(int(b))
 				msgs++
 				es = append(es, take(n))
-			} else if r {
-				retry = true
-			} else {
-				s.countConflict(kind)
+			case n.entry.smask == 1<<s.idx:
+				kind := s.conflictBatch(q, m.Keys, n.entry.seq, acquired)
+				if kind != conflictNone {
+					s.countConflict(kind)
+					break
+				}
+				q.inflightAll.Add(1)
+				for _, k := range m.Keys {
+					s.inflight[k]++
+					s.popClaim(k, n.entry.seq)
+				}
+				s.unlink(n)
+				q.releaseSlot()
+				s.stats.dispatched++
+				if len(m.Keys) > 1 {
+					s.stats.multiKeyDispatched++
+				}
+				s.creditDispatch(int(b))
+				acquired = append(acquired, m.Keys...)
+				msgs++
+				e := take(n) // n is recycled here; use e from now on
+				if q.coalesce && e.msg.Batch != nil && e.attempt == 0 {
+					// The representative already counts against max, so the
+					// merge budget is the batch's remaining message capacity.
+					next = q.coalesceRun(s, e, next, barSeq, &scanned, max-msgs, &now)
+					msgs += len(e.extraList())
+				}
+				es = append(es, e)
+			default:
+				// Cross-shard entry: the standard TryLock'd dispatch, with no
+				// in-batch suppression (foreign shards know nothing of this
+				// batch). A lost lock race reports retry, as in scanShard.
+				ok, kind, r := q.tryDispatchCross(s, n)
+				if ok {
+					s.creditDispatch(int(b))
+					acquired = append(acquired, m.Keys...)
+					msgs++
+					es = append(es, take(n))
+				} else if r {
+					retry = true
+				} else {
+					s.countConflict(kind)
+				}
 			}
+			n = next
 		}
-		n = next
 	}
 	if len(es) > 0 {
 		s.stats.batches++
@@ -224,6 +256,8 @@ func (q *Queue) harvestShard(s *shard, max int) (es []*Entry, retry bool) {
 		if msgs > s.stats.maxBatch {
 			s.stats.maxBatch = msgs
 		}
+	} else if windowHit {
+		s.stats.windowStalls++
 	}
 	return es, retry
 }
@@ -271,9 +305,13 @@ func keyIn(acquired []Key, k Key) bool {
 // WithCoalesce's own limit applies on top, and a pending sequential
 // barrier's gate (barSeq) stops the run exactly as it stops the
 // enclosing harvest — a post-barrier message must not ride a
-// pre-barrier invocation. Caller holds s.mu. Returns the first node not
-// merged.
-func (q *Queue) coalesceRun(s *shard, e *Entry, n *node, barSeq uint64, scanned *int, budget int) *node {
+// pre-barrier invocation. The run walks one band's list, so merged
+// messages share the representative's priority by construction; an
+// expired run-mate stops the run (it must never dispatch — a later scan
+// dead-letters it), and a merged deadline tightens the representative's
+// to the minimum, so Entry introspection reflects the strictest member.
+// Caller holds s.mu. Returns the first node not merged.
+func (q *Queue) coalesceRun(s *shard, e *Entry, n *node, barSeq uint64, scanned *int, budget int, now *int64) *node {
 	if q.coalesceMax > 0 && budget > q.coalesceMax-1 {
 		budget = q.coalesceMax - 1
 	}
@@ -293,6 +331,17 @@ func (q *Queue) coalesceRun(s *shard, e *Entry, n *node, barSeq uint64, scanned 
 		if s.headsClaims(m.Keys, n.entry.seq) != conflictNone {
 			return n
 		}
+		if dl := n.entry.deadline; dl != 0 {
+			if *now == 0 {
+				*now = time.Now().UnixNano()
+			}
+			if dl <= *now {
+				return n
+			}
+			if e.deadline == 0 || dl < e.deadline {
+				e.deadline = dl
+			}
+		}
 		*scanned++
 		next := n.next
 		for _, k := range m.Keys {
@@ -304,6 +353,7 @@ func (q *Queue) coalesceRun(s *shard, e *Entry, n *node, barSeq uint64, scanned 
 		if len(m.Keys) > 1 {
 			s.stats.multiKeyDispatched++
 		}
+		s.stats.prioDispatched[m.Priority]++
 		s.stats.coalesced++
 		if e.extra == nil {
 			e.extra = new([]Message)
@@ -498,7 +548,10 @@ func (q *Queue) completeBatch(es []*Entry) {
 // exactly like tryDequeue; the generation re-check under waitMu closes
 // the scan-then-sleep race, and the timed backstop bounds the window a
 // lost cross-shard TryLock race (which leaves no eventcount bump behind)
-// can hide a dispatchable entry.
+// can hide a dispatchable entry. When delayed entries are pending, the
+// park additionally arms a timer for the earliest maturity — the wake
+// that lets WithDelay/WithNotBefore deliver on time without any polling
+// consumer.
 func (q *Queue) blockDequeue(ctx context.Context, attempt func() (ok, retry bool)) error {
 	var stop func() bool
 	defer func() {
@@ -561,9 +614,30 @@ func (q *Queue) blockDequeue(ctx context.Context, attempt func() (ok, retry bool
 					q.waitMu.Unlock()
 				})
 			}
+			var timed *time.Timer
+			if wake := q.nextTimerWake(); wake != math.MaxInt64 {
+				// A delayed entry is pending: park only until its
+				// maturity (same pre-park safety as the backstop). An
+				// overdue maturity that still yielded nothing — its entry
+				// is key-blocked or barrier-gated — degrades to the
+				// backoff cadence instead of an immediate re-fire.
+				d := time.Duration(wake - time.Now().UnixNano())
+				if d <= 0 {
+					d = dispatchBackoff
+				}
+				timed = time.AfterFunc(d, func() {
+					q.g.timerWakeups.Add(1)
+					q.waitMu.Lock()
+					q.waitCond.Broadcast()
+					q.waitMu.Unlock()
+				})
+			}
 			q.waitCond.Wait()
 			if backstop != nil {
 				backstop.Stop()
+			}
+			if timed != nil {
+				timed.Stop()
 			}
 		}
 		q.waiters.Add(-1)

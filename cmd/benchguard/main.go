@@ -42,6 +42,9 @@ type bench struct {
 	Coalesce   bool    `json:"coalesce"`
 	Skew       float64 `json:"skew"`
 	PanicRate  float64 `json:"panic_rate"`
+	Priorities int     `json:"priorities"`
+	DelayFrac  float64 `json:"delay_frac"`
+	TTLNanos   int64   `json:"ttl_ns"`
 	WorkNanos  int64   `json:"work_ns"`
 	Seed       uint64  `json:"seed"`
 	Handled    uint64  `json:"handled"`
@@ -77,6 +80,9 @@ func sameWorkload(a, b bench) bool {
 		a.Coalesce == b.Coalesce &&
 		a.Skew == b.Skew &&
 		a.PanicRate == b.PanicRate &&
+		a.Priorities == b.Priorities &&
+		a.DelayFrac == b.DelayFrac &&
+		a.TTLNanos == b.TTLNanos &&
 		a.WorkNanos == b.WorkNanos &&
 		a.Seed == b.Seed
 }

@@ -9,7 +9,8 @@
 //	pdqbench [-strategy pdq|lock|oam|multiq|all] [-workers 8]
 //	         [-messages 200000] [-keys 64] [-skew 0] [-work 200]
 //	         [-setsize 1] [-shards 1] [-batch 1] [-coalesce]
-//	         [-panicrate 0] [-json .]
+//	         [-panicrate 0] [-priorities 1] [-delayfrac 0] [-ttl 0]
+//	         [-json .]
 //
 // skew > 0 draws keys from a Zipf-like distribution (hotspot); work is the
 // simulated handler body in nanoseconds of spinning. setsize > 1 gives
@@ -28,6 +29,16 @@
 // recover/Release/retry/dead-letter failure path; the queue runs with
 // WithRetry(1) and a no-op dead-letter hook, and the resulting panics,
 // retries, and dead_lettered counters land in BENCH_pdq.json.
+//
+// The scheduler flags (pdq only) exercise sched.go: priorities > 1
+// spreads messages round-robin across the lowest N priority bands,
+// delayfrac > 0 enqueues that fraction of messages with a 1ms delay
+// (a seeded draw), and ttl > 0 stamps every message with that TTL (the
+// expired counter records any that miss it; pick a generous TTL to
+// measure the deadline-tracking overhead without actual expiry). All
+// three are recorded in BENCH_pdq.json, and expired/delayed/
+// priority_dispatched/timer_wakeups land there through the embedded
+// pdq.Stats.
 //
 // Unless -json is empty, each strategy additionally writes a
 // machine-readable BENCH_<strategy>.json file into the given directory
@@ -56,17 +67,20 @@ import (
 )
 
 type config struct {
-	workers   int
-	messages  int
-	keys      int
-	setSize   int
-	shards    int
-	batch     int
-	coalesce  bool
-	skew      float64
-	panicRate float64
-	work      time.Duration
-	seed      uint64
+	workers    int
+	messages   int
+	keys       int
+	setSize    int
+	shards     int
+	batch      int
+	coalesce   bool
+	skew       float64
+	panicRate  float64
+	work       time.Duration
+	seed       uint64
+	priorities int
+	delayFrac  float64
+	ttl        time.Duration
 }
 
 // result is the machine-readable record written to BENCH_<strategy>.json.
@@ -81,6 +95,9 @@ type result struct {
 	Coalesce   bool    `json:"coalesce"` // identical-key runs merged (pdq strategy)
 	Skew       float64 `json:"skew"`
 	PanicRate  float64 `json:"panic_rate,omitempty"` // injected handler failure probability (pdq strategy)
+	Priorities int     `json:"priorities,omitempty"` // priority bands in use (pdq strategy)
+	DelayFrac  float64 `json:"delay_frac,omitempty"` // fraction of messages enqueued with a 1ms delay (pdq strategy)
+	TTLNanos   int64   `json:"ttl_ns,omitempty"`     // per-message TTL (pdq strategy)
 	WorkNanos  int64   `json:"work_ns"`
 	Seed       uint64  `json:"seed"`
 	ElapsedNS  int64   `json:"elapsed_ns"`
@@ -96,22 +113,25 @@ type result struct {
 
 func main() {
 	var (
-		strategy  = flag.String("strategy", "all", "pdq, lock, oam, multiq, or all")
-		workers   = flag.Int("workers", 8, "worker goroutines / partitions")
-		messages  = flag.Int("messages", 200_000, "messages to dispatch")
-		keys      = flag.Int("keys", 64, "distinct synchronization keys")
-		setSize   = flag.Int("setsize", 1, "keys per message key set (pdq only)")
-		shards    = flag.Int("shards", 1, "pdq dispatch shards (0 = GOMAXPROCS-derived, pdq only)")
-		batch     = flag.Int("batch", 1, "pdq worker dispatch batch size (pdq only)")
-		coalesce  = flag.Bool("coalesce", false, "merge identical-key runs into one handler invocation (pdq only)")
-		skew      = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
-		panicRate = flag.Float64("panicrate", 0, "probability a handler execution panics (pdq only)")
-		work      = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
-		seed      = flag.Uint64("seed", 7, "key sequence seed")
-		jsonDir   = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
+		strategy   = flag.String("strategy", "all", "pdq, lock, oam, multiq, or all")
+		workers    = flag.Int("workers", 8, "worker goroutines / partitions")
+		messages   = flag.Int("messages", 200_000, "messages to dispatch")
+		keys       = flag.Int("keys", 64, "distinct synchronization keys")
+		setSize    = flag.Int("setsize", 1, "keys per message key set (pdq only)")
+		shards     = flag.Int("shards", 1, "pdq dispatch shards (0 = GOMAXPROCS-derived, pdq only)")
+		batch      = flag.Int("batch", 1, "pdq worker dispatch batch size (pdq only)")
+		coalesce   = flag.Bool("coalesce", false, "merge identical-key runs into one handler invocation (pdq only)")
+		skew       = flag.Float64("skew", 0, "Zipf skew of key popularity (0 = uniform)")
+		panicRate  = flag.Float64("panicrate", 0, "probability a handler execution panics (pdq only)")
+		work       = flag.Duration("work", 200*time.Nanosecond, "handler body duration")
+		seed       = flag.Uint64("seed", 7, "key sequence seed")
+		priorities = flag.Int("priorities", 1, "spread messages round-robin over the lowest N priority bands (pdq only)")
+		delayFrac  = flag.Float64("delayfrac", 0, "fraction of messages enqueued with a 1ms delay (pdq only)")
+		ttl        = flag.Duration("ttl", 0, "per-message TTL, 0 = none (pdq only)")
+		jsonDir    = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
 	)
 	flag.Parse()
-	cfg := config{*workers, *messages, *keys, *setSize, *shards, *batch, *coalesce, *skew, *panicRate, *work, *seed}
+	cfg := config{*workers, *messages, *keys, *setSize, *shards, *batch, *coalesce, *skew, *panicRate, *work, *seed, *priorities, *delayFrac, *ttl}
 	names := []string{"pdq", "lock", "oam", "multiq"}
 	if *strategy != "all" {
 		names = []string{*strategy}
@@ -133,6 +153,21 @@ func main() {
 	}
 	if cfg.panicRate > 0 {
 		pdqOnly("-panicrate > 0")
+	}
+	if cfg.priorities < 1 {
+		cfg.priorities = 1
+	}
+	if cfg.priorities > pdq.NumPriorities {
+		cfg.priorities = pdq.NumPriorities
+	}
+	if cfg.priorities > 1 {
+		pdqOnly("-priorities > 1")
+	}
+	if cfg.delayFrac > 0 {
+		pdqOnly("-delayfrac > 0")
+	}
+	if cfg.ttl > 0 {
+		pdqOnly("-ttl > 0")
 	}
 	if cfg.batch > 1 {
 		pdqOnly("-batch > 1")
@@ -234,7 +269,9 @@ func runStrategy(name string, cfg config) (result, error) {
 		Strategy: name, Workers: cfg.workers, Messages: cfg.messages,
 		Keys: cfg.keys, SetSize: cfg.setSize, Skew: cfg.skew,
 		Batch: cfg.batch, Coalesce: cfg.coalesce,
-		PanicRate: cfg.panicRate,
+		PanicRate:  cfg.panicRate,
+		Priorities: cfg.priorities, DelayFrac: cfg.delayFrac,
+		TTLNanos:  cfg.ttl.Nanoseconds(),
 		WorkNanos: cfg.work.Nanoseconds(), Seed: cfg.seed,
 	}
 	finish := func(start time.Time, handled uint64) {
@@ -284,6 +321,17 @@ func runStrategy(name string, cfg config) (result, error) {
 			}
 		}
 		q := pdq.New(opts...)
+		// Scheduler shaping (sched.go): bands round-robin, a seeded draw
+		// for 1ms-delayed messages, and a per-message TTL. Option values
+		// are prebuilt so the enqueue loop only appends.
+		prioOpts := make([]pdq.EnqueueOption, cfg.priorities)
+		for b := range prioOpts {
+			prioOpts[b] = pdq.WithPriority(b)
+		}
+		delayOpt := pdq.WithDelay(time.Millisecond)
+		ttlOpt := pdq.WithTTL(cfg.ttl)
+		delayRng := sim.NewRand(cfg.seed ^ 0xd1a7)
+		eopts := make([]pdq.EnqueueOption, 0, 4)
 		start := time.Now()
 		p := pdq.Serve(context.Background(), q, cfg.workers, pdq.WithWorkerBatch(cfg.batch))
 		set := make([]pdq.Key, cfg.setSize)
@@ -291,13 +339,23 @@ func runStrategy(name string, cfg config) (result, error) {
 			for j := range set {
 				set[j] = pdq.Key(ks[i*cfg.setSize+j])
 			}
-			var err error
+			eopts = eopts[:0]
+			h := handler
 			if cfg.coalesce {
-				err = q.Enqueue(nil, pdq.BatchHandler(batchHandler), pdq.WithKeys(set...))
-			} else {
-				err = q.Enqueue(handler, pdq.WithKeys(set...))
+				h = nil
+				eopts = append(eopts, pdq.BatchHandler(batchHandler))
 			}
-			if err != nil {
+			eopts = append(eopts, pdq.WithKeys(set...))
+			if cfg.priorities > 1 {
+				eopts = append(eopts, prioOpts[i%cfg.priorities])
+			}
+			if cfg.delayFrac > 0 && delayRng.Pick(cfg.delayFrac) {
+				eopts = append(eopts, delayOpt)
+			}
+			if cfg.ttl > 0 {
+				eopts = append(eopts, ttlOpt)
+			}
+			if err := q.Enqueue(h, eopts...); err != nil {
 				return res, err
 			}
 		}

@@ -69,6 +69,20 @@
 // (the BatchHandler enqueue option) merges into one entry whose Batch
 // handler receives every payload in one invocation.
 //
+// # Scheduling
+//
+// Dispatch order within the synchronization rules is programmable
+// (sched.go): WithPriority assigns a message to one of NumPriorities
+// bands (higher bands dispatch first, with a weighted anti-starvation
+// credit so lower bands always progress), WithDelay/WithNotBefore defer
+// dispatch until a maturity instant (blocked consumers park with a timer
+// for the earliest maturity instead of polling), and
+// WithDeadline/WithTTL expire an undispatched message — it never runs
+// and reaches the dead-letter hook with ErrExpired. Per-key FIFO is
+// never broken by scheduling: a message still serializes behind every
+// earlier-enqueued message sharing a key, whatever their bands or
+// delays, so priority reorders only disjoint key sets.
+//
 // # Sharded dispatch core
 //
 // Internally the queue is a sharded dispatch core: the key space is
@@ -150,17 +164,33 @@ type Message struct {
 	// WithCoalesce and the batch harvest merged an identical-key run (see
 	// the BatchHandler enqueue option).
 	Batch func(datas []any)
+
+	// Priority is the message's scheduling band, clamped at admission to
+	// [0, NumPriorities). Higher bands dispatch first; see WithPriority.
+	// Sequential messages must leave it (and the two instants below)
+	// zero.
+	Priority int
+	// NotBefore, when nonzero, defers dispatch until that instant (see
+	// WithNotBefore/WithDelay).
+	NotBefore time.Time
+	// Deadline, when nonzero, expires the message if it has not
+	// dispatched by that instant: the handler never runs and the message
+	// reaches the dead-letter hook with ErrExpired (see
+	// WithDeadline/WithTTL).
+	Deadline time.Time
 }
 
 // Entry is a dispatched queue entry. Callers using the low-level dequeue
 // interface must resolve the entry exactly once after running the handler:
 // Complete on success, Release on failure (Run does this automatically).
 type Entry struct {
-	msg     Message
-	seq     uint64 // global enqueue sequence number, for ordering and diagnostics
-	smask   uint64 // bit set of shard indexes the key set touches
-	attempt uint32 // prior failed executions (0 = first dispatch)
-	err     error  // error from the Release that caused this retry, if any
+	msg       Message
+	seq       uint64 // global enqueue sequence number, for ordering and diagnostics
+	smask     uint64 // bit set of shard indexes the key set touches
+	notBefore int64  // maturity instant in unix nanos; 0 = immediate
+	deadline  int64  // expiry instant in unix nanos; 0 = none
+	attempt   uint32 // prior failed executions (0 = first dispatch)
+	err       error  // error from the Release that caused this retry, if any
 
 	// extra holds the messages coalesced behind msg (WithCoalesce
 	// harvests). It is a pointer, not a slice, to keep the common
@@ -286,6 +316,7 @@ type globalCounters struct {
 	released      atomic.Uint64
 	retries       atomic.Uint64
 	deadLettered  atomic.Uint64
+	timerWakeups  atomic.Uint64
 }
 
 // New returns an empty queue shaped by opts.
@@ -421,8 +452,9 @@ func (q *Queue) admitWait(ctx context.Context, m Message) error {
 	return q.enqueueReserved(m, 0, nil)
 }
 
-// checkMessage validates a caller-built message: exactly one of Handler
-// and Batch, and keys only in keyed mode.
+// checkMessage validates a caller-built message — exactly one of Handler
+// and Batch, keys only in keyed mode, no scheduling on barriers — and
+// normalizes it by clamping Priority into [0, NumPriorities).
 func checkMessage(m *Message) error {
 	if m.Handler == nil && m.Batch == nil {
 		return ErrNilHandler
@@ -432,6 +464,14 @@ func checkMessage(m *Message) error {
 	}
 	if m.Mode != ModeKeyed && len(m.Keys) > 0 {
 		return fmt.Errorf("pdq: %v message must not carry keys", m.Mode)
+	}
+	if m.Mode == ModeSequential && (m.Priority != 0 || !m.NotBefore.IsZero() || !m.Deadline.IsZero()) {
+		return errSequentialSched
+	}
+	if m.Priority < 0 {
+		m.Priority = 0
+	} else if m.Priority >= NumPriorities {
+		m.Priority = NumPriorities - 1
 	}
 	return nil
 }
@@ -499,7 +539,20 @@ func (q *Queue) enqueueSharded(m Message, attempt uint32, lastErr error) (*shard
 	h := &q.shards[home]
 	n := h.newNode()
 	n.entry = Entry{msg: m, seq: seq, smask: smask, attempt: attempt, err: lastErr}
-	h.link(n)
+	if !m.NotBefore.IsZero() {
+		n.entry.notBefore = m.NotBefore.UnixNano()
+	}
+	if !m.Deadline.IsZero() {
+		n.entry.deadline = m.Deadline.UnixNano()
+	}
+	if n.entry.notBefore != 0 && n.entry.notBefore > time.Now().UnixNano() {
+		// Immature: park on the home shard's timer heap until maturity.
+		// Claims stay registered, so the entry keeps its per-key queue
+		// position while it sleeps.
+		h.linkDelayed(n)
+	} else {
+		h.link(n)
+	}
 	h.stats.enqueued++
 	q.unlockMask(smask)
 	if l := int64(len(m.Keys)); l > 0 {
@@ -703,6 +756,11 @@ func (q *Queue) Close() {
 
 // Drain blocks until the queue holds no pending entries and no handler is
 // in flight. It does not close the queue; new work may arrive afterwards.
+// Delayed entries (WithDelay/WithNotBefore) count as pending: Drain waits
+// for them to mature and dispatch — it never flushes or abandons them —
+// so a Drain over a long delay blocks for that long, and consumers must
+// keep serving the queue for it to return. Dead-letter hooks owed by
+// expired entries complete before Drain returns.
 func (q *Queue) Drain() {
 	q.drainMu.Lock()
 	// Publish the waiter before checking emptiness: a completer that reads

@@ -2,8 +2,10 @@ package pdq_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"pdq"
 )
@@ -104,6 +106,43 @@ func ExampleQueue_nosync() {
 	q.Complete(e1)
 	q.Complete(ns)
 	// Output: true nosync
+}
+
+// ExampleQueue_scheduling shows the scheduling options composing on a
+// protocol-style mix: an ack at top priority overtakes an earlier bulk
+// message, a stale retransmission expires to the dead-letter hook with
+// ErrExpired instead of running, and a delayed probe dispatches only
+// once its maturity passes. (See examples/deadlines for the full
+// workload under a worker pool.)
+func ExampleQueue_scheduling() {
+	var order []string
+	q := pdq.New(pdq.WithDeadLetter(func(m pdq.Message, err error) {
+		fmt.Println("dead-letter:", m.Data, errors.Is(err, pdq.ErrExpired))
+	}))
+	_ = q.Enqueue(func(any) { order = append(order, "bulk") }, pdq.WithKey(1))
+	_ = q.Enqueue(func(any) { order = append(order, "ack") },
+		pdq.WithKey(2), pdq.WithPriority(3))
+	_ = q.Enqueue(func(any) { order = append(order, "stale") },
+		pdq.WithKey(3), pdq.WithPriority(2), pdq.WithTTL(-time.Second), pdq.WithData("retry#7"))
+	_ = q.Enqueue(func(any) { order = append(order, "probe") },
+		pdq.WithKey(4), pdq.WithDelay(10*time.Millisecond))
+	drain := func() {
+		for {
+			e, ok := q.TryDequeue()
+			if !ok {
+				return
+			}
+			e.Message().Handler(nil)
+			q.Complete(e)
+		}
+	}
+	drain() // the ack first, then bulk; the stale retry expires mid-scan
+	time.Sleep(15 * time.Millisecond)
+	drain() // the probe matured
+	fmt.Println(order)
+	// Output:
+	// dead-letter: retry#7 true
+	// [ack bulk probe]
 }
 
 // ExampleHandler shows the generic typed-handler adapter: Bind carries

@@ -1,0 +1,126 @@
+// Deadlines shows the scheduling subsystem (sched.go) on a
+// protocol-style workload — the traffic mix the paper's fine-grain
+// communication protocols generate, where message classes are not
+// equal: acknowledgements and invalidations ride the top priority band
+// so they never wait behind bulk data transfers, bulk rides the default
+// (lowest) band, a delayed heartbeat demonstrates timed delivery, and
+// retransmissions carry a TTL — once their window passes they are
+// worthless, so the queue expires them to the dead-letter hook with
+// pdq.ErrExpired instead of wasting a handler on them (or blocking
+// their stream's key). The program verifies every property and exits
+// nonzero on a violation, in the style of the other examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pdq"
+)
+
+const (
+	bulkMsgs     = 30_000
+	ackMsgs      = 300
+	staleRetries = 200
+	streams      = 64
+)
+
+// spin simulates handler work without sleeping.
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	var expired, wrongErr atomic.Int64
+	q := pdq.New(
+		pdq.WithShards(0),
+		pdq.WithDeadLetter(func(m pdq.Message, err error) {
+			if !errors.Is(err, pdq.ErrExpired) {
+				wrongErr.Add(1)
+				return
+			}
+			expired.Add(1)
+		}))
+	pool := pdq.Serve(context.Background(), q, runtime.GOMAXPROCS(0), pdq.WithWorkerBatch(8))
+
+	var bulkDone, ackDone, staleRan, ackSawBacklog atomic.Int64
+
+	// Bulk data transfers: the default (lowest) band, one key per
+	// stream so each stream stays ordered, ~5µs of handler work each.
+	for i := 0; i < bulkMsgs; i++ {
+		must(q.Enqueue(func(any) {
+			spin(5 * time.Microsecond)
+			bulkDone.Add(1)
+		}, pdq.WithKey(pdq.Key(i%streams))))
+	}
+
+	// Protocol acks: top band. Enqueued behind the whole bulk backlog,
+	// they must still overtake it — each one records whether bulk work
+	// remained when it ran.
+	for i := 0; i < ackMsgs; i++ {
+		must(q.Enqueue(func(any) {
+			if bulkDone.Load() < bulkMsgs {
+				ackSawBacklog.Add(1)
+			}
+			ackDone.Add(1)
+		}, pdq.WithKey(pdq.Key(1_000+i%streams)), pdq.WithPriority(pdq.NumPriorities-1)))
+	}
+
+	// A delayed heartbeat: parked on the timer heap, it matures
+	// mid-drain and must not run before its instant.
+	hbStart := time.Now()
+	var hbRan, hbEarly atomic.Int64
+	const hbDelay = 10 * time.Millisecond
+	must(q.Enqueue(func(any) {
+		if time.Since(hbStart) < hbDelay {
+			hbEarly.Add(1)
+		}
+		hbRan.Add(1)
+	}, pdq.WithKey(9_999), pdq.WithPriority(3), pdq.WithDelay(hbDelay)))
+
+	// Stale retransmissions: their window has already passed (the
+	// original got through), so the TTL is spent — every one must reach
+	// the dead-letter hook, never a handler, and never block its
+	// stream's key behind it.
+	for i := 0; i < staleRetries; i++ {
+		must(q.Enqueue(func(any) { staleRan.Add(1) },
+			pdq.WithKey(pdq.Key(i%streams)), pdq.WithPriority(2), pdq.WithTTL(-time.Millisecond)))
+	}
+
+	q.Close()
+	pool.Wait()
+
+	switch {
+	case bulkDone.Load() != bulkMsgs || ackDone.Load() != ackMsgs:
+		log.Fatalf("lost work: bulk %d/%d acks %d/%d", bulkDone.Load(), bulkMsgs, ackDone.Load(), ackMsgs)
+	case staleRan.Load() != 0:
+		log.Fatalf("%d expired retransmissions ran their handler", staleRan.Load())
+	case expired.Load() != staleRetries:
+		log.Fatalf("dead-letter saw %d expiries, want %d", expired.Load(), staleRetries)
+	case wrongErr.Load() != 0:
+		log.Fatalf("%d dead-letter calls without ErrExpired", wrongErr.Load())
+	case ackSawBacklog.Load() == 0:
+		log.Fatal("acks never overtook the bulk backlog: priority had no effect")
+	case hbRan.Load() != 1 || hbEarly.Load() != 0:
+		log.Fatalf("heartbeat ran %d times (%d early)", hbRan.Load(), hbEarly.Load())
+	}
+
+	s := q.Stats()
+	fmt.Printf("bulk=%d acks=%d (%d overtook backlog) heartbeat=ok expired=%d\n",
+		bulkDone.Load(), ackDone.Load(), ackSawBacklog.Load(), expired.Load())
+	fmt.Printf("priority_dispatched=%v delayed=%d expired=%d timer_wakeups=%d\n",
+		s.PriorityDispatched, s.Delayed, s.Expired, s.TimerWakeups)
+}

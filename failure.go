@@ -69,8 +69,12 @@ func (q *Queue) resolveFailed(m Message, attempt uint32, err error) {
 	q.deadLetterMsg(m, err)
 }
 
-// requeue re-admits a released message for its next attempt. The
-// dispatched entry gave its capacity slot back at dispatch time, so on a
+// requeue re-admits a released message for its next attempt. The message
+// keeps its scheduling shape: its priority band, and its deadline — so a
+// WithTTL budget bounds total queue residency across attempts, and a
+// retry admitted past the deadline expires (dead-letters with ErrExpired)
+// instead of dispatching. The dispatched entry gave its capacity slot
+// back at dispatch time, so on a
 // bounded queue the retry must win a fresh slot — retries take no
 // precedence over live producers, and a full queue fails the retry into
 // the dead-letter path rather than blocking a worker. A closed queue

@@ -2,9 +2,11 @@ package pdq
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // FuzzKeySetDispatch feeds random operation scripts and shard counts to a
@@ -236,6 +238,140 @@ func FuzzBatchDispatch(f *testing.F) {
 		}
 		s := q.Stats()
 		if s.Dispatched != s.Completed+s.Coalesced || s.Enqueued != uint64(len(script)) {
+			t.Fatalf("inconsistent stats (shards=%d batch=%d): %s", shards, batch, s)
+		}
+	})
+}
+
+// FuzzSchedDispatch exercises the scheduling subsystem (sched.go) under
+// fuzzed operation scripts: priority bands, delayed delivery, and
+// deadlines layered over key-set synchronization, dispatched through
+// batched workers on 1–8 shards. Invariants:
+//
+//  1. per-key enqueue-order FIFO among the messages that dispatch —
+//     bands and delays never reorder a shared key (the documented
+//     cross-band inversion), expired messages simply drop out of the
+//     order — and no two concurrently executing handlers share a key;
+//  2. no dispatch before maturity: a delayed handler never observes a
+//     clock earlier than its WithDelay/WithNotBefore instant;
+//  3. no dispatch after expiry: every message runs exactly once XOR
+//     dead-letters exactly once with ErrExpired, and a message expired
+//     at birth always dead-letters.
+//
+// Script bytes select per message: bits 6-7 the priority band, b%8==0 a
+// small delay (1–3ms), b%8==1 expiry at birth (negative TTL), b%8==2 a
+// racy ~500µs deadline (either outcome is legal; the exactly-once
+// accounting must hold regardless), anything else an undecorated keyed
+// message. Keys come from a small universe so conflicts are common.
+func FuzzSchedDispatch(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte{7, 7, 7, 7}, uint8(1), uint8(3))
+	f.Add([]byte{0, 8, 16, 24, 1, 9, 17}, uint8(0), uint8(7)) // delays and births-expired
+	f.Add([]byte{3, 64, 129, 200, 32, 9, 255, 2, 66, 130}, uint8(2), uint8(5))
+	f.Add([]byte{250, 17, 80, 5, 5, 64, 33, 2, 96, 128, 40}, uint8(3), uint8(15))
+	f.Fuzz(func(t *testing.T, script []byte, rawShards, rawBatch uint8) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		const universe = 7
+		shards := 1 << (rawShards % 4)
+		batch := 1 + int(rawBatch)%8
+		var deadMu sync.Mutex
+		deadCount := make(map[int]int) // op index -> dead-letter deliveries
+		var wrongErr atomic.Int32
+		q := New(WithShards(shards), WithDeadLetter(func(m Message, err error) {
+			if !errors.Is(err, ErrExpired) {
+				wrongErr.Add(1)
+				return
+			}
+			deadMu.Lock()
+			deadCount[m.Data.(int)]++
+			deadMu.Unlock()
+		}))
+		p := Serve(context.Background(), q, 4, WithWorkerBatch(batch))
+
+		var bad atomic.Int32
+		var activeKey [universe]atomic.Int32
+		var mu sync.Mutex
+		ran := make(map[int]int)
+		lastPerKey := make(map[Key]int)
+		mustExpire := make(map[int]bool)
+		notBefores := make([]time.Time, len(script))
+
+		for i, b := range script {
+			i := i
+			nk := 1 + int(b>>3)%2
+			ks := make([]Key, nk)
+			for j := range ks {
+				ks[j] = Key((int(b) + j*5 + i*3) % universe)
+			}
+			opts := []EnqueueOption{WithKeys(ks...), WithData(i),
+				WithPriority(int(b >> 6))}
+			switch b % 8 {
+			case 0:
+				d := time.Duration(1+int(b>>3)%3) * time.Millisecond
+				notBefores[i] = time.Now().Add(d)
+				opts = append(opts, WithNotBefore(notBefores[i]))
+			case 1:
+				mustExpire[i] = true
+				opts = append(opts, WithTTL(-time.Nanosecond))
+			case 2:
+				// Racy deadline: dispatch and expiry are both legal.
+				opts = append(opts, WithTTL(500*time.Microsecond))
+			}
+			err := q.Enqueue(func(any) {
+				if nb := notBefores[i]; !nb.IsZero() && time.Now().Before(nb) {
+					bad.Add(1) // dispatched before maturity
+				}
+				seen := make(map[Key]bool, len(ks))
+				for _, k := range ks {
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					if activeKey[k].Add(1) != 1 {
+						bad.Add(1) // two handlers sharing a key overlapped
+					}
+				}
+				mu.Lock()
+				ran[i]++
+				for k := range seen {
+					if lastPerKey[k] >= i+1 {
+						bad.Add(1) // out of enqueue order on a shared key
+					}
+					lastPerKey[k] = i + 1
+				}
+				mu.Unlock()
+				for k := range seen {
+					activeKey[k].Add(-1)
+				}
+			}, opts...)
+			if err != nil {
+				t.Fatalf("enqueue op %d: %v", i, err)
+			}
+		}
+		q.Close()
+		p.Wait()
+		if v := bad.Load(); v != 0 {
+			t.Fatalf("%d invariant violations (shards=%d batch=%d)", v, shards, batch)
+		}
+		if v := wrongErr.Load(); v != 0 {
+			t.Fatalf("%d dead-letter calls without ErrExpired (shards=%d batch=%d)", v, shards, batch)
+		}
+		deadMu.Lock()
+		defer deadMu.Unlock()
+		for i := range script {
+			total := ran[i] + deadCount[i]
+			if total != 1 {
+				t.Fatalf("op %d resolved %d times (ran=%d dead=%d, shards=%d batch=%d)",
+					i, total, ran[i], deadCount[i], shards, batch)
+			}
+			if mustExpire[i] && deadCount[i] != 1 {
+				t.Fatalf("op %d expired at birth but ran its handler (shards=%d batch=%d)", i, shards, batch)
+			}
+		}
+		s := q.Stats()
+		if s.Completed+s.Expired != uint64(len(script)) || s.Expired != uint64(len(deadCount)) {
 			t.Fatalf("inconsistent stats (shards=%d batch=%d): %s", shards, batch, s)
 		}
 	})

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Mux multiplexes several named parallel dispatch queues over one set of
@@ -202,7 +204,10 @@ func (m *Mux) DequeueBatch(ctx context.Context, max int) ([]MuxBatch, error) {
 // is closed and drained. The wake-token re-arm rules live only here — on
 // every exit and on every dispatch a token is re-deposited, so a
 // consumed token can never be stranded on a terminating consumer and
-// bursts cascade to sibling workers.
+// bursts cascade to sibling workers. When a member queue holds delayed
+// entries, the wait is additionally bounded by the earliest maturity
+// across the mux (a timer deposits a token), so delayed delivery works
+// without any polling worker.
 func (m *Mux) blockDequeue(ctx context.Context, attempt func() bool) error {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -219,11 +224,36 @@ func (m *Mux) blockDequeue(ctx context.Context, attempt func() bool) error {
 			m.wake() // cascade: release other blocked consumers too
 			return ErrMuxClosed
 		}
+		var timed *time.Timer
+		if wake := m.nextTimerWake(); wake != math.MaxInt64 {
+			d := time.Duration(wake - time.Now().UnixNano())
+			if d <= 0 {
+				d = dispatchBackoff
+			}
+			timed = time.AfterFunc(d, m.wake)
+		}
 		select {
 		case <-m.wakeCh:
 		case <-ctx.Done():
 		}
+		if timed != nil {
+			timed.Stop()
+		}
 	}
+}
+
+// nextTimerWake returns the earliest delayed-entry maturity across the
+// member queues, or math.MaxInt64 when nothing is delayed anywhere. A
+// member enqueue always deposits a wake token, so a sleeper that read a
+// stale (too-late) value is woken to recompute.
+func (m *Mux) nextTimerWake() int64 {
+	next := int64(math.MaxInt64)
+	for _, q := range m.snapshot() {
+		if v := q.nextTimerWake(); v < next {
+			next = v
+		}
+	}
+	return next
 }
 
 // Dequeue blocks until an entry is dispatchable on some virtual queue, or

@@ -1,5 +1,7 @@
 package pdq
 
+import "time"
+
 // config collects queue construction parameters assembled by New from
 // Options; it is not part of the public surface.
 type config struct {
@@ -18,7 +20,9 @@ type Option func(*config)
 
 // WithSearchWindow bounds how many pending entries the dispatcher examines
 // per dequeue, mirroring the bounded dispatch buffer of a hardware PDQ
-// (paper Section 3.2). n <= 0 means unbounded search. Queues default to
+// (paper Section 3.2). The budget applies to each priority band of each
+// shard's scan (a conflicted band never starves another band of its
+// search window). n <= 0 means unbounded search. Queues default to
 // DefaultSearchWindow.
 func WithSearchWindow(n int) Option {
 	return func(c *config) { c.searchWindow = n }
@@ -118,6 +122,19 @@ type EnqueueOption struct {
 	data    any
 	hasData bool
 	batch   func(datas []any)
+
+	// Scheduling options (sched.go): priority band, delayed delivery,
+	// and message deadline.
+	prio         int
+	hasPrio      bool
+	delay        time.Duration
+	hasDelay     bool
+	notBefore    time.Time
+	hasNotBefore bool
+	ttl          time.Duration
+	hasTTL       bool
+	deadline     time.Time
+	hasDeadline  bool
 }
 
 // WithKey adds a single key to the message's synchronization key set. It
@@ -174,6 +191,7 @@ func NoSync() EnqueueOption {
 // combination.
 func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error) {
 	m := Message{Mode: ModeKeyed, Handler: handler}
+	var now time.Time // fetched lazily for the relative scheduling options
 	for _, o := range opts {
 		if o.hasMode {
 			if m.Mode != ModeKeyed && m.Mode != o.mode {
@@ -192,6 +210,27 @@ func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error)
 		}
 		if o.batch != nil {
 			m.Batch = o.batch
+		}
+		if o.hasPrio {
+			m.Priority = o.prio
+		}
+		if o.hasDelay {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			m.NotBefore = now.Add(o.delay)
+		}
+		if o.hasNotBefore {
+			m.NotBefore = o.notBefore
+		}
+		if o.hasTTL {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			m.Deadline = now.Add(o.ttl)
+		}
+		if o.hasDeadline {
+			m.Deadline = o.deadline
 		}
 	}
 	if err := checkMessage(&m); err != nil {

@@ -5,20 +5,26 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // shard is one partition of the sharded dispatch core. Each shard owns the
-// pending list of entries homed on it, the in-flight counts and claim
+// pending lists of entries homed on it (one per priority band, plus the
+// timer heap of immature delayed entries), the in-flight counts and claim
 // queues for the keys it owns, a node free list, and its own lock, so
 // single-key traffic to different shards never contends.
 type shard struct {
 	mu         sync.Mutex
 	idx        uint32
-	head, tail *node
-	npending   atomic.Int64  // entries homed here, readable without mu
-	minSeq     atomic.Uint64 // seq of the head entry; MaxUint64 when empty
-	wakeGen    atomic.Uint64 // this shard's slice of the consumer eventcount
-	completed  atomic.Uint64 // Complete calls credited to this shard
+	bands      [NumPriorities]entryList // mature pending entries, one seq-ascending list per band
+	credit     [NumPriorities]uint32    // anti-starvation credits (see creditDispatch)
+	delayed    entryList                // immature delayed entries in seq order
+	timers     timerHeap                // the same immature entries ordered by maturity
+	npending   atomic.Int64             // entries homed here (delayed included), readable without mu
+	minSeq     atomic.Uint64            // min pending seq across bands and delayed; MaxUint64 when empty
+	nextMature atomic.Int64             // earliest maturity instant; MaxInt64 when nothing is delayed
+	wakeGen    atomic.Uint64            // this shard's slice of the consumer eventcount
+	completed  atomic.Uint64            // Complete calls credited to this shard
 
 	inflight map[Key]int      // in-flight handler count per owned key
 	claims   map[Key]*seqFIFO // pending claim seqs per owned key
@@ -44,6 +50,9 @@ type shardCounters struct {
 	batches            uint64 // successful batch harvests from this shard
 	batchEntries       uint64 // messages those harvests dispatched (coalesced included)
 	coalesced          uint64 // messages merged beyond their run's representative
+	expired            uint64 // entries dropped undispatched at their deadline
+	delayed            uint64 // entries admitted with a future maturity
+	prioDispatched     [NumPriorities]uint64
 	maxPending         int
 	maxBatch           int // largest harvest from this shard, in messages
 }
@@ -54,6 +63,7 @@ func (s *shard) init(idx uint32) {
 	s.claims = make(map[Key]*seqFIFO)
 	s.maxFree = 256
 	s.minSeq.Store(math.MaxUint64)
+	s.nextMature.Store(math.MaxInt64)
 }
 
 // node is a pending-list node. A hand-rolled list avoids container/list's
@@ -155,17 +165,34 @@ func (s *shard) popClaim(k Key, seq uint64) {
 	}
 }
 
-// link appends n to the shard's pending list. Caller holds s.mu; the list
-// stays seq-ascending because sequence numbers are assigned under the
-// home shard's lock.
+// removeClaim deletes seq from k's claim queue wherever it sits — the
+// expiry path's analogue of popClaim, which only serves the head (an
+// expired entry may still be queued behind earlier claimants). Caller
+// holds s.mu and s owns k.
+func (s *shard) removeClaim(k Key, seq uint64) {
+	f := s.claims[k]
+	if f == nil {
+		panic("pdq: claim removal for unclaimed key")
+	}
+	if f.peek() == seq {
+		s.popClaim(k, seq)
+		return
+	}
+	for i := f.head + 1; i < len(f.buf); i++ {
+		if f.buf[i] == seq {
+			f.buf = append(f.buf[:i], f.buf[i+1:]...)
+			return
+		}
+	}
+	panic("pdq: claim removal for absent sequence")
+}
+
+// link appends n to its priority band's pending list. Caller holds s.mu;
+// the list stays seq-ascending because sequence numbers are assigned
+// under the home shard's lock.
 func (s *shard) link(n *node) {
-	if s.tail == nil {
-		s.head, s.tail = n, n
-		s.minSeq.Store(n.entry.seq)
-	} else {
-		n.prev = s.tail
-		s.tail.next = n
-		s.tail = n
+	if s.bands[n.entry.msg.Priority].append(n) {
+		s.updateMinSeq()
 	}
 	p := s.npending.Add(1)
 	if int(p) > s.stats.maxPending {
@@ -173,24 +200,11 @@ func (s *shard) link(n *node) {
 	}
 }
 
-// unlink removes n from the pending list. Caller holds s.mu.
+// unlink removes n from its band's pending list. Caller holds s.mu.
 func (s *shard) unlink(n *node) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		s.head = n.next
-		if s.head != nil {
-			s.minSeq.Store(s.head.entry.seq)
-		} else {
-			s.minSeq.Store(math.MaxUint64)
-		}
+	if s.bands[n.entry.msg.Priority].remove(n) {
+		s.updateMinSeq()
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		s.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
 	s.npending.Add(-1)
 }
 
@@ -300,11 +314,15 @@ func (s *shard) countConflict(kind int) {
 }
 
 // scanShard performs the bounded associative search over one shard's
-// pending list — the per-shard analogue of the paper's dispatch-buffer
-// scan. The list is seq-ascending, so a pending sequential barrier gates
-// the scan with a single comparison, and order preservation across key
-// sets falls out of the claim queues: a later entry overlapping any
-// earlier pending entry's key cannot head that key's claim queue.
+// pending lists — the per-shard analogue of the paper's dispatch-buffer
+// scan. Ripe delayed entries mature into their bands first; then the
+// bands are walked in scheduling order (bandOrder: highest first, a
+// starved band boosted to the front). Each band list is seq-ascending,
+// so a pending sequential barrier gates a band with a single comparison,
+// and order preservation across key sets falls out of the claim queues:
+// a later entry overlapping any earlier pending entry's key cannot head
+// that key's claim queue, whatever their bands. Expired entries met by
+// the scan are dropped to the dead-letter hook instead of dispatched.
 //
 // The shard lock is TryLock'd: a consumer never parks on a shard another
 // consumer is already scanning (that consumer will dispatch whatever is
@@ -314,59 +332,97 @@ func (q *Queue) scanShard(s *shard) (e *Entry, ok bool, retry bool) {
 	if !s.mu.TryLock() {
 		return nil, false, true
 	}
-	defer s.mu.Unlock()
+	var expired []Message
+	e, ok, retry = q.scanLocked(s, &expired)
+	s.mu.Unlock()
+	q.finishExpired(expired)
+	return e, ok, retry
+}
+
+// scanLocked is scanShard's body. Caller holds s.mu and must pass the
+// expired messages to finishExpired after unlocking.
+func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bool) {
 	barSeq := q.bar.minSeq.Load()
-	scanned := 0
-	for n := s.head; n != nil; n = n.next {
-		if q.window > 0 && scanned >= q.window {
-			s.stats.windowStalls++
-			return nil, false, retry
-		}
-		if barSeq != 0 && n.entry.seq >= barSeq {
-			// Entries at or past a pending sequential barrier's queue
-			// position may not dispatch until the barrier completes; the
-			// list is seq-ordered, so everything further is blocked too.
-			return nil, false, retry
-		}
-		scanned++
-		m := &n.entry.msg
-		if m.Mode == ModeNoSync {
-			q.inflightAll.Add(1)
-			s.unlink(n)
-			q.releaseSlot()
-			s.stats.dispatched++
-			s.stats.noSyncDispatched++
-			return s.take(n), true, retry
-		}
-		// ModeKeyed (a keyless entry has an empty key set and no conflicts).
-		if n.entry.smask == 1<<s.idx {
-			kind := s.conflictLocal(q, m.Keys, n.entry.seq, true)
-			if kind == conflictNone {
+	var now int64 // fetched lazily: scans without timed entries never read the clock
+	if s.timers.len() > 0 {
+		now = time.Now().UnixNano()
+		s.matureRipe(now)
+	}
+	windowHit := false
+	order := s.bandOrder()
+	for _, b := range order {
+		// The window budget is per band (as it is per shard): a higher
+		// band full of order-conflicted entries must not exhaust the
+		// budget before the band holding the oldest dispatchable entry
+		// is reached — with nothing in flight that entry is the scan's
+		// guaranteed find, the invariant that makes parking safe.
+		scanned := 0
+		for n := s.bands[b].head; n != nil; {
+			if q.window > 0 && scanned >= q.window {
+				windowHit = true
+				break
+			}
+			if barSeq != 0 && n.entry.seq >= barSeq {
+				// Entries at or past a pending sequential barrier's queue
+				// position may not dispatch until the barrier completes;
+				// the band is seq-ordered, so the rest of it is blocked
+				// too (other bands may still hold earlier entries).
+				break
+			}
+			scanned++
+			next := n.next
+			if handled, r := q.expireIfDue(s, n, &now, expired); handled {
+				retry = retry || r
+				n = next
+				continue
+			}
+			m := &n.entry.msg
+			if m.Mode == ModeNoSync {
 				q.inflightAll.Add(1)
-				for _, k := range m.Keys {
-					s.inflight[k]++
-					s.popClaim(k, n.entry.seq)
-				}
 				s.unlink(n)
 				q.releaseSlot()
 				s.stats.dispatched++
-				if len(m.Keys) > 1 {
-					s.stats.multiKeyDispatched++
-				}
+				s.stats.noSyncDispatched++
+				s.creditDispatch(int(b))
 				return s.take(n), true, retry
 			}
-			s.countConflict(kind)
-			continue
+			// ModeKeyed (a keyless entry has an empty key set and no conflicts).
+			if n.entry.smask == 1<<s.idx {
+				kind := s.conflictLocal(q, m.Keys, n.entry.seq, true)
+				if kind == conflictNone {
+					q.inflightAll.Add(1)
+					for _, k := range m.Keys {
+						s.inflight[k]++
+						s.popClaim(k, n.entry.seq)
+					}
+					s.unlink(n)
+					q.releaseSlot()
+					s.stats.dispatched++
+					if len(m.Keys) > 1 {
+						s.stats.multiKeyDispatched++
+					}
+					s.creditDispatch(int(b))
+					return s.take(n), true, retry
+				}
+				s.countConflict(kind)
+				n = next
+				continue
+			}
+			ok2, kind, r := q.tryDispatchCross(s, n)
+			if ok2 {
+				s.creditDispatch(int(b))
+				return s.take(n), true, retry
+			}
+			if r {
+				retry = true
+			} else {
+				s.countConflict(kind)
+			}
+			n = next
 		}
-		ok2, kind, r := q.tryDispatchCross(s, n)
-		if ok2 {
-			return s.take(n), true, retry
-		}
-		if r {
-			retry = true
-		} else {
-			s.countConflict(kind)
-		}
+	}
+	if windowHit {
+		s.stats.windowStalls++
 	}
 	return nil, false, retry
 }

@@ -35,6 +35,9 @@ type Stats struct {
 	BatchEntries       uint64 `json:"batch_entries"`       // messages dispatched through batch harvests (coalesced included)
 	MaxBatch           int    `json:"max_batch"`           // largest single batch harvest, in messages
 	Coalesced          uint64 `json:"coalesced"`           // messages merged into a representative entry beyond the first (WithCoalesce)
+	Expired            uint64 `json:"expired"`             // entries dropped undispatched at their deadline (WithDeadline/WithTTL)
+	Delayed            uint64 `json:"delayed"`             // entries admitted with a future maturity (WithDelay/WithNotBefore)
+	TimerWakeups       uint64 `json:"timer_wakeups"`       // timed parks fired to mature delayed entries
 	Panics             uint64 `json:"panics"`              // handler panics recovered by Run
 	Released           uint64 `json:"released"`            // Release calls (failure-path completions)
 	Retries            uint64 `json:"retries"`             // released entries re-enqueued for another attempt
@@ -42,6 +45,11 @@ type Stats struct {
 	Shards             int    `json:"shards"`              // shard count of the dispatch core
 	MaxPending         int    `json:"max_pending"`         // high-water mark of pending entries (summed per shard: an upper bound when shards > 1)
 	MaxKeySet          int    `json:"max_key_set"`         // largest synchronization key set seen
+
+	// PriorityDispatched counts dispatched messages per priority band
+	// (band 0 first; coalesced messages and retries re-count, sequential
+	// barriers are counted in SeqDispatched instead).
+	PriorityDispatched [NumPriorities]uint64 `json:"priority_dispatched"`
 }
 
 // Stats returns a snapshot of the queue's counters, aggregated across the
@@ -64,6 +72,11 @@ func (q *Queue) Stats() Stats {
 		s.Batches += c.batches
 		s.BatchEntries += c.batchEntries
 		s.Coalesced += c.coalesced
+		s.Expired += c.expired
+		s.Delayed += c.delayed
+		for b := range c.prioDispatched {
+			s.PriorityDispatched[b] += c.prioDispatched[b]
+		}
 		if c.maxBatch > s.MaxBatch {
 			s.MaxBatch = c.maxBatch
 		}
@@ -87,6 +100,7 @@ func (q *Queue) Stats() Stats {
 	s.Released = q.g.released.Load()
 	s.Retries = q.g.retries.Load()
 	s.DeadLettered = q.g.deadLettered.Load()
+	s.TimerWakeups = q.g.timerWakeups.Load()
 	s.MaxKeySet = int(q.g.maxKeySet.Load())
 	s.Shards = len(q.shards)
 	return s
@@ -95,11 +109,12 @@ func (q *Queue) Stats() Stats {
 // String renders the counters compactly for logs and reports.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
+		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d expired=%d delayed=%d timerWakeups=%d prio=%v panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
 		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
 		s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
 		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard,
 		s.Batches, s.BatchEntries, s.MaxBatch, s.Coalesced,
+		s.Expired, s.Delayed, s.TimerWakeups, s.PriorityDispatched,
 		s.Panics, s.Released, s.Retries, s.DeadLettered,
 		s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected)
 }
