@@ -1,0 +1,268 @@
+package pdq
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A barge entry must dispatch on key availability alone, overtaking a
+// keyed entry that heads the claim queue but is blocked on another key.
+func TestBargeOvertakesBlockedClaimHead(t *testing.T) {
+	q := New()
+	defer q.Close()
+
+	// Park key 1: dispatch a keyed entry and hold it in flight.
+	if err := q.Enqueue(func(any) {}, WithKeys(1)); err != nil {
+		t.Fatal(err)
+	}
+	held, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("holder did not dispatch")
+	}
+
+	// This entry heads key 2's claim queue but is blocked on key 1.
+	if err := q.Enqueue(func(any) {}, WithKeys(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A keyed entry on key 2 is order-blocked behind it...
+	if err := q.Enqueue(func(any) {}, WithKeys(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("keyed entry dispatched despite blocked claim head")
+	}
+	// ...but a barge entry on key 2 is not.
+	if err := q.Enqueue(func(any) {}, Barge(), WithKeys(2)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("barge entry did not dispatch")
+	}
+	if e.Message().Mode != ModeBarge {
+		t.Fatalf("dispatched %v entry, want barge", e.Message().Mode)
+	}
+	q.Complete(e)
+
+	if s := q.Stats(); s.BargeDispatched != 1 {
+		t.Fatalf("BargeDispatched = %d, want 1", s.BargeDispatched)
+	}
+
+	// Completing the holder unblocks the keyed chain in enqueue order.
+	q.Complete(held)
+	for i := 0; i < 2; i++ {
+		e, ok := q.TryDequeue()
+		if !ok {
+			t.Fatalf("keyed entry %d did not dispatch after release", i)
+		}
+		q.Complete(e)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d pending", q.Len())
+	}
+}
+
+// A barge entry must still respect in-flight holders of its keys — it
+// bypasses queue order, not mutual exclusion.
+func TestBargeWaitsForInflightKey(t *testing.T) {
+	q := New()
+	defer q.Close()
+
+	if err := q.Enqueue(func(any) {}, WithKeys(7)); err != nil {
+		t.Fatal(err)
+	}
+	held, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("holder did not dispatch")
+	}
+	if err := q.Enqueue(func(any) {}, Barge(), WithKeys(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("barge entry dispatched over an in-flight key")
+	}
+	q.Complete(held)
+	e, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("barge entry did not dispatch after release")
+	}
+	q.Complete(e)
+}
+
+// Barge requires a key set; a keyless barge is rejected at admission.
+func TestBargeRequiresKeys(t *testing.T) {
+	q := New()
+	defer q.Close()
+	if err := q.Enqueue(func(any) {}); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Enqueue(func(any) {}, Barge())
+	if !errors.Is(err, errBargeNoKeys) {
+		t.Fatalf("keyless barge: err = %v, want errBargeNoKeys", err)
+	}
+}
+
+// A released barge entry retries through the normal failure policy and
+// its re-admission must not corrupt the claim queues it never joined.
+func TestBargeRetryAndDeadLetter(t *testing.T) {
+	var mu sync.Mutex
+	var dead []error
+	q := New(WithRetry(1), WithDeadLetter(func(m Message, err error) {
+		mu.Lock()
+		dead = append(dead, err)
+		mu.Unlock()
+	}))
+	defer q.Close()
+
+	boom := errors.New("boom")
+	if err := q.Enqueue(func(any) {}, Barge(), WithKeys(3)); err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		e, ok := q.TryDequeue()
+		if !ok {
+			t.Fatalf("attempt %d did not dispatch", attempt)
+		}
+		if got := e.Attempt(); got != attempt {
+			t.Fatalf("Attempt() = %d, want %d", got, attempt)
+		}
+		q.Release(e, boom)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("entry dispatched past its retry budget")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dead) != 1 || !errors.Is(dead[0], boom) {
+		t.Fatalf("dead letters = %v, want [boom]", dead)
+	}
+}
+
+// An expired barge entry must not touch the claim queues on its way out.
+func TestBargeExpiry(t *testing.T) {
+	var mu sync.Mutex
+	var dead []error
+	q := New(WithDeadLetter(func(m Message, err error) {
+		mu.Lock()
+		dead = append(dead, err)
+		mu.Unlock()
+	}))
+	defer q.Close()
+
+	// Hold key 5 so the barge entry cannot dispatch before it expires.
+	if err := q.Enqueue(func(any) {}, WithKeys(5)); err != nil {
+		t.Fatal(err)
+	}
+	held, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("holder did not dispatch")
+	}
+	if err := q.Enqueue(func(any) {}, Barge(), WithKeys(5),
+		WithDeadline(time.Now().Add(time.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("expired barge entry dispatched")
+	}
+	q.Complete(held)
+
+	// A fresh keyed entry on the same key still flows normally.
+	if err := q.Enqueue(func(any) {}, WithKeys(5)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("keyed entry after expiry did not dispatch")
+	}
+	q.Complete(e)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dead) != 1 || !errors.Is(dead[0], ErrExpired) {
+		t.Fatalf("dead letters = %v, want [ErrExpired]", dead)
+	}
+}
+
+// Barge works across shards: keys on different shards acquire atomically
+// when all are free, regardless of claim-queue positions on any shard.
+func TestBargeCrossShard(t *testing.T) {
+	q := New(WithShards(8))
+	defer q.Close()
+
+	// Find two keys on different shards.
+	k1, k2 := Key(1), Key(2)
+	for q.shardIndex(k2) == q.shardIndex(k1) {
+		k2++
+	}
+
+	if err := q.Enqueue(func(any) {}, WithKeys(k1)); err != nil {
+		t.Fatal(err)
+	}
+	held, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("holder did not dispatch")
+	}
+	// Order-blocked keyed entry heading k2's claim queue.
+	if err := q.Enqueue(func(any) {}, WithKeys(k1, k2)); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-shard barge on both keys: blocked while k1 is held...
+	if err := q.Enqueue(func(any) {}, Barge(), WithKeys(k1, k2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("cross-shard barge dispatched over an in-flight key")
+	}
+	q.Complete(held)
+	// ...and dispatchable once both are free, ahead of the keyed entry
+	// that heads k2's claim queue (it is order-first on k1 now, but the
+	// barge does not care about order).
+	var sawBarge bool
+	for i := 0; i < 2; i++ {
+		e, ok := q.TryDequeue()
+		if !ok {
+			t.Fatalf("entry %d did not dispatch", i)
+		}
+		if e.Message().Mode == ModeBarge {
+			sawBarge = true
+		}
+		q.Complete(e)
+	}
+	if !sawBarge {
+		t.Fatal("barge entry never dispatched")
+	}
+	if s := q.Stats(); s.BargeDispatched != 1 {
+		t.Fatalf("BargeDispatched = %d, want 1", s.BargeDispatched)
+	}
+}
+
+// Batch harvests must not apply the in-batch acquired-key exception to
+// barge entries: a barge entry sharing a key with an earlier entry of
+// the same harvest stays pending (its holder may park past the batch).
+func TestBargeBatchNoAcquiredException(t *testing.T) {
+	q := New()
+	defer q.Close()
+
+	if err := q.Enqueue(func(any) {}, WithKeys(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(func(any) {}, Barge(), WithKeys(9)); err != nil {
+		t.Fatal(err)
+	}
+	es, ok := q.TryDequeueBatch(8)
+	if !ok || len(es) != 1 {
+		t.Fatalf("harvest = %d entries, want just the keyed one", len(es))
+	}
+	if es[0].Message().Mode != ModeKeyed {
+		t.Fatalf("harvested %v, want keyed", es[0].Message().Mode)
+	}
+	q.Complete(es[0])
+	es, ok = q.TryDequeueBatch(8)
+	if !ok || len(es) != 1 || es[0].Message().Mode != ModeBarge {
+		t.Fatalf("second harvest did not yield the barge entry")
+	}
+	q.Complete(es[0])
+}

@@ -204,7 +204,8 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 				msgs++
 				es = append(es, take(n))
 			case n.entry.smask == 1<<s.idx:
-				kind := s.conflictBatch(q, m.Keys, n.entry.seq, acquired)
+				barge := m.Mode == ModeBarge
+				kind := s.conflictBatch(q, m.Keys, n.entry.seq, acquired, barge)
 				if kind != conflictNone {
 					s.countConflict(kind)
 					break
@@ -212,19 +213,28 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 				q.inflightAll.Add(1)
 				for _, k := range m.Keys {
 					s.inflight[k]++
-					s.popClaim(k, n.entry.seq)
+					if !barge {
+						s.popClaim(k, n.entry.seq)
+					}
 				}
 				s.unlink(n)
 				q.releaseSlot()
 				s.stats.dispatched++
+				if barge {
+					s.stats.bargeDispatched++
+				}
 				if len(m.Keys) > 1 {
 					s.stats.multiKeyDispatched++
 				}
 				s.creditDispatch(int(b))
-				acquired = append(acquired, m.Keys...)
+				if !barge {
+					// A barge entry's holder may park its keys past the
+					// batch, so they never join the in-batch exception.
+					acquired = append(acquired, m.Keys...)
+				}
 				msgs++
 				e := take(n) // n is recycled here; use e from now on
-				if q.coalesce && e.msg.Batch != nil && e.attempt == 0 {
+				if q.coalesce && e.msg.Mode == ModeKeyed && e.msg.Batch != nil && e.attempt == 0 {
 					// The representative already counts against max, so the
 					// merge budget is the batch's remaining message capacity.
 					next = q.coalesceRun(s, e, next, barSeq, &scanned, max-msgs, &now)
@@ -238,7 +248,9 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 				ok, kind, r := q.tryDispatchCross(s, n)
 				if ok {
 					s.creditDispatch(int(b))
-					acquired = append(acquired, m.Keys...)
+					if m.Mode != ModeBarge {
+						acquired = append(acquired, m.Keys...)
+					}
 					msgs++
 					es = append(es, take(n))
 				} else if r {
@@ -267,14 +279,17 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 // acquired by earlier entries of the same batch. The claim-queue head
 // check is unchanged — earlier batch entries popped their claims at
 // harvest, so heading every claim queue *after* the batch's earlier pops
-// is exactly the required order condition. Caller holds s.mu; every key
-// in keys is owned by s.
-func (s *shard) conflictBatch(q *Queue, keys []Key, seq uint64, acquired []Key) int {
+// is exactly the required order condition. barge entries (ModeBarge)
+// waive the order condition but forgo the in-batch exception: their
+// handlers may park the keys past the batch (that is their use), so
+// batch-order serialization cannot stand in for a free key. Caller
+// holds s.mu; every key in keys is owned by s.
+func (s *shard) conflictBatch(q *Queue, keys []Key, seq uint64, acquired []Key, barge bool) int {
 	for _, k := range keys {
-		if s.inflight[k] > 0 && !keyIn(acquired, k) {
+		if s.inflight[k] > 0 && (barge || !keyIn(acquired, k)) {
 			return conflictKey
 		}
-		if s.claims[k].peek() != seq {
+		if !barge && s.claims[k].peek() != seq {
 			return conflictOrder
 		}
 	}

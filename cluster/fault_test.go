@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pdq"
+)
+
+// faultMsg is the payload the fault tests execute: enough identity to
+// prove effect-once (id) and per-key FIFO (origin, key, seq).
+type faultMsg struct {
+	id     int
+	origin int
+	key    pdq.Key
+	seq    int // per-(origin, key) enqueue sequence, from 0
+}
+
+// faultRecorder asserts the two delivery guarantees from inside the
+// handlers: every id executes exactly once, and for each (origin, key)
+// the seqs arrive strictly ascending with no gaps.
+type faultRecorder struct {
+	mu    sync.Mutex
+	execs map[int]int
+	next  map[[2]uint64]int // (origin, key) -> next expected seq
+	order []string          // violations, reported after quiesce
+}
+
+func newFaultRecorder() *faultRecorder {
+	return &faultRecorder{execs: make(map[int]int), next: make(map[[2]uint64]int)}
+}
+
+func (r *faultRecorder) handle(data any) {
+	m := data.(*faultMsg)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.execs[m.id]++
+	if m.seq >= 0 {
+		k := [2]uint64{uint64(m.origin), uint64(m.key)}
+		if want := r.next[k]; m.seq != want {
+			r.order = append(r.order, fmt.Sprintf(
+				"origin %d key %d: got seq %d, want %d", m.origin, m.key, m.seq, want))
+		}
+		r.next[k] = m.seq + 1
+	}
+}
+
+func (r *faultRecorder) check(t *testing.T, wantMsgs int) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.order {
+		t.Errorf("FIFO violation: %s", v)
+	}
+	if len(r.execs) != wantMsgs {
+		t.Fatalf("executed %d distinct messages, want %d", len(r.execs), wantMsgs)
+	}
+	for id, n := range r.execs {
+		if n != 1 {
+			t.Fatalf("message %d executed %d times — not effect-once", id, n)
+		}
+	}
+}
+
+// Four nodes under injected loss, duplication, and delay: the sessions
+// must repair every fault so that each message executes exactly once and
+// per-(origin, key) FIFO survives redelivery. The fault rates are high
+// enough that the run necessarily exercises retransmission and dedup,
+// which the stats assert at the end. Run it with -race: the repair paths
+// (retransmit timer vs. receive path vs. dispatch) are where the locking
+// is subtle.
+func TestClusterUnderFaults(t *testing.T) {
+	tr := NewChanTransport(4,
+		WithLoss(0.15),
+		WithDuplicate(0.15),
+		WithDelay(500*time.Microsecond),
+		WithChanSeed(7))
+	c, err := New(4,
+		WithTransport(tr),
+		WithRetransmitTimeout(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rec := newFaultRecorder()
+	if err := c.Register("rec", rec.handle); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-key stream: 4 origins x 60 messages over 10 keys, each
+	// (origin, key) pair carrying its own dense sequence.
+	const perOrigin = 60
+	seqs := make(map[[2]uint64]int)
+	id := 0
+	for i := 0; i < perOrigin; i++ {
+		for origin := 0; origin < 4; origin++ {
+			k := pdq.Key(i % 10)
+			sk := [2]uint64{uint64(origin), uint64(k)}
+			m := &faultMsg{id: id, origin: origin, key: k, seq: seqs[sk]}
+			seqs[sk]++
+			id++
+			if err := c.Enqueue(origin, "rec", m, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Spanning stream: multi-owner key sets ride the claim/grant/release
+	// protocol under the same faults. They are outside the per-key FIFO
+	// claim (seq -1), but must still be effect-once.
+	for i := 0; i < 40; i++ {
+		m := &faultMsg{id: id, origin: i % 4, seq: -1}
+		id++
+		keys := []pdq.Key{pdq.Key(100 + i%6), pdq.Key(200 + i%5), pdq.Key(300 + i%4)}
+		if err := c.Enqueue(i%4, "rec", m, keys...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce under faults: %v (stats: %v)", err, c.Stats())
+	}
+
+	rec.check(t, id)
+	s := c.Stats()
+	if uint64(id) != s.Executed {
+		t.Fatalf("Stats.Executed = %d, want %d", s.Executed, id)
+	}
+	if s.Redelivered == 0 {
+		t.Fatal("loss injected but Redelivered = 0 — retransmission never exercised")
+	}
+	if s.DupesDropped == 0 {
+		t.Fatal("duplication injected but DupesDropped = 0 — dedup never exercised")
+	}
+}
+
+// ackFilter wraps a Transport and drops acks on request — the targeted
+// fault for the lost-ack-after-execute scenario.
+type ackFilter struct {
+	Transport
+	mu       sync.Mutex
+	dropLeft int // acks still to drop
+	dropped  int
+}
+
+func (f *ackFilter) Send(from, to int, m WireMsg) {
+	if m.Kind == kindAck {
+		f.mu.Lock()
+		if f.dropLeft > 0 {
+			f.dropLeft--
+			f.dropped++
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Unlock()
+	}
+	f.Transport.Send(from, to, m)
+}
+
+// The nastiest loss case: the forwarded entry arrives, the handler
+// EXECUTES, and then the ack is lost. The sender must retransmit, the
+// receiver must recognize the duplicate, drop it without re-executing,
+// and re-ack — at-least-once transport, effect-once dispatch. The filter
+// makes the scenario deterministic instead of waiting for the RNG.
+func TestClusterLostAckAfterExecute(t *testing.T) {
+	f := &ackFilter{Transport: NewChanTransport(2), dropLeft: 1}
+	c, err := New(2,
+		WithTransport(f),
+		WithRetransmitTimeout(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var mu sync.Mutex
+	var runs int
+	if err := c.Register("once", func(any) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A key owned by node 1, enqueued at node 0: exactly one forwarded
+	// kindEnqueue whose ack is the first ack on the wire — the one the
+	// filter eats.
+	k := keyOwnedBy(t, c, 1, 0)
+	if err := c.Enqueue(0, "once", nil, k); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, c)
+
+	mu.Lock()
+	if runs != 1 {
+		mu.Unlock()
+		t.Fatalf("handler ran %d times, want exactly 1", runs)
+	}
+	mu.Unlock()
+	f.mu.Lock()
+	if f.dropped != 1 {
+		f.mu.Unlock()
+		t.Fatalf("filter dropped %d acks, want 1", f.dropped)
+	}
+	f.mu.Unlock()
+
+	s := c.Stats()
+	if s.Redelivered == 0 {
+		t.Fatalf("lost ack never forced a retransmission: %v", s)
+	}
+	if s.DupesDropped == 0 {
+		t.Fatalf("retransmitted entry was not deduplicated: %v", s)
+	}
+	if s.Executed != 1 {
+		t.Fatalf("Stats.Executed = %d, want 1", s.Executed)
+	}
+}
+
+// Delay alone (no loss) reorders deliveries between a pair; the session
+// reorder buffer must restore per-key FIFO without any retransmission
+// being required for correctness.
+func TestClusterDelayReordering(t *testing.T) {
+	tr := NewChanTransport(2,
+		WithDelay(2*time.Millisecond),
+		WithChanSeed(11))
+	c, err := New(2,
+		WithTransport(tr),
+		WithRetransmitTimeout(50*time.Millisecond)) // long: repair must come from reordering, not resend
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rec := newFaultRecorder()
+	if err := c.Register("rec", rec.handle); err != nil {
+		t.Fatal(err)
+	}
+	k := keyOwnedBy(t, c, 1, 0)
+	const msgs = 80
+	for i := 0; i < msgs; i++ {
+		if err := c.Enqueue(0, "rec", &faultMsg{id: i, origin: 0, key: k, seq: i}, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, c)
+	rec.check(t, msgs)
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pdq"
+	"pdq/internal/sim"
+)
+
+// FuzzClusterDispatch drives a randomized cluster — size, key space,
+// workload shape, and transport fault rates all drawn from the fuzz
+// input — and checks the cluster's two invariants at the end of every
+// run: each enqueued message executes exactly once (effect-once under an
+// at-least-once transport) and single-key messages from one origin on
+// one key execute in enqueue order (per-key FIFO survives redelivery).
+func FuzzClusterDispatch(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(8), uint16(64), uint8(10), uint8(10))
+	f.Add(uint64(2), uint8(1), uint8(1), uint16(16), uint8(0), uint8(0))
+	f.Add(uint64(3), uint8(3), uint8(5), uint16(100), uint8(30), uint8(30))
+	f.Add(uint64(42), uint8(2), uint8(12), uint16(80), uint8(20), uint8(5))
+
+	f.Fuzz(func(t *testing.T, seed uint64, nodesB, keysB uint8, msgsB uint16, lossB, dupB uint8) {
+		nodes := 1 + int(nodesB%4)      // 1..4 nodes
+		keySpace := 1 + int(keysB%16)   // 1..16 keys
+		msgs := 1 + int(msgsB%128)      // 1..128 messages
+		loss := float64(lossB%35) / 100 // 0..0.34
+		dup := float64(dupB%35) / 100
+
+		tr := NewChanTransport(nodes,
+			WithLoss(loss),
+			WithDuplicate(dup),
+			WithDelay(200*time.Microsecond),
+			WithChanSeed(seed|1))
+		c, err := New(nodes,
+			WithTransport(tr),
+			WithRetransmitTimeout(2*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+
+		rec := newFaultRecorder()
+		if err := c.Register("rec", rec.handle); err != nil {
+			t.Fatal(err)
+		}
+
+		rng := sim.NewRand(seed ^ 0x5bd1e995)
+		seqs := make(map[[2]uint64]int)
+		for id := 0; id < msgs; id++ {
+			origin := int(rng.Uint64() % uint64(nodes))
+			m := &faultMsg{id: id, origin: origin, seq: -1}
+			var keys []pdq.Key
+			switch rng.Uint64() % 8 {
+			case 0: // keyless: dispatches locally with no synchronization
+			case 1, 2: // multi-key, possibly spanning owners
+				n := 2 + int(rng.Uint64()%3)
+				for j := 0; j < n; j++ {
+					keys = append(keys, pdq.Key(rng.Uint64()%uint64(keySpace)))
+				}
+			default: // single key: joins that key's FIFO claim
+				k := pdq.Key(rng.Uint64() % uint64(keySpace))
+				sk := [2]uint64{uint64(origin), uint64(k)}
+				m.key, m.seq = k, seqs[sk]
+				seqs[sk]++
+				keys = []pdq.Key{k}
+			}
+			if err := c.Enqueue(origin, "rec", m, keys...); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := c.Quiesce(ctx); err != nil {
+			t.Fatalf("Quiesce: %v (nodes=%d msgs=%d loss=%.2f dup=%.2f, stats: %v)",
+				err, nodes, msgs, loss, dup, c.Stats())
+		}
+		rec.check(t, msgs)
+		if s := c.Stats(); s.Executed != uint64(msgs) {
+			t.Fatal(fmt.Sprintf("Stats.Executed = %d, want %d", s.Executed, msgs))
+		}
+	})
+}

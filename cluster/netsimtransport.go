@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"sync"
+
+	"pdq/internal/netsim"
+	"pdq/internal/sim"
+)
+
+// NetsimTransport adapts the internal/netsim cluster interconnect — the
+// paper evaluation's network model — as a cluster Transport: every wire
+// message pays realistic per-node NI serialization (header plus per-byte
+// cost) and the constant point-to-point flight latency, with contention at
+// each node's send and receive interfaces, exactly as WWT-II assumed.
+//
+// The discrete-event engine is single-threaded, so the transport owns it
+// on one goroutine: Send posts the message to a pending list, and the
+// engine goroutine injects pending sends at the current simulated time and
+// runs the calendar dry, invoking receive callbacks from inside engine
+// events. Simulated time therefore advances as fast as traffic allows (it
+// is not paced to wall-clock time); what the model adds is realistic
+// *ordering* and the traffic statistics — NetworkStats reports bytes,
+// deliveries, and enqueue-to-delivery latency in simulated cycles.
+//
+// The underlying network is reliable and per-pair FIFO, so the session
+// layer's retransmit timer stays quiet; the sessions still run, which
+// keeps the dispatch semantics identical across transports.
+type NetsimTransport struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []netsimSend
+	closed  bool
+	done    chan struct{}
+
+	// engMu serializes engine/network access between the engine goroutine
+	// and stats readers; it is never held while waiting for traffic, and
+	// receive callbacks (which run under it) must not call NetworkStats.
+	engMu sync.Mutex
+	eng   *sim.Engine
+	nw    *netsim.Network
+
+	size func(WireMsg) int
+	recv []func(from int, m WireMsg)
+}
+
+type netsimSend struct {
+	from, to int
+	m        WireMsg
+}
+
+// NetsimOption configures a NetsimTransport.
+type NetsimOption func(*netsimConfig)
+
+type netsimConfig struct {
+	net  netsim.Config
+	size func(WireMsg) int
+}
+
+// WithNetsimConfig overrides the network timing parameters (latency, NI
+// header cycles, cycles per byte). The default is netsim.DefaultConfig —
+// the paper's numbers.
+func WithNetsimConfig(cfg netsim.Config) NetsimOption {
+	return func(c *netsimConfig) { c.net = cfg }
+}
+
+// WithSizeFunc overrides how a wire message's NI serialization size (in
+// bytes) is estimated. The default charges a fixed header per message plus
+// the key set.
+func WithSizeFunc(size func(WireMsg) int) NetsimOption {
+	return func(c *netsimConfig) { c.size = size }
+}
+
+// defaultWireSize estimates a message's bytes on the wire: a fixed header
+// (kind, seq/ack, op bookkeeping) plus 8 bytes per key; kindEnqueue also
+// charges a nominal payload. Payloads are Go values, so the estimate
+// stands in for a real codec.
+func defaultWireSize(m WireMsg) int {
+	n := 32 + 8*len(m.Keys)
+	if m.Kind == kindEnqueue {
+		n += 32 + len(m.Handler)
+	}
+	return n
+}
+
+// NewNetsimTransport returns a transport connecting nodes [0, nodes) over
+// a fresh simulation engine and netsim network.
+func NewNetsimTransport(nodes int, opts ...NetsimOption) *NetsimTransport {
+	cfg := netsimConfig{net: netsim.DefaultConfig(), size: defaultWireSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng := sim.NewEngine()
+	t := &NetsimTransport{
+		eng:  eng,
+		nw:   netsim.New(eng, nodes, cfg.net),
+		size: cfg.size,
+		recv: make([]func(int, WireMsg), nodes),
+		done: make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	for i := 0; i < nodes; i++ {
+		id := i
+		t.nw.Bind(id, func(nm netsim.Message) {
+			d := nm.Payload.(netsimSend)
+			t.recv[id](d.from, d.m)
+		})
+	}
+	go t.loop()
+	return t
+}
+
+// Bind installs node's receive callback.
+func (t *NetsimTransport) Bind(node int, recv func(from int, m WireMsg)) {
+	t.recv[node] = recv
+}
+
+// Send posts m for injection at the current simulated time. It never
+// blocks and is safe to call from inside a receive callback (the engine
+// goroutine picks the message up after the current event batch).
+func (t *NetsimTransport) Send(from, to int, m WireMsg) {
+	t.mu.Lock()
+	if !t.closed {
+		t.pending = append(t.pending, netsimSend{from, to, m})
+		t.cond.Signal()
+	}
+	t.mu.Unlock()
+}
+
+// loop owns the engine: inject pending sends, run the calendar dry
+// (deliveries invoke receive callbacks, which may post more sends), sleep
+// until more traffic arrives.
+func (t *NetsimTransport) loop() {
+	defer close(t.done)
+	for {
+		t.mu.Lock()
+		for len(t.pending) == 0 && !t.closed {
+			t.cond.Wait()
+		}
+		if len(t.pending) == 0 && t.closed {
+			t.mu.Unlock()
+			return
+		}
+		batch := t.pending
+		t.pending = nil
+		t.mu.Unlock()
+		t.engMu.Lock()
+		for _, s := range batch {
+			t.nw.Send(netsim.Message{Src: s.from, Dst: s.to, Size: t.size(s.m), Payload: s})
+		}
+		t.eng.Run()
+		t.engMu.Unlock()
+	}
+}
+
+// Close stops the engine goroutine. Pending sends not yet injected are
+// dropped.
+func (t *NetsimTransport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.pending = nil
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	<-t.done
+}
+
+// NetworkStats returns the netsim traffic snapshot: messages sent and
+// delivered, bytes serialized, and the mean and max enqueue-to-delivery
+// latency in simulated cycles.
+func (t *NetsimTransport) NetworkStats() netsim.Stats {
+	t.engMu.Lock()
+	defer t.engMu.Unlock()
+	return t.nw.Stats()
+}
+
+// NodeTraffic returns the per-node send/delivery counters of the
+// underlying network.
+func (t *NetsimTransport) NodeTraffic(node int) netsim.NodeTraffic {
+	t.engMu.Lock()
+	defer t.engMu.Unlock()
+	return t.nw.NodeTraffic(node)
+}
+
+// interface conformance checks for the two shipped transports.
+var (
+	_ Transport = (*ChanTransport)(nil)
+	_ Transport = (*NetsimTransport)(nil)
+)

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"sort"
+
+	"pdq"
+)
+
+// keyHash maps a synchronization key onto the ring's hash space. It is the
+// same finalizer family the pdq shard router uses, so key spreading is as
+// uniform here as it is one level down; the two hash spaces are otherwise
+// independent (the ring decides the owning node, the shard router decides
+// the shard within that node's queue).
+func keyHash(k pdq.Key) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// vnodeHash places virtual node replica r of node n on the ring. The input
+// packs (node, replica) into one word before the same finalizer, so every
+// replica lands independently.
+func vnodeHash(node, replica int) uint64 {
+	return keyHash(pdq.Key(uint64(node)<<32 | uint64(uint32(replica)) ^ 0x9e3779b9))
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// ring is a consistent-hash ring mapping every key to its home node. Each
+// physical node contributes vnodes virtual points, so ownership splits the
+// hash space into small arcs and stays balanced even at small node counts.
+// The ring is immutable after construction; membership is fixed for the
+// cluster's lifetime (no node failure model — see the package docs).
+type ring struct {
+	points []ringPoint
+}
+
+// DefaultVirtualNodes is the per-node virtual point count used when
+// WithVirtualNodes is not given. 64 points per node keeps the largest
+// ownership arc within a few percent of the mean for the paper's cluster
+// sizes (4-16 nodes).
+const DefaultVirtualNodes = 64
+
+// newRing builds the ring for nodes physical nodes with vnodes virtual
+// points each.
+func newRing(nodes, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, nodes*vnodes)}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // deterministic on (vanishingly rare) collisions
+	})
+	return r
+}
+
+// owner returns the node owning key k: the first virtual point at or after
+// the key's hash, wrapping at the top of the ring.
+func (r *ring) owner(k pdq.Key) int {
+	h := keyHash(k)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+
+	"pdq"
+)
+
+// Ownership must be deterministic: two rings built with the same
+// parameters agree on every key, because enqueue-side routing and
+// home-side grouping rely on computing the same owner everywhere.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(8, DefaultVirtualNodes)
+	b := newRing(8, DefaultVirtualNodes)
+	for k := pdq.Key(0); k < 4096; k++ {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("rings disagree on key %d: %d vs %d", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+// Every node must own a reasonable share of the key space, and owners
+// must stay in range. With 64 virtual points per node the largest share
+// should be within ~2x of the mean for the paper's cluster sizes.
+func TestRingBalance(t *testing.T) {
+	for _, nodes := range []int{2, 4, 8, 16} {
+		r := newRing(nodes, DefaultVirtualNodes)
+		counts := make([]int, nodes)
+		const keys = 1 << 14
+		for k := pdq.Key(0); k < keys; k++ {
+			o := r.owner(k)
+			if o < 0 || o >= nodes {
+				t.Fatalf("nodes=%d: owner(%d) = %d out of range", nodes, k, o)
+			}
+			counts[o]++
+		}
+		mean := keys / nodes
+		for n, got := range counts {
+			if got == 0 {
+				t.Fatalf("nodes=%d: node %d owns nothing", nodes, n)
+			}
+			if got > 2*mean || got < mean/3 {
+				t.Errorf("nodes=%d: node %d owns %d keys, mean %d — ring too skewed",
+					nodes, n, got, mean)
+			}
+		}
+	}
+}
+
+// A single-node ring owns everything; one virtual point per node still
+// yields a total ownership function.
+func TestRingDegenerate(t *testing.T) {
+	one := newRing(1, 1)
+	for k := pdq.Key(0); k < 1000; k++ {
+		if o := one.owner(k); o != 0 {
+			t.Fatalf("single-node ring: owner(%d) = %d", k, o)
+		}
+	}
+	r := newRing(3, 1)
+	seen := make(map[int]bool)
+	for k := pdq.Key(0); k < 1<<14; k++ {
+		seen[r.owner(k)] = true
+	}
+	for n := 0; n < 3; n++ {
+		if !seen[n] {
+			t.Fatalf("vnodes=1: node %d owns nothing in the sampled space", n)
+		}
+	}
+}
+
+// More virtual nodes must not change whose ring it is — only the split.
+// The cluster-level Owner accessor must agree with the internal ring.
+func TestClusterOwnerMatchesRing(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := newRing(4, DefaultVirtualNodes)
+	for k := pdq.Key(0); k < 2048; k++ {
+		if c.Owner(k) != r.owner(k) {
+			t.Fatalf("Cluster.Owner(%d) = %d, ring says %d", k, c.Owner(k), r.owner(k))
+		}
+	}
+}
+
+// sortKeys must order by global key hash (ties by key), dropping
+// duplicates — the canonical acquisition order.
+func TestSortKeys(t *testing.T) {
+	in := []pdq.Key{9, 3, 9, 1, 3, 7}
+	out := sortKeys(in)
+	if len(out) != 4 {
+		t.Fatalf("sortKeys kept %d keys, want 4 distinct", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		hi, hj := keyHash(out[i-1]), keyHash(out[i])
+		if hi > hj || (hi == hj && out[i-1] >= out[i]) {
+			t.Fatalf("sortKeys out of order at %d: %v", i, out)
+		}
+	}
+	// Input must be untouched (routing reuses the caller's slice).
+	want := []pdq.Key{9, 3, 9, 1, 3, 7}
+	for i := range in {
+		if in[i] != want[i] {
+			t.Fatalf("sortKeys mutated its input: %v", in)
+		}
+	}
+}
+
+// groupByOwner must split a hash-sorted set into consecutive same-owner
+// runs covering every key exactly once.
+func TestGroupByOwner(t *testing.T) {
+	r := newRing(4, DefaultVirtualNodes)
+	sorted := sortKeys([]pdq.Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	groups := groupByOwner(r, sorted)
+	var flat []pdq.Key
+	for i, g := range groups {
+		if len(g.keys) == 0 {
+			t.Fatalf("group %d is empty", i)
+		}
+		if i > 0 && groups[i-1].owner == g.owner {
+			t.Fatalf("adjacent groups %d,%d share owner %d", i-1, i, g.owner)
+		}
+		for _, k := range g.keys {
+			if r.owner(k) != g.owner {
+				t.Fatalf("key %d in group owned by %d, ring says %d", k, g.owner, r.owner(k))
+			}
+		}
+		flat = append(flat, g.keys...)
+	}
+	if len(flat) != len(sorted) {
+		t.Fatalf("groups cover %d keys, want %d", len(flat), len(sorted))
+	}
+	for i := range flat {
+		if flat[i] != sorted[i] {
+			t.Fatalf("groups reorder keys: %v vs %v", flat, sorted)
+		}
+	}
+}

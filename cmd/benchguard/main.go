@@ -18,8 +18,8 @@
 //
 // benchguard also sanity-checks that the two results ran the same
 // workload shape (strategy, messages, keys, set size, shards, batch,
-// coalesce, work, seed) — comparing throughput across different
-// workloads would make the gate meaningless.
+// coalesce, nodes, loss, work, seed) — comparing throughput across
+// different workloads would make the gate meaningless.
 package main
 
 import (
@@ -45,6 +45,8 @@ type bench struct {
 	Priorities int     `json:"priorities"`
 	DelayFrac  float64 `json:"delay_frac"`
 	TTLNanos   int64   `json:"ttl_ns"`
+	Nodes      int     `json:"nodes"`
+	Loss       float64 `json:"loss"`
 	WorkNanos  int64   `json:"work_ns"`
 	Seed       uint64  `json:"seed"`
 	Handled    uint64  `json:"handled"`
@@ -83,6 +85,8 @@ func sameWorkload(a, b bench) bool {
 		a.Priorities == b.Priorities &&
 		a.DelayFrac == b.DelayFrac &&
 		a.TTLNanos == b.TTLNanos &&
+		a.Nodes == b.Nodes &&
+		a.Loss == b.Loss &&
 		a.WorkNanos == b.WorkNanos &&
 		a.Seed == b.Seed
 }

@@ -2,15 +2,18 @@
 // dispatch strategies the paper argues against, on a configurable handler
 // workload: in-queue synchronization (pdq) versus per-resource spin locks
 // (lock), optimistic abort/retry (oam), and statically partitioned queues
-// (multiq).
+// (multiq). A fifth strategy, cluster, measures the distributed dispatch
+// tier: the same workload spread across N node-local queues joined by the
+// in-process transport, with consistent-hash key ownership deciding where
+// each message executes.
 //
 // Usage:
 //
-//	pdqbench [-strategy pdq|lock|oam|multiq|all] [-workers 8]
+//	pdqbench [-strategy pdq|lock|oam|multiq|cluster|all] [-workers 8]
 //	         [-messages 200000] [-keys 64] [-skew 0] [-work 200]
 //	         [-setsize 1] [-shards 1] [-batch 1] [-coalesce]
 //	         [-panicrate 0] [-priorities 1] [-delayfrac 0] [-ttl 0]
-//	         [-json .]
+//	         [-nodes 4] [-loss 0] [-json .]
 //
 // skew > 0 draws keys from a Zipf-like distribution (hotspot); work is the
 // simulated handler body in nanoseconds of spinning. setsize > 1 gives
@@ -40,6 +43,17 @@
 // priority_dispatched/timer_wakeups land there through the embedded
 // pdq.Stats.
 //
+// The cluster flags (cluster only) shape the distributed tier: nodes is
+// the cluster size (workers then counts dispatch workers per node), and
+// loss > 0 injects that per-delivery drop probability into the transport,
+// exercising the retransmission path; the cluster's forwarded/spanning/
+// redelivered/dupes_dropped counters land in BENCH_cluster.json through
+// the embedded cluster.Stats. Throughput for the cluster strategy counts
+// handler executions across all nodes after a full Quiesce, so the
+// session/forwarding overhead is inside the measured interval. -strategy
+// all runs the four single-node strategies; the cluster tier is measured
+// explicitly with -strategy cluster.
+//
 // Unless -json is empty, each strategy additionally writes a
 // machine-readable BENCH_<strategy>.json file into the given directory
 // (throughput plus the full conflict/stall counter surface, and the full
@@ -61,6 +75,7 @@ import (
 	"time"
 
 	"pdq"
+	"pdq/cluster"
 	"pdq/internal/lockq"
 	"pdq/internal/multiq"
 	"pdq/internal/sim"
@@ -81,6 +96,8 @@ type config struct {
 	priorities int
 	delayFrac  float64
 	ttl        time.Duration
+	nodes      int
+	loss       float64
 }
 
 // result is the machine-readable record written to BENCH_<strategy>.json.
@@ -98,6 +115,8 @@ type result struct {
 	Priorities int     `json:"priorities,omitempty"` // priority bands in use (pdq strategy)
 	DelayFrac  float64 `json:"delay_frac,omitempty"` // fraction of messages enqueued with a 1ms delay (pdq strategy)
 	TTLNanos   int64   `json:"ttl_ns,omitempty"`     // per-message TTL (pdq strategy)
+	Nodes      int     `json:"nodes,omitempty"`      // cluster size (cluster strategy)
+	Loss       float64 `json:"loss,omitempty"`       // injected transport loss probability (cluster strategy)
 	WorkNanos  int64   `json:"work_ns"`
 	Seed       uint64  `json:"seed"`
 	ElapsedNS  int64   `json:"elapsed_ns"`
@@ -105,10 +124,11 @@ type result struct {
 	Throughput float64 `json:"throughput_msgs_per_sec"`
 
 	// Strategy-specific counters.
-	PDQ       *pdq.Stats `json:"pdq_stats,omitempty"`
-	SpinLoops uint64     `json:"spin_loops,omitempty"` // lock strategy busy-wait iterations
-	Aborts    uint64     `json:"aborts,omitempty"`     // oam strategy retried dispatches
-	Imbalance float64    `json:"imbalance,omitempty"`  // multiq busiest/mean partitions
+	PDQ       *pdq.Stats     `json:"pdq_stats,omitempty"`
+	SpinLoops uint64         `json:"spin_loops,omitempty"`    // lock strategy busy-wait iterations
+	Aborts    uint64         `json:"aborts,omitempty"`        // oam strategy retried dispatches
+	Imbalance float64        `json:"imbalance,omitempty"`     // multiq busiest/mean partitions
+	Cluster   *cluster.Stats `json:"cluster_stats,omitempty"` // cluster strategy full counter surface
 }
 
 func main() {
@@ -128,10 +148,12 @@ func main() {
 		priorities = flag.Int("priorities", 1, "spread messages round-robin over the lowest N priority bands (pdq only)")
 		delayFrac  = flag.Float64("delayfrac", 0, "fraction of messages enqueued with a 1ms delay (pdq only)")
 		ttl        = flag.Duration("ttl", 0, "per-message TTL, 0 = none (pdq only)")
+		nodes      = flag.Int("nodes", 4, "cluster size; workers counts per node (cluster only)")
+		loss       = flag.Float64("loss", 0, "injected transport loss probability (cluster only)")
 		jsonDir    = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
 	)
 	flag.Parse()
-	cfg := config{*workers, *messages, *keys, *setSize, *shards, *batch, *coalesce, *skew, *panicRate, *work, *seed, *priorities, *delayFrac, *ttl}
+	cfg := config{*workers, *messages, *keys, *setSize, *shards, *batch, *coalesce, *skew, *panicRate, *work, *seed, *priorities, *delayFrac, *ttl, *nodes, *loss}
 	names := []string{"pdq", "lock", "oam", "multiq"}
 	if *strategy != "all" {
 		names = []string{*strategy}
@@ -148,8 +170,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if cfg.setSize > 1 {
-		pdqOnly("-setsize > 1")
+	if cfg.setSize > 1 && (len(names) != 1 || (names[0] != "pdq" && names[0] != "cluster")) {
+		// Key sets exist in the pdq core and the cluster tier; the
+		// baselines have no key-set notion.
+		fmt.Fprintln(os.Stderr, "pdqbench: -setsize > 1 requires -strategy pdq or cluster")
+		os.Exit(1)
+	}
+	if cfg.loss > 0 && (len(names) != 1 || names[0] != "cluster") {
+		fmt.Fprintln(os.Stderr, "pdqbench: -loss > 0 requires -strategy cluster")
+		os.Exit(1)
 	}
 	if cfg.panicRate > 0 {
 		pdqOnly("-panicrate > 0")
@@ -369,6 +398,50 @@ func runStrategy(name string, cfg config) (result, error) {
 		finish(start, handled)
 		res.PDQ = &stats
 		res.Shards = stats.Shards
+		return res, nil
+	case "cluster":
+		n := cfg.nodes
+		if n < 1 {
+			n = 1
+		}
+		topts := []cluster.ChanOption{cluster.WithChanSeed(cfg.seed)}
+		copts := []cluster.Option{cluster.WithWorkers(cfg.workers)}
+		if cfg.loss > 0 {
+			topts = append(topts, cluster.WithLoss(cfg.loss))
+			// Under injected loss the retransmit timer is on the critical
+			// path; tighten it so the measurement reflects repair cost,
+			// not the idle default.
+			copts = append(copts, cluster.WithRetransmitTimeout(2*time.Millisecond))
+		}
+		copts = append(copts, cluster.WithTransport(cluster.NewChanTransport(n, topts...)))
+		cl, err := cluster.New(n, copts...)
+		if err != nil {
+			return res, err
+		}
+		if err := cl.Register("work", handler); err != nil {
+			return res, err
+		}
+		start := time.Now()
+		set := make([]pdq.Key, cfg.setSize)
+		for i := 0; i < cfg.messages; i++ {
+			for j := range set {
+				set[j] = pdq.Key(ks[i*cfg.setSize+j])
+			}
+			if err := cl.Enqueue(i%n, "work", nil, set...); err != nil {
+				return res, err
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		if err := cl.Quiesce(ctx); err != nil {
+			return res, fmt.Errorf("cluster quiesce: %w", err)
+		}
+		cs := cl.Stats()
+		finish(start, cs.Executed)
+		cl.Close()
+		res.Nodes = n
+		res.Loss = cfg.loss
+		res.Cluster = &cs
 		return res, nil
 	case "lock", "oam":
 		strat := lockq.SpinLock

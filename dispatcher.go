@@ -129,6 +129,22 @@ const (
 	ModeSequential
 	// ModeNoSync entries dispatch without any key synchronization.
 	ModeNoSync
+	// ModeBarge entries acquire their key set out of band: the entry
+	// dispatches as soon as every key is free of in-flight holders,
+	// exempt from the per-key claim-queue order that serializes keyed
+	// entries in enqueue order. Pending keyed entries on the same keys
+	// are neither blocked nor reordered among themselves — a barge entry
+	// simply takes the keys at the first instant they are idle, ahead of
+	// any queue position. The mode exists for distributed lock
+	// acquisition (cluster remote claims), where waiting in FIFO position
+	// behind entries that are themselves blocked on foreign keys couples
+	// unrelated keys together and can deadlock across queues; an
+	// acquisition that waits only on the keys themselves keeps the
+	// cross-queue wait-for graph ordered. Under a sustained stream of
+	// barge entries on a key, ordinary keyed entries on that key can be
+	// delayed indefinitely; barge traffic is expected to be sparse
+	// control traffic, not a data path.
+	ModeBarge
 )
 
 // String returns the mode name.
@@ -140,6 +156,8 @@ func (m Mode) String() string {
 		return "sequential"
 	case ModeNoSync:
 		return "nosync"
+	case ModeBarge:
+		return "barge"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}
@@ -462,8 +480,11 @@ func checkMessage(m *Message) error {
 	if m.Handler != nil && m.Batch != nil {
 		return errBothHandlers
 	}
-	if m.Mode != ModeKeyed && len(m.Keys) > 0 {
+	if m.Mode != ModeKeyed && m.Mode != ModeBarge && len(m.Keys) > 0 {
 		return fmt.Errorf("pdq: %v message must not carry keys", m.Mode)
+	}
+	if m.Mode == ModeBarge && len(m.Keys) == 0 {
+		return errBargeNoKeys
 	}
 	if m.Mode == ModeSequential && (m.Priority != 0 || !m.NotBefore.IsZero() || !m.Deadline.IsZero()) {
 		return errSequentialSched
@@ -533,8 +554,12 @@ func (q *Queue) enqueueSharded(m Message, attempt uint32, lastErr error) (*shard
 		return nil, ErrClosed
 	}
 	seq := q.nextSeq.Add(1)
-	for _, k := range m.Keys {
-		q.shardOf(k).pushClaim(k, seq)
+	if m.Mode != ModeBarge {
+		// Barge entries never join the claim queues: their whole point is
+		// acquisition by key availability alone, outside enqueue order.
+		for _, k := range m.Keys {
+			q.shardOf(k).pushClaim(k, seq)
+		}
 	}
 	h := &q.shards[home]
 	n := h.newNode()

@@ -53,6 +53,10 @@ type Network struct {
 	delivered uint64
 	bytes     uint64
 	latency   sim.Accumulator // enqueue-to-delivery per message
+
+	sentBy      []uint64 // messages entering the network per source node
+	deliveredTo []uint64 // messages delivered per destination node
+	bytesBy     []uint64 // bytes serialized per source node
 }
 
 // New creates a network of n nodes on eng.
@@ -61,9 +65,12 @@ func New(eng *sim.Engine, n int, cfg Config) *Network {
 		panic("netsim: need at least one node")
 	}
 	nw := &Network{eng: eng, cfg: cfg,
-		send:  make([]*sim.Resource, n),
-		recv:  make([]*sim.Resource, n),
-		sinks: make([]Sink, n),
+		send:        make([]*sim.Resource, n),
+		recv:        make([]*sim.Resource, n),
+		sinks:       make([]Sink, n),
+		sentBy:      make([]uint64, n),
+		deliveredTo: make([]uint64, n),
+		bytesBy:     make([]uint64, n),
 	}
 	for i := 0; i < n; i++ {
 		nw.send[i] = sim.NewResource(eng, fmt.Sprintf("ni-send-%d", i), 1)
@@ -93,6 +100,8 @@ func (nw *Network) Send(m Message) {
 	}
 	nw.sent++
 	nw.bytes += uint64(m.Size)
+	nw.sentBy[m.Src]++
+	nw.bytesBy[m.Src] += uint64(m.Size)
 	start := nw.eng.Now()
 	svc := nw.serviceTime(m.Size)
 	if m.Src == m.Dst {
@@ -109,6 +118,7 @@ func (nw *Network) Send(m Message) {
 
 func (nw *Network) deliver(m Message, start sim.Time) {
 	nw.delivered++
+	nw.deliveredTo[m.Dst]++
 	nw.latency.AddTime(nw.eng.Now() - start)
 	sink := nw.sinks[m.Dst]
 	if sink == nil {
@@ -130,6 +140,26 @@ func (nw *Network) Stats() Stats {
 	return Stats{
 		Sent: nw.sent, Delivered: nw.delivered, Bytes: nw.bytes,
 		MeanLatency: nw.latency.Mean(), MaxLatency: nw.latency.Max(),
+	}
+}
+
+// NodeTraffic is one node's traffic totals: messages it injected, messages
+// delivered to it, and the bytes it serialized onto the wire. Per-node
+// counters expose hot-spot imbalance that the aggregate Stats averages away.
+type NodeTraffic struct {
+	Node      int
+	Sent      uint64
+	Delivered uint64
+	SentBytes uint64
+}
+
+// NodeTraffic returns node's traffic totals.
+func (nw *Network) NodeTraffic(node int) NodeTraffic {
+	return NodeTraffic{
+		Node:      node,
+		Sent:      nw.sentBy[node],
+		Delivered: nw.deliveredTo[node],
+		SentBytes: nw.bytesBy[node],
 	}
 }
 

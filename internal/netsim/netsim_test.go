@@ -116,6 +116,43 @@ func TestNIStats(t *testing.T) {
 	}
 }
 
+func TestNodeTraffic(t *testing.T) {
+	eng, nw, _ := build(3)
+	eng.At(0, func() {
+		nw.Send(Message{Src: 0, Dst: 1, Size: 16})
+		nw.Send(Message{Src: 0, Dst: 2, Size: 32})
+		nw.Send(Message{Src: 1, Dst: 2, Size: 8})
+	})
+	eng.Run()
+
+	n0 := nw.NodeTraffic(0)
+	if n0.Node != 0 || n0.Sent != 2 || n0.SentBytes != 48 || n0.Delivered != 0 {
+		t.Fatalf("node 0 traffic = %+v", n0)
+	}
+	n1 := nw.NodeTraffic(1)
+	if n1.Sent != 1 || n1.SentBytes != 8 || n1.Delivered != 1 {
+		t.Fatalf("node 1 traffic = %+v", n1)
+	}
+	n2 := nw.NodeTraffic(2)
+	if n2.Sent != 0 || n2.Delivered != 2 {
+		t.Fatalf("node 2 traffic = %+v", n2)
+	}
+
+	// Per-node counters must tile the aggregate Stats exactly.
+	agg := nw.Stats()
+	var sent, delivered, bytes uint64
+	for i := 0; i < 3; i++ {
+		tr := nw.NodeTraffic(i)
+		sent += tr.Sent
+		delivered += tr.Delivered
+		bytes += tr.SentBytes
+	}
+	if sent != agg.Sent || delivered != agg.Delivered || bytes != agg.Bytes {
+		t.Fatalf("per-node sums (%d, %d, %d) != aggregate (%d, %d, %d)",
+			sent, delivered, bytes, agg.Sent, agg.Delivered, agg.Bytes)
+	}
+}
+
 func TestFlowFIFOOrdering(t *testing.T) {
 	// The coherence protocol's crossing-race recovery (evictions vs
 	// recalls, nacks) depends on messages between one (src, dst) pair

@@ -187,6 +187,16 @@ func NoSync() EnqueueOption {
 	return EnqueueOption{mode: ModeNoSync, hasMode: true}
 }
 
+// Barge marks the message as an out-of-band key acquisition: it dispatches
+// as soon as every key in its set is free of in-flight holders, bypassing
+// the claim-queue order that serializes keyed entries in enqueue order
+// (see ModeBarge). It must be combined with WithKeys. Intended for sparse
+// control traffic — distributed claim acquisition — not data paths: a
+// sustained barge stream can delay ordinary keyed entries on its keys.
+func Barge() EnqueueOption {
+	return EnqueueOption{mode: ModeBarge, hasMode: true}
+}
+
 // buildMessage assembles a Message from enqueue options and validates the
 // combination.
 func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error) {

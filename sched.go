@@ -356,8 +356,11 @@ func (q *Queue) tryExpire(s *shard, n *node, expired *[]Message) bool {
 		locked |= 1 << i
 	}
 	q.inflightAll.Add(1)
-	for _, k := range e.msg.Keys {
-		q.shardOf(k).removeClaim(k, e.seq)
+	if e.msg.Mode != ModeBarge {
+		// Barge entries hold no claim-queue positions to remove.
+		for _, k := range e.msg.Keys {
+			q.shardOf(k).removeClaim(k, e.seq)
+		}
 	}
 	q.unlockMask(locked)
 	s.unlink(n)

@@ -43,6 +43,7 @@ type shardCounters struct {
 	enqueued           uint64
 	dispatched         uint64
 	noSyncDispatched   uint64
+	bargeDispatched    uint64
 	multiKeyDispatched uint64
 	keyConflicts       uint64
 	orderConflicts     uint64
@@ -289,8 +290,10 @@ const (
 // claim state, mirroring the original scan's per-key order: an in-flight
 // key counts as a key conflict, an earlier claim as an order conflict.
 // all=true checks every key (single-shard entries); otherwise only keys
-// owned by s are examined. Caller holds s.mu.
-func (s *shard) conflictLocal(q *Queue, keys []Key, seq uint64, all bool) int {
+// owned by s are examined. barge=true (ModeBarge entries) waives the
+// claim-order condition — such entries hold no claim-queue position and
+// acquire on key availability alone. Caller holds s.mu.
+func (s *shard) conflictLocal(q *Queue, keys []Key, seq uint64, all, barge bool) int {
 	for _, k := range keys {
 		if !all && q.shardIndex(k) != s.idx {
 			continue
@@ -298,7 +301,7 @@ func (s *shard) conflictLocal(q *Queue, keys []Key, seq uint64, all bool) int {
 		if s.inflight[k] > 0 {
 			return conflictKey
 		}
-		if s.claims[k].peek() != seq {
+		if !barge && s.claims[k].peek() != seq {
 			return conflictOrder
 		}
 	}
@@ -386,18 +389,26 @@ func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bo
 				s.creditDispatch(int(b))
 				return s.take(n), true, retry
 			}
-			// ModeKeyed (a keyless entry has an empty key set and no conflicts).
+			// ModeKeyed or ModeBarge (a keyless entry has an empty key set
+			// and no conflicts; a barge entry skips the claim-order check
+			// and has no claims to pop).
+			barge := m.Mode == ModeBarge
 			if n.entry.smask == 1<<s.idx {
-				kind := s.conflictLocal(q, m.Keys, n.entry.seq, true)
+				kind := s.conflictLocal(q, m.Keys, n.entry.seq, true, barge)
 				if kind == conflictNone {
 					q.inflightAll.Add(1)
 					for _, k := range m.Keys {
 						s.inflight[k]++
-						s.popClaim(k, n.entry.seq)
+						if !barge {
+							s.popClaim(k, n.entry.seq)
+						}
 					}
 					s.unlink(n)
 					q.releaseSlot()
 					s.stats.dispatched++
+					if barge {
+						s.stats.bargeDispatched++
+					}
 					if len(m.Keys) > 1 {
 						s.stats.multiKeyDispatched++
 					}
@@ -434,8 +445,9 @@ func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bo
 // acquired on its owning shard and the entry is unlinked from s.
 func (q *Queue) tryDispatchCross(s *shard, n *node) (ok bool, kind int, retry bool) {
 	e := &n.entry
+	barge := e.msg.Mode == ModeBarge
 	// Cheap local pre-check before touching other shards.
-	if kind := s.conflictLocal(q, e.msg.Keys, e.seq, false); kind != conflictNone {
+	if kind := s.conflictLocal(q, e.msg.Keys, e.seq, false, barge); kind != conflictNone {
 		return false, kind, false
 	}
 	var locked uint64
@@ -452,7 +464,7 @@ func (q *Queue) tryDispatchCross(s *shard, n *node) (ok bool, kind int, retry bo
 		i := bits.TrailingZeros64(m)
 		m &^= 1 << i
 		f := &q.shards[i]
-		if kind := f.conflictLocal(q, e.msg.Keys, e.seq, false); kind != conflictNone {
+		if kind := f.conflictLocal(q, e.msg.Keys, e.seq, false, barge); kind != conflictNone {
 			return false, kind, false
 		}
 	}
@@ -461,11 +473,16 @@ func (q *Queue) tryDispatchCross(s *shard, n *node) (ok bool, kind int, retry bo
 	for _, k := range e.msg.Keys {
 		o := q.shardOf(k)
 		o.inflight[k]++
-		o.popClaim(k, e.seq)
+		if !barge {
+			o.popClaim(k, e.seq)
+		}
 	}
 	s.unlink(n)
 	q.releaseSlot()
 	s.stats.dispatched++
+	if barge {
+		s.stats.bargeDispatched++
+	}
 	if len(e.msg.Keys) > 1 {
 		s.stats.multiKeyDispatched++
 	}

@@ -12,6 +12,10 @@ var errConflictingModes = errors.New("pdq: conflicting dispatch modes")
 // Batch handler; a message must carry exactly one of the two.
 var errBothHandlers = errors.New("pdq: message carries both Handler and Batch")
 
+// errBargeNoKeys rejects a barge message with an empty key set (an
+// acquisition of nothing is NoSync, not Barge).
+var errBargeNoKeys = errors.New("pdq: barge message requires at least one key")
+
 // Stats counts queue activity. All counters are cumulative since New. The
 // JSON field names are stable so external tooling (cmd/pdqbench's
 // BENCH_*.json, dashboards) can track them across versions.
@@ -22,6 +26,7 @@ type Stats struct {
 	Completed          uint64 `json:"completed"`           // Complete calls
 	SeqDispatched      uint64 `json:"seq_dispatched"`      // sequential entries dispatched
 	NoSyncDispatched   uint64 `json:"nosync_dispatched"`   // nosync entries dispatched
+	BargeDispatched    uint64 `json:"barge_dispatched"`    // barge entries dispatched (out-of-band key acquisitions)
 	MultiKeyDispatched uint64 `json:"multikey_dispatched"` // entries with two or more keys dispatched
 	KeyConflicts       uint64 `json:"key_conflicts"`       // scan skips due to an in-flight overlapping key
 	OrderConflicts     uint64 `json:"order_conflicts"`     // scan skips preserving enqueue order behind an earlier overlapping claim
@@ -64,6 +69,7 @@ func (q *Queue) Stats() Stats {
 		s.Enqueued += c.enqueued
 		s.Dispatched += c.dispatched
 		s.NoSyncDispatched += c.noSyncDispatched
+		s.BargeDispatched += c.bargeDispatched
 		s.MultiKeyDispatched += c.multiKeyDispatched
 		s.KeyConflicts += c.keyConflicts
 		s.OrderConflicts += c.orderConflicts
@@ -109,9 +115,9 @@ func (q *Queue) Stats() Stats {
 // String renders the counters compactly for logs and reports.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"enq=%d disp=%d done=%d seq=%d nosync=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d expired=%d delayed=%d timerWakeups=%d prio=%v panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
+		"enq=%d disp=%d done=%d seq=%d nosync=%d barge=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d expired=%d delayed=%d timerWakeups=%d prio=%v panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
 		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
-		s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
+		s.BargeDispatched, s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
 		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard,
 		s.Batches, s.BatchEntries, s.MaxBatch, s.Coalesced,
 		s.Expired, s.Delayed, s.TimerWakeups, s.PriorityDispatched,
