@@ -33,8 +33,15 @@ type barrier struct {
 // the barrier's sequence fetch and the exact store below. The floor is at
 // most the barrier's final seq, so it can only over-block, and only until
 // the exact value replaces it a few instructions later.
-func (q *Queue) enqueueSequential(m Message, attempt uint32, lastErr error) error {
+func (q *Queue) enqueueSequential(m *Message, attempt uint32, lastErr error) error {
 	b := &q.bar
+	// Flush every shard's intake ring before fetching the barrier's
+	// sequence number: a ring entry whose Enqueue returned before this
+	// call began must land ahead of the barrier, and sequence numbers for
+	// ring entries are only assigned at drain time. Entries published
+	// concurrently with this flush sequence on whichever side of the
+	// barrier they are drained — both orders are linearizable.
+	q.flushIntakeAll()
 	b.mu.Lock()
 	if attempt == 0 && q.closed.Load() {
 		// As in enqueueSharded: retries re-admit pre-close work.
@@ -45,7 +52,7 @@ func (q *Queue) enqueueSequential(m Message, attempt uint32, lastErr error) erro
 		b.minSeq.Store(q.nextSeq.Load() + 1)
 	}
 	seq := q.nextSeq.Add(1)
-	b.queue = append(b.queue, Entry{msg: m, seq: seq, attempt: attempt, err: lastErr})
+	b.queue = append(b.queue, Entry{msg: *m, seq: seq, attempt: attempt, err: lastErr})
 	if !b.active.Load() {
 		// Exact publication. While a barrier is active its own (smaller)
 		// seq must keep gating the scans, so leave minSeq alone then.

@@ -131,10 +131,13 @@ func (q *Queue) harvestShard(s *shard, max int) (es []*Entry, retry bool) {
 // harvestLocked is harvestShard's body. Caller holds s.mu and must pass
 // the expired messages to finishExpired after unlocking.
 func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entry, retry bool) {
+	q.drainIntakeScan(s)
+	// Read AFTER the drain, for the reason documented in scanLocked: the
+	// gate load must be ordered after the drained entries' seq fetches.
 	barSeq := q.bar.minSeq.Load()
 	var now int64
 	if s.timers.len() > 0 {
-		now = time.Now().UnixNano()
+		now = nowNanos()
 		s.matureRipe(now)
 	}
 	// acquired is the set of keys taken by earlier entries of this batch:
@@ -348,7 +351,7 @@ func (q *Queue) coalesceRun(s *shard, e *Entry, n *node, barSeq uint64, scanned 
 		}
 		if dl := n.entry.deadline; dl != 0 {
 			if *now == 0 {
-				*now = time.Now().UnixNano()
+				*now = nowNanos()
 			}
 			if dl <= *now {
 				return n
@@ -487,7 +490,7 @@ func (q *Queue) releaseUnrun(e *Entry) {
 	for _, m := range e.extraList() {
 		q.readmitOrDeadLetter(m, e.attempt, e.err)
 	}
-	q.finishInflight(ws)
+	q.finishInflight(ws, len(e.msg.Keys))
 }
 
 // readmitOrDeadLetter gives one never-executed message back to the
@@ -498,7 +501,7 @@ func (q *Queue) readmitOrDeadLetter(m Message, attempt uint32, lastErr error) {
 		return
 	}
 	// enqueueReserved returns the capacity slot itself on failure.
-	if q.enqueueReserved(m, attempt, lastErr) != nil {
+	if q.enqueueReserved(&m, attempt, lastErr) != nil {
 		q.deadLetterMsg(m, ErrHandlerExited)
 	}
 }
@@ -517,7 +520,9 @@ func (q *Queue) completeBatch(es []*Entry) {
 		return
 	}
 	var mask uint64
+	nkeys := 0
 	for _, e := range es {
+		nkeys += len(e.msg.Keys)
 		if e.msg.Mode == ModeSequential {
 			// Sequential entries only ever travel in batches of one, so
 			// this cannot happen for a harvested batch; stay correct for
@@ -553,8 +558,9 @@ func (q *Queue) completeBatch(es []*Entry) {
 		q.notifyEmpty()
 	}
 	// One generation bump covers the whole batch: sleeping consumers wait
-	// on the generation sum, which any single-shard bump changes.
-	q.wakeShard(ws)
+	// on the generation sum, which any single-shard bump changes. The
+	// wake bound is the batch's total released keys.
+	q.wakeShard(ws, nkeys)
 }
 
 // blockDequeue is the eventcount wait loop shared by DequeueContext and
@@ -582,6 +588,15 @@ func (q *Queue) blockDequeue(ctx context.Context, attempt func() (ok, retry bool
 			return nil
 		}
 		if q.closed.Load() && q.confirmDrained() {
+			// Cascade the termination wake: shard wakeups are bounded by
+			// the event's dispatchability fan-out, so the final
+			// completion may have woken only this consumer while others
+			// stay parked with nothing left to wake them. Each exiting
+			// consumer re-broadcasts, so close+drain reaches every
+			// sleeper as a chain.
+			q.waitMu.Lock()
+			q.waitCond.Broadcast()
+			q.waitMu.Unlock()
 			return ErrClosed
 		}
 		if err := ctx.Err(); err != nil {
@@ -636,7 +651,7 @@ func (q *Queue) blockDequeue(ctx context.Context, attempt func() (ok, retry bool
 				// overdue maturity that still yielded nothing — its entry
 				// is key-blocked or barrier-gated — degrades to the
 				// backoff cadence instead of an immediate re-fire.
-				d := time.Duration(wake - time.Now().UnixNano())
+				d := time.Duration(wake - nowNanos())
 				if d <= 0 {
 					d = dispatchBackoff
 				}

@@ -8,7 +8,7 @@
 //
 //	benchguard -baseline bench/baseline/BENCH_pdq.json \
 //	           -current  bench/out/BENCH_pdq.json \
-//	           [-max-regress 0.25]
+//	           [-max-regress 0.25] [-scaling]
 //
 // The comparison is intentionally one-sided: a current run is allowed to
 // be arbitrarily faster than the baseline (CI machines routinely beat
@@ -17,9 +17,21 @@
 // re-seed the baseline by copying the current file over it.
 //
 // benchguard also sanity-checks that the two results ran the same
-// workload shape (strategy, messages, keys, set size, shards, batch,
-// coalesce, nodes, loss, work, seed) — comparing throughput across
-// different workloads would make the gate meaningless.
+// workload shape (strategy, messages, keys, set size, shards, intake
+// ring, batch, coalesce, nodes, loss, work, seed) — comparing throughput
+// across different workloads would make the gate meaningless.
+//
+// With -scaling, the two files are BENCH_<strategy>_scaling.json records
+// from a pdqbench -procs sweep instead of single results. The workload
+// shape and the GOMAXPROCS point sequence must match, each point is held
+// to the same one-sided per-point floor, and — baseline aside — the
+// current curve itself must not invert: throughput at the highest procs
+// point may not drop below throughput at 1 proc (when the sweep includes
+// a 1-proc point), so a change that makes the dispatch path scale
+// negatively fails even if every point clears its floor. The shape gate
+// only applies when the measuring host has at least as many CPUs as the
+// highest point (the record's "cpus" field); with fewer, extra Ps are
+// scheduling churn and the curve says nothing about the dispatch path.
 package main
 
 import (
@@ -38,6 +50,8 @@ type bench struct {
 	Keys       int     `json:"keys"`
 	SetSize    int     `json:"set_size"`
 	Shards     int     `json:"shards"`
+	Ring       int     `json:"intake_ring"`
+	Window     int     `json:"search_window"`
 	Batch      int     `json:"batch"`
 	Coalesce   bool    `json:"coalesce"`
 	Skew       float64 `json:"skew"`
@@ -48,6 +62,8 @@ type bench struct {
 	Nodes      int     `json:"nodes"`
 	Loss       float64 `json:"loss"`
 	WorkNanos  int64   `json:"work_ns"`
+	BlockKeys  int     `json:"blocked_keys"`
+	BlockNanos int64   `json:"blocked_ns"`
 	Seed       uint64  `json:"seed"`
 	Handled    uint64  `json:"handled"`
 	Throughput float64 `json:"throughput_msgs_per_sec"`
@@ -78,6 +94,8 @@ func sameWorkload(a, b bench) bool {
 		a.Keys == b.Keys &&
 		a.SetSize == b.SetSize &&
 		a.Shards == b.Shards &&
+		a.Ring == b.Ring &&
+		a.Window == b.Window &&
 		a.Batch == b.Batch &&
 		a.Coalesce == b.Coalesce &&
 		a.Skew == b.Skew &&
@@ -88,7 +106,113 @@ func sameWorkload(a, b bench) bool {
 		a.Nodes == b.Nodes &&
 		a.Loss == b.Loss &&
 		a.WorkNanos == b.WorkNanos &&
+		a.BlockKeys == b.BlockKeys &&
+		a.BlockNanos == b.BlockNanos &&
 		a.Seed == b.Seed
+}
+
+// point is one GOMAXPROCS measurement of a BENCH_<strategy>_scaling.json
+// curve (pdqbench -procs sweep).
+type point struct {
+	Procs      int     `json:"procs"`
+	Handled    uint64  `json:"handled"`
+	Throughput float64 `json:"throughput_msgs_per_sec"`
+}
+
+// scaling is a BENCH_<strategy>_scaling.json record: the workload shape
+// at the top level plus the per-procs curve. CPUs describes the
+// measuring host, not the workload — it is never compared across files,
+// only consulted to decide whether the curve-shape gate is meaningful.
+type scaling struct {
+	bench
+	CPUs   int     `json:"cpus"`
+	Points []point `json:"points"`
+}
+
+func loadScaling(path string) (scaling, error) {
+	var s scaling
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Points) == 0 {
+		return s, fmt.Errorf("%s: no scaling points recorded", path)
+	}
+	for _, p := range s.Points {
+		if p.Procs < 1 || p.Throughput <= 0 {
+			return s, fmt.Errorf("%s: malformed point %+v", path, p)
+		}
+	}
+	return s, nil
+}
+
+// guardScaling gates a scaling curve: shape and procs sequence must match
+// the baseline, every point is held to its one-sided floor, and the
+// current curve's highest-procs point must not fall below its 1-proc
+// point. Returns the number of failures (0 = pass).
+func guardScaling(baseline, current scaling, maxRegress float64) int {
+	if !sameWorkload(baseline.bench, current.bench) {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: workload mismatch — baseline %+v vs current %+v\n",
+			baseline.bench, current.bench)
+		os.Exit(2)
+	}
+	if len(baseline.Points) != len(current.Points) {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: procs sweep mismatch — baseline has %d points, current %d\n",
+			len(baseline.Points), len(current.Points))
+		os.Exit(2)
+	}
+	fails := 0
+	for i, b := range baseline.Points {
+		c := current.Points[i]
+		if b.Procs != c.Procs {
+			fmt.Fprintf(os.Stderr,
+				"benchguard: procs sweep mismatch at point %d — baseline procs=%d, current procs=%d\n",
+				i, b.Procs, c.Procs)
+			os.Exit(2)
+		}
+		floor := b.Throughput * (1 - maxRegress)
+		ratio := c.Throughput / b.Throughput
+		fmt.Printf("benchguard: %s procs=%-3d baseline %.0f msg/s  current %.0f msg/s  (%.2fx, floor %.0f)\n",
+			baseline.Strategy, b.Procs, b.Throughput, c.Throughput, ratio, floor)
+		if c.Throughput < floor {
+			fmt.Fprintf(os.Stderr,
+				"benchguard: FAIL — procs=%d throughput regressed %.1f%% (allowed %.1f%%)\n",
+				b.Procs, (1-ratio)*100, maxRegress*100)
+			fails++
+		}
+	}
+	// Curve-shape gate on the current run alone: more CPUs must never
+	// yield less throughput than one CPU. Only meaningful when the host
+	// can actually run the highest point in parallel — on a machine with
+	// fewer CPUs than that GOMAXPROCS value, extra Ps are pure scheduling
+	// churn and an "inverted" curve says nothing about the dispatch path,
+	// so the gate is skipped (per-point floors above still apply).
+	var one, last *point
+	for i := range current.Points {
+		if current.Points[i].Procs == 1 {
+			one = &current.Points[i]
+		}
+		if last == nil || current.Points[i].Procs >= last.Procs {
+			last = &current.Points[i]
+		}
+	}
+	if one != nil && last != nil && last.Procs > 1 && current.CPUs < last.Procs {
+		fmt.Printf("benchguard: curve-shape gate skipped — host has %d CPUs, sweep peaks at procs=%d\n",
+			current.CPUs, last.Procs)
+		one = nil
+	}
+	if one != nil && last != nil && last.Procs > 1 && last.Throughput < one.Throughput {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: FAIL — negative scaling: procs=%d throughput %.0f msg/s below procs=1 throughput %.0f msg/s\n",
+			last.Procs, last.Throughput, one.Throughput)
+		fails++
+	}
+	return fails
 }
 
 func main() {
@@ -96,6 +220,7 @@ func main() {
 		baselinePath = flag.String("baseline", "", "committed baseline BENCH_*.json")
 		currentPath  = flag.String("current", "", "freshly measured BENCH_*.json")
 		maxRegress   = flag.Float64("max-regress", 0.25, "allowed fractional throughput regression")
+		scalingMode  = flag.Bool("scaling", false, "compare BENCH_<strategy>_scaling.json curves (pdqbench -procs sweeps)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -105,6 +230,23 @@ func main() {
 	if *maxRegress < 0 || *maxRegress >= 1 {
 		fmt.Fprintln(os.Stderr, "benchguard: -max-regress must be in [0, 1)")
 		os.Exit(2)
+	}
+	if *scalingMode {
+		baseline, err := loadScaling(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		current, err := loadScaling(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		if guardScaling(baseline, current, *maxRegress) > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("benchguard: OK")
+		return
 	}
 	baseline, err := load(*baselinePath)
 	if err != nil {

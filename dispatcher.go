@@ -87,10 +87,14 @@
 //
 // Internally the queue is a sharded dispatch core: the key space is
 // partitioned across N shards (WithShards), each owning its own pending
-// list, in-flight map, per-key claim queues, free list, and lock, so
+// list, in-flight map, per-key claim queues, node pool, and lock, so
 // single-key traffic to different shards never contends on a shared
-// mutex. A multi-key entry is homed on the shard of its lowest-hashing
-// key and registers claims on every shard its key set touches; Sequential
+// mutex. Steady-state enqueue does not even touch the shard lock: entries
+// homed wholly on one shard publish into that shard's lock-free MPSC
+// intake ring (WithIntakeRing), and the harvesting consumer drains the
+// ring under the lock it already holds for its scan (see ring.go). A
+// multi-key entry is homed on the shard of its lowest-hashing key and
+// registers claims on every shard its key set touches; Sequential
 // entries are a cross-shard epoch barrier that drains all shards, runs
 // alone, and releases. Global enqueue-order FIFO for overlapping key sets
 // is preserved by the global sequence numbers stamped on every entry. The
@@ -205,8 +209,8 @@ type Entry struct {
 	msg       Message
 	seq       uint64 // global enqueue sequence number, for ordering and diagnostics
 	smask     uint64 // bit set of shard indexes the key set touches
-	notBefore int64  // maturity instant in unix nanos; 0 = immediate
-	deadline  int64  // expiry instant in unix nanos; 0 = none
+	notBefore int64  // maturity instant on the scheduling clock (see clockEpoch); 0 = immediate
+	deadline  int64  // expiry instant on the scheduling clock; 0 = none
 	attempt   uint32 // prior failed executions (0 = first dispatch)
 	err       error  // error from the Release that caused this retry, if any
 
@@ -282,12 +286,23 @@ type Queue struct {
 	coalesce    bool                       // merge identical-key Batch runs at harvest (WithCoalesce)
 	coalesceMax int                        // messages per merged entry; <= 0 unbounded
 	mask        uint32                     // len(shards) - 1; shard count is a power of two
+	ring        int                        // per-shard intake ring size; 0 = mutex-only intake
 	shards      []shard                    // fixed at construction, indexed by key hash
 
-	nextSeq     atomic.Uint64 // global enqueue sequence counter
+	// closed shares the read-only config lines above by design: it is
+	// read on every admission but written once, so it never bounces the
+	// line. The write-hot atomics below each get a cache line to
+	// themselves — nextSeq and inflightAll in particular are touched by
+	// every producer and every consumer, and sharing a line would make
+	// each of them a false-sharing hotspot for the other.
 	closed      atomic.Bool
-	inflightAll atomic.Int64  // all in-flight handlers (any mode)
+	_           cpad
+	nextSeq     atomic.Uint64 // global enqueue sequence counter
+	_           cpad
+	inflightAll atomic.Int64 // all in-flight handlers (any mode)
+	_           cpad
 	rr          atomic.Uint32 // rotates scan start and keyless placement
+	_           cpad
 
 	bar barrier // cross-shard epoch barrier for Sequential entries
 
@@ -295,8 +310,11 @@ type Queue struct {
 	// before any shard lock is taken and released when an entry dispatches,
 	// so EnqueueWait sleeps without holding dispatch locks. spaceWaiters
 	// gates the release-side cond handshake exactly like the consumer
-	// side's waiters: no sleeper published, no lock taken.
+	// side's waiters: no sleeper published, no lock taken. capUsed is on
+	// every bounded enqueue and dispatch; isolate it from the eventcount
+	// state below.
 	capUsed      atomic.Int64
+	_            cpad
 	spaceWaiters atomic.Int32
 	spaceMu      sync.Mutex
 	space        *sync.Cond
@@ -306,7 +324,9 @@ type Queue struct {
 	// cacheline; extraGen covers barrier and close events). A consumer that
 	// read generation-sum g only sleeps while the sum is still g, closing
 	// the scan-then-sleep race without a global dispatch lock.
+	_        cpad
 	extraGen atomic.Uint64
+	_        cpad
 	waiters  atomic.Int32
 	waitMu   sync.Mutex
 	waitCond *sync.Cond
@@ -335,11 +355,12 @@ type globalCounters struct {
 	retries       atomic.Uint64
 	deadLettered  atomic.Uint64
 	timerWakeups  atomic.Uint64
+	handoffs      atomic.Uint64
 }
 
 // New returns an empty queue shaped by opts.
 func New(opts ...Option) *Queue {
-	cfg := config{searchWindow: DefaultSearchWindow, shards: 1}
+	cfg := config{searchWindow: DefaultSearchWindow, shards: 1, intakeRing: DefaultIntakeRing}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -352,10 +373,11 @@ func New(opts ...Option) *Queue {
 		coalesce:    cfg.coalesce,
 		coalesceMax: cfg.coalesceMax,
 		mask:        uint32(n - 1),
+		ring:        resolveIntakeRing(cfg.intakeRing),
 		shards:      make([]shard, n),
 	}
 	for i := range q.shards {
-		q.shards[i].init(uint32(i))
+		q.shards[i].init(uint32(i), q.ring)
 	}
 	q.space = sync.NewCond(&q.spaceMu)
 	q.waitCond = sync.NewCond(&q.waitMu)
@@ -451,7 +473,7 @@ func (q *Queue) admit(m Message) error {
 		q.g.rejected.Add(1)
 		return ErrFull
 	}
-	return q.enqueueReserved(m, 0, nil)
+	return q.enqueueReserved(&m, 0, nil)
 }
 
 // admitWait is admit with EnqueueWait's blocking capacity reservation.
@@ -467,7 +489,7 @@ func (q *Queue) admitWait(ctx context.Context, m Message) error {
 			return err
 		}
 	}
-	return q.enqueueReserved(m, 0, nil)
+	return q.enqueueReserved(&m, 0, nil)
 }
 
 // checkMessage validates a caller-built message — exactly one of Handler
@@ -501,7 +523,7 @@ func checkMessage(m *Message) error {
 // for bounded queues) to the barrier queue or its home shard. attempt and
 // lastErr carry the failure lifecycle state on the retry path (0, nil on
 // first admission).
-func (q *Queue) enqueueReserved(m Message, attempt uint32, lastErr error) error {
+func (q *Queue) enqueueReserved(m *Message, attempt uint32, lastErr error) error {
 	if m.Mode == ModeSequential {
 		if err := q.enqueueSequential(m, attempt, lastErr); err != nil {
 			q.releaseSlot()
@@ -515,16 +537,24 @@ func (q *Queue) enqueueReserved(m Message, attempt uint32, lastErr error) error 
 		q.releaseSlot()
 		return err
 	}
-	q.wakeShard(home)
+	q.wakeShard(home, 1)
 	return nil
 }
 
-// enqueueSharded links a keyed or nosync message into its home shard,
-// registering a claim for every key on the key's owning shard. Every
-// involved shard is locked (in index order) across sequence assignment so
-// that per-key claim queues are pushed in strictly increasing seq order —
-// the property the whole cross-shard FIFO discipline rests on.
-func (q *Queue) enqueueSharded(m Message, attempt uint32, lastErr error) (*shard, error) {
+// enqueueSharded admits a keyed, nosync, or barge message into its home
+// shard. Entries whose key set lives wholly on one shard — the hot paths —
+// ride that shard's lock-free intake ring when rings are enabled (see
+// ring.go); the harvesting consumer assigns their sequence numbers and
+// registers their claims at drain time, under the same lock it already
+// holds for the scan. A multi-shard entry must push claims on every shard
+// its keys touch, so it takes the classic mutex path: every involved shard
+// is locked (in index order) across sequence assignment so that per-key
+// claim queues are pushed in strictly increasing seq order — the property
+// the whole cross-shard FIFO discipline rests on. Before fetching its seq
+// it drains the involved shards' rings to completion, so ring entries
+// published before it keep earlier sequence numbers and per-key FIFO holds
+// across the two paths.
+func (q *Queue) enqueueSharded(m *Message, attempt uint32, lastErr error) (*shard, error) {
 	var smask uint64
 	var home uint32
 	if len(m.Keys) > 0 {
@@ -546,7 +576,16 @@ func (q *Queue) enqueueSharded(m Message, attempt uint32, lastErr error) (*shard
 		}
 		smask = 1 << home
 	}
+	h := &q.shards[home]
+	if q.ring > 0 && smask == 1<<home {
+		if err := q.enqueueIntake(h, m, smask, attempt, lastErr); err != nil {
+			return nil, err
+		}
+		q.noteKeySet(len(m.Keys))
+		return h, nil
+	}
 	q.lockMask(smask)
+	q.flushIntakeMask(smask)
 	if attempt == 0 && q.closed.Load() {
 		// Retries (attempt > 0) re-admit work that was accepted before the
 		// close and may proceed; only fresh enqueues are refused.
@@ -561,33 +600,30 @@ func (q *Queue) enqueueSharded(m Message, attempt uint32, lastErr error) (*shard
 			q.shardOf(k).pushClaim(k, seq)
 		}
 	}
-	h := &q.shards[home]
 	n := h.newNode()
-	n.entry = Entry{msg: m, seq: seq, smask: smask, attempt: attempt, err: lastErr}
+	n.entry = Entry{msg: *m, seq: seq, smask: smask, attempt: attempt, err: lastErr}
 	if !m.NotBefore.IsZero() {
-		n.entry.notBefore = m.NotBefore.UnixNano()
+		n.entry.notBefore = toNanos(m.NotBefore)
 	}
 	if !m.Deadline.IsZero() {
-		n.entry.deadline = m.Deadline.UnixNano()
+		n.entry.deadline = toNanos(m.Deadline)
 	}
-	if n.entry.notBefore != 0 && n.entry.notBefore > time.Now().UnixNano() {
-		// Immature: park on the home shard's timer heap until maturity.
+	if n.entry.notBefore != 0 {
+		// Scheduled delivery: park on the home shard's timer heap.
 		// Claims stay registered, so the entry keeps its per-key queue
-		// position while it sleeps.
-		h.linkDelayed(n)
+		// position while it sleeps. An already-ripe NotBefore still takes
+		// this path — the next scan's matureRipe promotes it in the same
+		// pass, and routing by the option rather than by a clock read
+		// keeps the delayed counter deterministic across the mutex and
+		// intake-ring admission paths (the ring assigns link time later
+		// than admission time).
+		h.linkDelayed(n, false)
 	} else {
-		h.link(n)
+		h.link(n, false)
 	}
 	h.stats.enqueued++
 	q.unlockMask(smask)
-	if l := int64(len(m.Keys)); l > 0 {
-		for {
-			cur := q.g.maxKeySet.Load()
-			if l <= cur || q.g.maxKeySet.CompareAndSwap(cur, l) {
-				break
-			}
-		}
-	}
+	q.noteKeySet(len(m.Keys))
 	return h, nil
 }
 
@@ -704,7 +740,65 @@ func (q *Queue) Complete(e *Entry) {
 	} else {
 		q.bar.completed.Add(1)
 	}
-	q.finishInflight(ws)
+	q.finishInflight(ws, len(e.msg.Keys))
+}
+
+// CompleteNext completes e like Complete and then attempts a chain
+// handoff: one targeted dispatch on the shard whose keys e just
+// released, returning the claimed entry if one was dispatchable. The
+// point is critical-path scheduling. When a deep per-key backlog drains
+// through sleeping or otherwise slow handlers, the chain only advances
+// when some consumer's scan happens to pick its next link; consumers
+// that instead wander off to shallower work leave the longest chain —
+// the workload's critical path — idle between links. The completer is
+// the one consumer guaranteed to be awake at exactly the moment the
+// successor becomes dispatchable, so handing the chain directly to it
+// removes the wake-and-rescan latency from every link. The handoff
+// consumes one of the completion's wake slots (wakeShard's bound drops
+// by one), keeping the woken-consumer count matched to the remaining
+// newly-dispatchable entries.
+//
+// ok=false means no entry on that shard was immediately dispatchable —
+// the caller goes back to its normal Dequeue loop. Sequential entries
+// and entries that released no keys never hand off.
+func (q *Queue) CompleteNext(e *Entry) (next *Entry, ok bool) {
+	ws := q.releaseEntryState(e)
+	if ws != nil {
+		ws.completed.Add(1)
+	} else {
+		q.bar.completed.Add(1)
+	}
+	nkeys := len(e.msg.Keys)
+	if ws != nil && nkeys > 0 && !q.bar.active.Load() {
+		if n, claimed, _ := q.scanShard(ws); claimed {
+			next, ok = n, true
+			q.g.handoffs.Add(1)
+			// The claimed entry consumes a wake slot only when it IS one
+			// of the completion's successors (shares a released key).
+			// The scan picks the shard's oldest dispatchable entry, which
+			// may belong to a different chain; e's own successor then
+			// still needs its wakeup, or it idles until some unrelated
+			// scan stumbles on it.
+			if keySetsOverlap(e.msg.Keys, n.msg.Keys) {
+				nkeys--
+			}
+		}
+	}
+	q.finishInflight(ws, nkeys)
+	return next, ok
+}
+
+// keySetsOverlap reports whether two key sets share a key. Key sets are
+// tiny (MaxKeySet-bounded), so the quadratic scan beats any map.
+func keySetsOverlap(a, b []Key) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // releaseEntryState frees the synchronization state a dispatched entry
@@ -736,8 +830,9 @@ func (q *Queue) releaseEntryState(e *Entry) *shard {
 
 // finishInflight retires one in-flight handler: it decrements the global
 // in-flight count, completes a Drain that was waiting on it, and wakes
-// consumers (scoped to ws when the event is shard-local).
-func (q *Queue) finishInflight(ws *shard) {
+// consumers (scoped to ws when the event is shard-local). nkeys is the
+// number of keys the entry released — the wake bound wakeShard needs.
+func (q *Queue) finishInflight(ws *shard, nkeys int) {
 	// The drainWaiters gate is sound because Drain publishes its waiter
 	// count before checking emptiness itself; isIdle re-checks in the one
 	// read order the dispatch protocol makes safe.
@@ -745,7 +840,7 @@ func (q *Queue) finishInflight(ws *shard) {
 		q.notifyEmpty()
 	}
 	if ws != nil {
-		q.wakeShard(ws)
+		q.wakeShard(ws, nkeys)
 	} else {
 		q.wakeGlobal()
 	}
@@ -787,20 +882,31 @@ func (q *Queue) Close() {
 // keep serving the queue for it to return. Dead-letter hooks owed by
 // expired entries complete before Drain returns.
 func (q *Queue) Drain() {
-	q.drainMu.Lock()
-	// Publish the waiter before checking emptiness: a completer that reads
-	// drainWaiters == 0 is then guaranteed this Drain's own check ran (or
-	// will run) after the completer's decrement, so no wakeup is lost.
-	q.drainWaiters.Add(1)
-	if q.isIdle() {
-		q.drainWaiters.Add(-1)
+	for {
+		q.drainMu.Lock()
+		// Publish the waiter before checking emptiness: a completer that
+		// reads drainWaiters == 0 is then guaranteed this Drain's own check
+		// ran (or will run) after the completer's decrement, so no wakeup
+		// is lost.
+		q.drainWaiters.Add(1)
+		if q.isIdle() {
+			q.drainWaiters.Add(-1)
+			q.drainMu.Unlock()
+			return
+		}
+		ch := make(chan struct{})
+		q.waitersEmpty = append(q.waitersEmpty, ch)
 		q.drainMu.Unlock()
-		return
+		// A wakeup may be stale: the completer's guard (in-flight
+		// decrement, waiter check, idle check, close) is not atomic, so a
+		// completer preempted mid-guard can observe each clause true in a
+		// DIFFERENT idle episode and close a channel registered while
+		// later work is mid-flight. Re-verify on wake and re-park if the
+		// queue is busy again; the completion that next makes it idle
+		// re-runs the notify (the waiter count is republished above), so
+		// re-parking never strands the Drain.
+		<-ch
 	}
-	ch := make(chan struct{})
-	q.waitersEmpty = append(q.waitersEmpty, ch)
-	q.drainMu.Unlock()
-	<-ch
 }
 
 func (q *Queue) notifyEmpty() {
@@ -817,13 +923,29 @@ func (q *Queue) notifyEmpty() {
 
 // wakeShard publishes a dispatchability change scoped to one shard (its
 // enqueues or key releases): it advances the shard's eventcount generation
-// and wakes sleeping consumers and the mux hook. It must not be called
-// with any shard lock held (the notify hook may be arbitrary).
-func (q *Queue) wakeShard(s *shard) {
+// and wakes up to n sleeping consumers, where n bounds how many entries
+// the event can have made dispatchable — one per enqueued entry, one per
+// released key (each key's next claimant). Waking only that many replaces
+// the old broadcast: when most of the queue is key-blocked behind slow
+// handlers, broadcasting every completion turns the idle consumers into a
+// thundering herd that rescans the conflicted backlog on a core the
+// critical chain needs. Boundedness cannot strand a dispatchable entry: a
+// consumer that misses a Signal because it had not parked yet re-checks
+// the generation sum under waitMu and skips the park, and a woken
+// consumer that loses its entry to an active one simply parks again —
+// the entry is in flight either way. It must not be called with any
+// shard lock held (the notify hook may be arbitrary).
+func (q *Queue) wakeShard(s *shard, n int) {
 	s.wakeGen.Add(1)
-	if q.waiters.Load() > 0 {
+	if w := q.waiters.Load(); w > 0 {
 		q.waitMu.Lock()
-		q.waitCond.Broadcast()
+		if n >= int(w) {
+			q.waitCond.Broadcast()
+		} else {
+			for i := 0; i < n; i++ {
+				q.waitCond.Signal()
+			}
+		}
 		q.waitMu.Unlock()
 	}
 	if q.notify != nil {

@@ -56,7 +56,7 @@ func (q *Queue) Release(e *Entry, err error) {
 	for _, m := range e.extraList() {
 		q.resolveFailed(m, e.attempt, err)
 	}
-	q.finishInflight(ws)
+	q.finishInflight(ws, len(e.msg.Keys))
 }
 
 // resolveFailed routes one released message through the failure policy:
@@ -100,7 +100,7 @@ func (q *Queue) requeue(m Message, attempt uint32, err error) bool {
 	if q.cap > 0 && !q.tryReserveSlot() {
 		return false
 	}
-	return q.enqueueReserved(m, attempt+1, err) == nil
+	return q.enqueueReserved(&m, attempt+1, err) == nil
 }
 
 // deadLetterMsg hands a terminally failed message to the dead-letter
@@ -152,6 +152,22 @@ func (q *Queue) Run(e *Entry) error {
 	}
 	q.Complete(e)
 	return nil
+}
+
+// RunNext executes e like Run but completes through CompleteNext,
+// returning the chain-handoff successor when one was immediately
+// dispatchable on the released shard. A failing handler follows the
+// normal Release path and never hands off. Serve's workers use this to
+// stay glued to a deep per-key chain instead of re-entering the general
+// dequeue scan between links.
+func (q *Queue) RunNext(e *Entry) (next *Entry, ok bool, err error) {
+	if pe := q.runHandler(e); pe != nil {
+		q.g.panics.Add(1)
+		q.Release(e, pe)
+		return nil, false, pe
+	}
+	next, ok = q.CompleteNext(e)
+	return next, ok, nil
 }
 
 // runHandler invokes the entry's handler with the recover scoped to the

@@ -21,20 +21,24 @@ import (
 // become NoSync entries, and everything else becomes a keyed entry with a
 // 1–3 key set drawn from a small universe so conflicts are common. The
 // shard selector sweeps 1, 2, 4, and 8 shards, so single-shard scans,
-// cross-shard reservations, and the epoch barrier are all exercised.
+// cross-shard reservations, and the epoch barrier are all exercised. The
+// ring selector sweeps the intake-ring size across 0 (mutex-only intake),
+// 2 (tiny, so ring-full fallbacks are constant), 8, and the default, so
+// both admission paths and the fallback protocol are fuzzed.
 func FuzzKeySetDispatch(f *testing.F) {
-	f.Add([]byte{}, uint8(0))
-	f.Add([]byte{7, 7, 7, 7}, uint8(0))
-	f.Add([]byte{3, 16, 5, 1, 200, 32, 9}, uint8(1))
-	f.Add([]byte{250, 17, 80, 5, 5, 64, 33, 2, 96, 128, 40}, uint8(2))
-	f.Add([]byte{16, 16, 1, 1, 255, 254, 253, 48, 11, 23}, uint8(3))
-	f.Fuzz(func(t *testing.T, script []byte, rawShards uint8) {
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte{7, 7, 7, 7}, uint8(0), uint8(1))
+	f.Add([]byte{3, 16, 5, 1, 200, 32, 9}, uint8(1), uint8(2))
+	f.Add([]byte{250, 17, 80, 5, 5, 64, 33, 2, 96, 128, 40}, uint8(2), uint8(3))
+	f.Add([]byte{16, 16, 1, 1, 255, 254, 253, 48, 11, 23}, uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, script []byte, rawShards, rawRing uint8) {
 		if len(script) > 512 {
 			script = script[:512]
 		}
 		const universe = 7
 		shards := 1 << (rawShards % 4)
-		q := New(WithShards(shards))
+		ring := [...]int{0, 2, 8, DefaultIntakeRing}[rawRing%4]
+		q := New(WithShards(shards), WithIntakeRing(ring))
 		p := Serve(context.Background(), q, 6)
 
 		var ran atomic.Int64
@@ -102,13 +106,13 @@ func FuzzKeySetDispatch(f *testing.F) {
 		q.Close()
 		p.Wait()
 		if got := ran.Load(); got != int64(len(script)) {
-			t.Fatalf("ran %d of %d handlers (shards=%d)", got, len(script), shards)
+			t.Fatalf("ran %d of %d handlers (shards=%d ring=%d)", got, len(script), shards, ring)
 		}
 		if v := bad.Load(); v != 0 {
-			t.Fatalf("%d invariant violations (shards=%d)", v, shards)
+			t.Fatalf("%d invariant violations (shards=%d ring=%d)", v, shards, ring)
 		}
 		if s := q.Stats(); s.Dispatched != s.Completed || s.Enqueued != uint64(len(script)) {
-			t.Fatalf("inconsistent stats (shards=%d): %s", shards, s)
+			t.Fatalf("inconsistent stats (shards=%d ring=%d): %s", shards, ring, s)
 		}
 	})
 }

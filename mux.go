@@ -226,7 +226,7 @@ func (m *Mux) blockDequeue(ctx context.Context, attempt func() bool) error {
 		}
 		var timed *time.Timer
 		if wake := m.nextTimerWake(); wake != math.MaxInt64 {
-			d := time.Duration(wake - time.Now().UnixNano())
+			d := time.Duration(wake - nowNanos())
 			if d <= 0 {
 				d = dispatchBackoff
 			}

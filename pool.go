@@ -84,10 +84,24 @@ func (p *Pool) worker(ctx context.Context) {
 		if err != nil {
 			return // cancelled, or closed and drained
 		}
-		// Run recovers a handler panic into Release, so a failing handler
-		// frees its keys, follows the retry/dead-letter policy, and never
-		// kills the worker.
-		p.q.Run(e)
+		// RunNext recovers a handler panic into Release like Run, and on
+		// success hands the worker the completed entry's chain successor
+		// when one is immediately dispatchable — the worker rides a deep
+		// per-key backlog link to link instead of re-entering the general
+		// scan (see CompleteNext). Cancellation is honored between links:
+		// a cancelled worker finishes the entry it holds without handing
+		// off, exactly like Run.
+		for {
+			if ctx.Err() != nil {
+				p.q.Run(e)
+				break
+			}
+			next, ok, _ := p.q.RunNext(e)
+			if !ok {
+				break
+			}
+			e = next
+		}
 	}
 }
 

@@ -229,3 +229,101 @@ func TestPoolWithBoundedQueueAndEnqueueWait(t *testing.T) {
 		t.Fatalf("handled %d, want %d", count.Load(), n)
 	}
 }
+
+// TestPoolCloseWakesAllWorkers drives the bounded-wake termination
+// cascade: shard wakeups wake only as many consumers as the event made
+// entries dispatchable, so when a single serial chain drains, most of
+// the pool stays parked and the final completion wakes just one worker.
+// That worker must re-broadcast close+drain to the rest or Wait hangs
+// with sleepers left behind (the regression this test pins).
+func TestPoolCloseWakesAllWorkers(t *testing.T) {
+	q := New(WithShards(4))
+	var count atomic.Int64
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := q.Enqueue(func(any) {
+			time.Sleep(100 * time.Microsecond)
+			count.Add(1)
+		}, WithKey(Key(1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 workers, 1 key: at most one dispatches at a time, 7 park.
+	p := Serve(context.Background(), q, 8)
+	q.Close()
+	done := make(chan struct{})
+	go func() { p.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("pool did not drain: handled %d of %d, %d pending, %d in flight",
+			count.Load(), n, q.Len(), q.InFlight())
+	}
+	if got := count.Load(); got != n {
+		t.Fatalf("handled %d, want %d", got, n)
+	}
+}
+
+// TestRunNextChainHandoff consumes a deep single-key backlog through
+// RunNext: completions must hand the successor straight to the caller
+// (no re-entry into the blocking dequeue), preserve per-key FIFO order,
+// and count each handoff in Stats.
+func TestRunNextChainHandoff(t *testing.T) {
+	q := New(WithShards(2))
+	const n = 500
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		if err := q.Enqueue(func(any) { order = append(order, i) }, WithKey(Key(7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("no entry dispatchable")
+	}
+	runs := 0
+	for {
+		runs++
+		next, ok, err := q.RunNext(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		e = next
+	}
+	if runs != n {
+		t.Fatalf("ran %d entries through handoff, want %d", runs, n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: handoff broke per-key FIFO", i, v)
+		}
+	}
+	if h := q.Stats().ChainHandoffs; h != n-1 {
+		t.Fatalf("ChainHandoffs = %d, want %d", h, n-1)
+	}
+}
+
+// TestCompleteNextNoHandoffWhenDrained checks the handoff miss path:
+// completing the only pending entry returns ok=false and the queue is
+// fully idle afterwards.
+func TestCompleteNextNoHandoffWhenDrained(t *testing.T) {
+	q := New()
+	if err := q.Enqueue(func(any) {}, WithKey(Key(3))); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := q.TryDequeue()
+	if !ok {
+		t.Fatal("no entry dispatchable")
+	}
+	next, ok := q.CompleteNext(e)
+	if ok || next != nil {
+		t.Fatalf("CompleteNext on drained queue returned %v, %v", next, ok)
+	}
+	if q.Len() != 0 || q.InFlight() != 0 {
+		t.Fatalf("queue not idle: %d pending, %d in flight", q.Len(), q.InFlight())
+	}
+}

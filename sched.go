@@ -39,6 +39,38 @@ import (
 	"time"
 )
 
+// clockEpoch anchors the package's scheduling clock. Maturity and expiry
+// instants are stored and compared as nanoseconds since this anchor,
+// computed through the monotonic reading when the caller's time.Time
+// carries one — the same domain Go's own timers use. Scheduling through
+// wall-clock nanoseconds instead would let an NTP step or slew fire a
+// maturity early (or hold a deadline open late) relative to every
+// monotonic observer, including the timed parks consumers arm. The
+// anchor is package-global, not per queue, because a Mux compares
+// maturity instants across member queues.
+var clockEpoch = time.Now()
+
+// nowNanos returns the current instant on the scheduling clock. Always
+// monotonic: time.Since uses the monotonic reading clockEpoch carries.
+func nowNanos() int64 { return int64(time.Since(clockEpoch)) }
+
+// toNanos places an absolute instant on the scheduling clock, through
+// its monotonic reading when it has one (times built from time.Now())
+// and through wall-clock difference otherwise (times parsed or
+// constructed from calendar values — for those, the conversion pins the
+// instant at its wall offset as of this call, exactly as handing it to
+// time.Timer would). Sub saturates at ±292y rather than overflowing.
+// The result is clamped away from 0, which the entry fields reserve for
+// "unset"; instants in the past come out negative, which every
+// comparison treats as long overdue.
+func toNanos(t time.Time) int64 {
+	v := int64(t.Sub(clockEpoch))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
 // NumPriorities is the number of priority bands. Band 0 is the default
 // and lowest; band NumPriorities-1 is the most urgent. The count is
 // deliberately small: protocol traffic needs "acks before bulk data",
@@ -242,14 +274,20 @@ func (h *timerHeap) pop() *node {
 // linkDelayed parks an immature entry on its home shard: it joins the
 // timer heap (by maturity) and the delayed list (by seq, so the shard's
 // minimum pending seq — which gates Sequential barriers — still covers
-// it). Caller holds s.mu.
-func (s *shard) linkDelayed(n *node) {
+// it). preCounted is true for intake-ring entries, whose producer already
+// counted them into npending (see shard.link). Caller holds s.mu.
+func (s *shard) linkDelayed(n *node, preCounted bool) {
 	if s.delayed.append(n) {
 		s.updateMinSeq()
 	}
 	s.timers.push(n)
 	s.nextMature.Store(s.timers.nextMature())
-	p := s.npending.Add(1)
+	var p int64
+	if preCounted {
+		p = s.npending.Load()
+	} else {
+		p = s.npending.Add(1)
+	}
 	if int(p) > s.stats.maxPending {
 		s.stats.maxPending = int(p)
 	}
@@ -384,7 +422,7 @@ func (q *Queue) expireIfDue(s *shard, n *node, now *int64, expired *[]Message) (
 		return false, false
 	}
 	if *now == 0 {
-		*now = time.Now().UnixNano()
+		*now = nowNanos()
 	}
 	if dl > *now {
 		return false, false

@@ -415,8 +415,8 @@ func TestCoalesceMinDeadline(t *testing.T) {
 	if !ok || len(es) != 1 || es[0].Size() != 2 {
 		t.Fatalf("expected one coalesced entry of 2 messages, got %d entries", len(es))
 	}
-	if es[0].deadline != near.UnixNano() {
-		t.Fatalf("merged deadline = %d, want the run minimum %d", es[0].deadline, near.UnixNano())
+	if es[0].deadline != toNanos(near) {
+		t.Fatalf("merged deadline = %d, want the run minimum %d", es[0].deadline, toNanos(near))
 	}
 	q.Complete(es[0])
 }
@@ -485,10 +485,15 @@ func TestSchedulingComposition(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			// Fixed after the flood is admitted, so the high entries are
-			// genuinely immature at enqueue whatever the admission took.
-			notBefore := time.Now().Add(10 * time.Millisecond)
+			// Anchored per entry immediately before its own Enqueue, so
+			// each high entry is genuinely immature at admission no
+			// matter how long the other admissions take (a ring-full
+			// enqueue drains the intake backlog inline, which under the
+			// race detector can eat a shared margin). Workers only start
+			// after every enqueue, so even the last maturity still lands
+			// well inside the low flood's drain.
 			for i := 0; i < highs; i++ {
+				notBefore := time.Now().Add(20 * time.Millisecond)
 				if err := q.Enqueue(func(any) {
 					if time.Now().Before(notBefore) {
 						highEarly.Add(1)

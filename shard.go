@@ -5,36 +5,50 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // shard is one partition of the sharded dispatch core. Each shard owns the
 // pending lists of entries homed on it (one per priority band, plus the
 // timer heap of immature delayed entries), the in-flight counts and claim
-// queues for the keys it owns, a node free list, and its own lock, so
+// queues for the keys it owns, an MPSC intake ring producers publish into
+// without the lock (see ring.go), a node pool, and its own lock, so
 // single-key traffic to different shards never contends.
+//
+// Layout is deliberate: the mutex-guarded consumer state (bands, credit,
+// maps, stats — including the per-band credit counters, which only the
+// harvesting consumer touches) sits together at the top, while every
+// atomic that crosses the producer/consumer boundary gets a cache line of
+// its own below, so producers hammering npending or the eventcount never
+// invalidate the line a scanning consumer is walking (false sharing).
 type shard struct {
-	mu         sync.Mutex
-	idx        uint32
-	bands      [NumPriorities]entryList // mature pending entries, one seq-ascending list per band
-	credit     [NumPriorities]uint32    // anti-starvation credits (see creditDispatch)
-	delayed    entryList                // immature delayed entries in seq order
-	timers     timerHeap                // the same immature entries ordered by maturity
-	npending   atomic.Int64             // entries homed here (delayed included), readable without mu
-	minSeq     atomic.Uint64            // min pending seq across bands and delayed; MaxUint64 when empty
-	nextMature atomic.Int64             // earliest maturity instant; MaxInt64 when nothing is delayed
-	wakeGen    atomic.Uint64            // this shard's slice of the consumer eventcount
-	completed  atomic.Uint64            // Complete calls credited to this shard
+	mu      sync.Mutex
+	idx     uint32
+	bands   [NumPriorities]entryList // mature pending entries, one seq-ascending list per band
+	credit  [NumPriorities]uint32    // anti-starvation credits (see creditDispatch)
+	delayed entryList                // immature delayed entries in seq order
+	timers  timerHeap                // the same immature entries ordered by maturity
 
 	inflight map[Key]int      // in-flight handler count per owned key
 	claims   map[Key]*seqFIFO // pending claim seqs per owned key
 	fifoPool []*seqFIFO       // recycled claim queues
 
-	freeList *node // reuse nodes to reduce allocation churn
-	freeLen  int
-	maxFree  int
-
 	stats shardCounters
+
+	// Cross-thread hot state, one cache line each.
+	_          cpad
+	npending   atomic.Int64 // entries homed here (intake ring included), readable without mu
+	_          cpad
+	minSeq     atomic.Uint64 // min pending seq across bands and delayed; MaxUint64 when empty
+	_          cpad
+	nextMature atomic.Int64 // earliest maturity instant; MaxInt64 when nothing is delayed
+	_          cpad
+	wakeGen    atomic.Uint64 // this shard's slice of the consumer eventcount
+	_          cpad
+	completed  atomic.Uint64 // Complete calls credited to this shard
+	_          cpad
+
+	in   intake    // lock-free producer intake ring (empty when disabled)
+	pool epochPool // lock-free node recycling across the producer/consumer boundary
 }
 
 // shardCounters are the per-shard slice of Stats, guarded by shard.mu and
@@ -56,15 +70,17 @@ type shardCounters struct {
 	prioDispatched     [NumPriorities]uint64
 	maxPending         int
 	maxBatch           int // largest harvest from this shard, in messages
+	maxRingOcc         int // deepest intake-ring backlog met by a drain
 }
 
-func (s *shard) init(idx uint32) {
+func (s *shard) init(idx uint32, ring int) {
 	s.idx = idx
 	s.inflight = make(map[Key]int)
 	s.claims = make(map[Key]*seqFIFO)
-	s.maxFree = 256
 	s.minSeq.Store(math.MaxUint64)
 	s.nextMature.Store(math.MaxInt64)
+	s.in.init(ring)
+	s.pool.init(nodePoolSize)
 }
 
 // node is a pending-list node. A hand-rolled list avoids container/list's
@@ -160,11 +176,17 @@ func (s *shard) popClaim(k Key, seq uint64) {
 	}
 	if f.empty() {
 		delete(s.claims, k)
-		if len(s.fifoPool) < 64 {
+		// Pool the queue for reuse unless a burst grew its buffer past the
+		// cap — pooling that would pin the burst-sized allocation forever.
+		if len(s.fifoPool) < 64 && cap(f.buf) <= maxPooledClaimCap {
 			s.fifoPool = append(s.fifoPool, f)
 		}
 	}
 }
+
+// maxPooledClaimCap bounds the buffer capacity of a claim queue eligible
+// for s.fifoPool.
+const maxPooledClaimCap = 1024
 
 // removeClaim deletes seq from k's claim queue wherever it sits — the
 // expiry path's analogue of popClaim, which only serves the head (an
@@ -190,12 +212,20 @@ func (s *shard) removeClaim(k Key, seq uint64) {
 
 // link appends n to its priority band's pending list. Caller holds s.mu;
 // the list stays seq-ascending because sequence numbers are assigned
-// under the home shard's lock.
-func (s *shard) link(n *node) {
+// under the home shard's lock. preCounted is true when the entry arrived
+// through the intake ring: its producer already added it to npending at
+// admission time (the count is what makes ring entries visible to Drain
+// and the consumers' shard-skip check before they are drained).
+func (s *shard) link(n *node, preCounted bool) {
 	if s.bands[n.entry.msg.Priority].append(n) {
 		s.updateMinSeq()
 	}
-	p := s.npending.Add(1)
+	var p int64
+	if preCounted {
+		p = s.npending.Load()
+	} else {
+		p = s.npending.Add(1)
+	}
 	if int(p) > s.stats.maxPending {
 		s.stats.maxPending = int(p)
 	}
@@ -217,27 +247,9 @@ func (s *shard) take(n *node) *Entry {
 	return &e
 }
 
-func (s *shard) newNode() *node {
-	if s.freeList != nil {
-		n := s.freeList
-		s.freeList = n.next
-		s.freeLen--
-		n.next = nil
-		return n
-	}
-	return &node{}
-}
+func (s *shard) newNode() *node { return s.pool.get() }
 
-func (s *shard) recycle(n *node) {
-	if s.freeLen >= s.maxFree {
-		return
-	}
-	n.entry = Entry{}
-	n.prev = nil
-	n.next = s.freeList
-	s.freeList = n
-	s.freeLen++
-}
+func (s *shard) recycle(n *node) { s.pool.put(n) }
 
 // releaseKeys decrements the in-flight count of every key in keys on the
 // shards named by mask — the inverse of the acquisition the dispatch path
@@ -345,10 +357,17 @@ func (q *Queue) scanShard(s *shard) (e *Entry, ok bool, retry bool) {
 // scanLocked is scanShard's body. Caller holds s.mu and must pass the
 // expired messages to finishExpired after unlocking.
 func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bool) {
+	q.drainIntakeScan(s)
+	// The barrier gate must be read AFTER the intake drain: a drained
+	// entry's seq is fetched above, so if it landed past a pending
+	// barrier, the barrier's floor store is ordered before that fetch and
+	// this load is guaranteed to observe the gate. Reading the gate first
+	// could dispatch a just-drained post-barrier entry ahead of the
+	// barrier.
 	barSeq := q.bar.minSeq.Load()
 	var now int64 // fetched lazily: scans without timed entries never read the clock
 	if s.timers.len() > 0 {
-		now = time.Now().UnixNano()
+		now = nowNanos()
 		s.matureRipe(now)
 	}
 	windowHit := false

@@ -41,8 +41,9 @@ type Stats struct {
 	MaxBatch           int    `json:"max_batch"`           // largest single batch harvest, in messages
 	Coalesced          uint64 `json:"coalesced"`           // messages merged into a representative entry beyond the first (WithCoalesce)
 	Expired            uint64 `json:"expired"`             // entries dropped undispatched at their deadline (WithDeadline/WithTTL)
-	Delayed            uint64 `json:"delayed"`             // entries admitted with a future maturity (WithDelay/WithNotBefore)
+	Delayed            uint64 `json:"delayed"`             // entries admitted through the delayed path (WithDelay/WithNotBefore)
 	TimerWakeups       uint64 `json:"timer_wakeups"`       // timed parks fired to mature delayed entries
+	ChainHandoffs      uint64 `json:"chain_handoffs"`      // completions that dispatched their successor directly (CompleteNext)
 	Panics             uint64 `json:"panics"`              // handler panics recovered by Run
 	Released           uint64 `json:"released"`            // Release calls (failure-path completions)
 	Retries            uint64 `json:"retries"`             // released entries re-enqueued for another attempt
@@ -50,6 +51,13 @@ type Stats struct {
 	Shards             int    `json:"shards"`              // shard count of the dispatch core
 	MaxPending         int    `json:"max_pending"`         // high-water mark of pending entries (summed per shard: an upper bound when shards > 1)
 	MaxKeySet          int    `json:"max_key_set"`         // largest synchronization key set seen
+	IntakeRing         int    `json:"intake_ring"`         // per-shard intake ring size (0 = mutex-only intake)
+	RingPublished      uint64 `json:"ring_published"`      // lock-free intake-ring publishes
+	RingFallbacks      uint64 `json:"ring_fallbacks"`      // ring-full publishes completed under the shard lock
+	RingSpins          uint64 `json:"ring_spins"`          // producer spin iterations waiting for ring space
+	RingMaxOccupancy   int    `json:"ring_max_occupancy"`  // deepest intake-ring backlog met by a drain (max across shards)
+	NodesReclaimed     uint64 `json:"nodes_reclaimed"`     // pending-list nodes recycled through the epoch pools
+	NodesCapped        uint64 `json:"nodes_capped"`        // nodes dropped to the GC because an epoch pool was full
 
 	// PriorityDispatched counts dispatched messages per priority band
 	// (band 0 first; coalesced messages and retries re-count, sequential
@@ -86,8 +94,17 @@ func (q *Queue) Stats() Stats {
 		if c.maxBatch > s.MaxBatch {
 			s.MaxBatch = c.maxBatch
 		}
+		if c.maxRingOcc > s.RingMaxOccupancy {
+			s.RingMaxOccupancy = c.maxRingOcc
+		}
 		s.Completed += sh.completed.Load()
+		s.RingPublished += sh.in.published.Load()
+		s.RingFallbacks += sh.in.fallbacks.Load()
+		s.RingSpins += sh.in.spins.Load()
+		s.NodesReclaimed += sh.pool.reclaimed.Load()
+		s.NodesCapped += sh.pool.capped.Load()
 	}
+	s.IntakeRing = q.ring
 	b := &q.bar
 	b.mu.Lock()
 	s.MaxPending += b.maxPending
@@ -107,6 +124,7 @@ func (q *Queue) Stats() Stats {
 	s.Retries = q.g.retries.Load()
 	s.DeadLettered = q.g.deadLettered.Load()
 	s.TimerWakeups = q.g.timerWakeups.Load()
+	s.ChainHandoffs = q.g.handoffs.Load()
 	s.MaxKeySet = int(q.g.maxKeySet.Load())
 	s.Shards = len(q.shards)
 	return s
@@ -115,12 +133,14 @@ func (q *Queue) Stats() Stats {
 // String renders the counters compactly for logs and reports.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"enq=%d disp=%d done=%d seq=%d nosync=%d barge=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d expired=%d delayed=%d timerWakeups=%d prio=%v panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d",
+		"enq=%d disp=%d done=%d seq=%d nosync=%d barge=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d expired=%d delayed=%d timerWakeups=%d handoffs=%d prio=%v panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d ring=%d ringPub=%d ringFallbacks=%d ringSpins=%d ringMaxOcc=%d nodesReclaimed=%d nodesCapped=%d",
 		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
 		s.BargeDispatched, s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
 		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard,
 		s.Batches, s.BatchEntries, s.MaxBatch, s.Coalesced,
-		s.Expired, s.Delayed, s.TimerWakeups, s.PriorityDispatched,
+		s.Expired, s.Delayed, s.TimerWakeups, s.ChainHandoffs, s.PriorityDispatched,
 		s.Panics, s.Released, s.Retries, s.DeadLettered,
-		s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected)
+		s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected,
+		s.IntakeRing, s.RingPublished, s.RingFallbacks, s.RingSpins,
+		s.RingMaxOccupancy, s.NodesReclaimed, s.NodesCapped)
 }
