@@ -130,6 +130,8 @@ func (q *Queue) harvestShard(s *shard, max int) (es []*Entry, retry bool) {
 
 // harvestLocked is harvestShard's body. Caller holds s.mu and must pass
 // the expired messages to finishExpired after unlocking.
+//
+//pdq:crossshard — holds s.mu; batch dispatch reaches foreign shards.
 func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entry, retry bool) {
 	q.drainIntakeScan(s)
 	// Read AFTER the drain, for the reason documented in scanLocked: the

@@ -1,0 +1,24 @@
+// Package-local monotonic clock for the session layer's retransmission
+// timing, mirroring the root package's scheduling clock (sched.go).
+package cluster
+
+import "time"
+
+// clockEpoch anchors the cluster's retransmission clock. RTO deadlines
+// are stored and compared as nanoseconds since this anchor through its
+// monotonic reading, so an NTP step can neither fire a retransmission
+// storm (clock jumped forward) nor stall loss repair (clock jumped
+// back). The sessions only ever compare durations, so the anchor needs
+// no relation to the root package's scheduling epoch.
+// Retransmission paths must read time only through nowNanos; pdqvet's
+// wallclock analyzer enforces it (the markers opt this package in and
+// sanction the anchor's raw read).
+//
+//pdq:clock-discipline
+//pdq:wallclock
+var clockEpoch = time.Now()
+
+// nowNanos returns the current instant on the retransmission clock.
+//
+//pdq:wallclock — reads through the anchor's monotonic reading.
+func nowNanos() int64 { return int64(time.Since(clockEpoch)) }

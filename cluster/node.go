@@ -67,7 +67,7 @@ type txPeer struct {
 
 type unackedMsg struct {
 	m   WireMsg
-	at  time.Time     // last transmission, for the retransmit timer
+	at  int64         // last transmission, in retransmission-clock nanos (clock.go)
 	rto time.Duration // current retransmit interval, doubled per resend
 }
 
@@ -322,7 +322,7 @@ func (n *node) sendSeqLocked(to int, m WireMsg) {
 	t := &n.tx[to]
 	t.nextSeq++
 	m.Seq = t.nextSeq
-	t.unacked[m.Seq] = unackedMsg{m: m, at: time.Now(), rto: n.c.cfg.rto}
+	t.unacked[m.Seq] = unackedMsg{m: m, at: nowNanos(), rto: n.c.cfg.rto}
 	n.msgsSent.Add(1)
 	n.c.tr.Send(n.id, to, m)
 }
@@ -432,11 +432,11 @@ func (n *node) retransmit(ctx context.Context, rto time.Duration) {
 			return
 		case <-tick.C:
 		}
-		now := time.Now()
+		now := nowNanos()
 		n.mu.Lock()
 		for to := range n.tx {
 			for seq, u := range n.tx[to].unacked {
-				if now.Sub(u.at) >= u.rto {
+				if now-u.at >= int64(u.rto) {
 					u.at = now
 					if u.rto < maxRTO {
 						u.rto *= 2

@@ -32,12 +32,15 @@
 // only applies when the measuring host has at least as many CPUs as the
 // highest point (the record's "cpus" field); with fewer, extra Ps are
 // scheduling churn and the curve says nothing about the dispatch path.
+//
+// Exit status: 0 pass, 1 regression, 2 usage or incomparable inputs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -149,39 +152,51 @@ func loadScaling(path string) (scaling, error) {
 	return s, nil
 }
 
+// guard gates one single-run comparison. A non-nil error means the
+// inputs are incomparable (exit 2 territory); fails counts floor
+// violations (exit 1 territory). Progress lines go to w.
+func guard(w io.Writer, baseline, current bench, maxRegress float64) (fails int, err error) {
+	if !sameWorkload(baseline, current) {
+		return 0, fmt.Errorf("workload mismatch — baseline %+v vs current %+v", baseline, current)
+	}
+	floor := baseline.Throughput * (1 - maxRegress)
+	ratio := current.Throughput / baseline.Throughput
+	fmt.Fprintf(w, "benchguard: %s  baseline %.0f msg/s  current %.0f msg/s  (%.2fx, floor %.0f)\n",
+		baseline.Strategy, baseline.Throughput, current.Throughput, ratio, floor)
+	if current.Throughput < floor {
+		fmt.Fprintf(w, "benchguard: FAIL — throughput regressed %.1f%% (allowed %.1f%%)\n",
+			(1-ratio)*100, maxRegress*100)
+		fails++
+	}
+	return fails, nil
+}
+
 // guardScaling gates a scaling curve: shape and procs sequence must match
 // the baseline, every point is held to its one-sided floor, and the
 // current curve's highest-procs point must not fall below its 1-proc
-// point. Returns the number of failures (0 = pass).
-func guardScaling(baseline, current scaling, maxRegress float64) int {
+// point. A non-nil error means the curves are incomparable; fails counts
+// gate violations (0 with nil error = pass).
+func guardScaling(w io.Writer, baseline, current scaling, maxRegress float64) (fails int, err error) {
 	if !sameWorkload(baseline.bench, current.bench) {
-		fmt.Fprintf(os.Stderr,
-			"benchguard: workload mismatch — baseline %+v vs current %+v\n",
+		return 0, fmt.Errorf("workload mismatch — baseline %+v vs current %+v",
 			baseline.bench, current.bench)
-		os.Exit(2)
 	}
 	if len(baseline.Points) != len(current.Points) {
-		fmt.Fprintf(os.Stderr,
-			"benchguard: procs sweep mismatch — baseline has %d points, current %d\n",
+		return 0, fmt.Errorf("procs sweep mismatch — baseline has %d points, current %d",
 			len(baseline.Points), len(current.Points))
-		os.Exit(2)
 	}
-	fails := 0
 	for i, b := range baseline.Points {
 		c := current.Points[i]
 		if b.Procs != c.Procs {
-			fmt.Fprintf(os.Stderr,
-				"benchguard: procs sweep mismatch at point %d — baseline procs=%d, current procs=%d\n",
+			return 0, fmt.Errorf("procs sweep mismatch at point %d — baseline procs=%d, current procs=%d",
 				i, b.Procs, c.Procs)
-			os.Exit(2)
 		}
 		floor := b.Throughput * (1 - maxRegress)
 		ratio := c.Throughput / b.Throughput
-		fmt.Printf("benchguard: %s procs=%-3d baseline %.0f msg/s  current %.0f msg/s  (%.2fx, floor %.0f)\n",
+		fmt.Fprintf(w, "benchguard: %s procs=%-3d baseline %.0f msg/s  current %.0f msg/s  (%.2fx, floor %.0f)\n",
 			baseline.Strategy, b.Procs, b.Throughput, c.Throughput, ratio, floor)
 		if c.Throughput < floor {
-			fmt.Fprintf(os.Stderr,
-				"benchguard: FAIL — procs=%d throughput regressed %.1f%% (allowed %.1f%%)\n",
+			fmt.Fprintf(w, "benchguard: FAIL — procs=%d throughput regressed %.1f%% (allowed %.1f%%)\n",
 				b.Procs, (1-ratio)*100, maxRegress*100)
 			fails++
 		}
@@ -202,17 +217,16 @@ func guardScaling(baseline, current scaling, maxRegress float64) int {
 		}
 	}
 	if one != nil && last != nil && last.Procs > 1 && current.CPUs < last.Procs {
-		fmt.Printf("benchguard: curve-shape gate skipped — host has %d CPUs, sweep peaks at procs=%d\n",
+		fmt.Fprintf(w, "benchguard: curve-shape gate skipped — host has %d CPUs, sweep peaks at procs=%d\n",
 			current.CPUs, last.Procs)
 		one = nil
 	}
 	if one != nil && last != nil && last.Procs > 1 && last.Throughput < one.Throughput {
-		fmt.Fprintf(os.Stderr,
-			"benchguard: FAIL — negative scaling: procs=%d throughput %.0f msg/s below procs=1 throughput %.0f msg/s\n",
+		fmt.Fprintf(w, "benchguard: FAIL — negative scaling: procs=%d throughput %.0f msg/s below procs=1 throughput %.0f msg/s\n",
 			last.Procs, last.Throughput, one.Throughput)
 		fails++
 	}
-	return fails
+	return fails, nil
 }
 
 func main() {
@@ -231,6 +245,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: -max-regress must be in [0, 1)")
 		os.Exit(2)
 	}
+	var fails int
 	if *scalingMode {
 		baseline, err := loadScaling(*baselinePath)
 		if err != nil {
@@ -242,36 +257,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(2)
 		}
-		if guardScaling(baseline, current, *maxRegress) > 0 {
-			os.Exit(1)
+		fails, err = guardScaling(os.Stdout, baseline, current, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
 		}
-		fmt.Println("benchguard: OK")
-		return
+	} else {
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		current, err := load(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		fails, err = guard(os.Stdout, baseline, current, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
 	}
-	baseline, err := load(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
-	}
-	current, err := load(*currentPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
-	}
-	if !sameWorkload(baseline, current) {
-		fmt.Fprintf(os.Stderr,
-			"benchguard: workload mismatch — baseline %+v vs current %+v\n",
-			baseline, current)
-		os.Exit(2)
-	}
-	floor := baseline.Throughput * (1 - *maxRegress)
-	ratio := current.Throughput / baseline.Throughput
-	fmt.Printf("benchguard: %s  baseline %.0f msg/s  current %.0f msg/s  (%.2fx, floor %.0f)\n",
-		baseline.Strategy, baseline.Throughput, current.Throughput, ratio, floor)
-	if current.Throughput < floor {
-		fmt.Fprintf(os.Stderr,
-			"benchguard: FAIL — throughput regressed %.1f%% (allowed %.1f%%)\n",
-			(1-ratio)*100, *maxRegress*100)
+	if fails > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: OK")

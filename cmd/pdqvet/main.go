@@ -1,0 +1,30 @@
+// Command pdqvet is the project's vet tool: a suite of analyzers that
+// enforce the queue's concurrency invariants at compile time. Run it
+// through the go tool so every package — including tests — is covered:
+//
+//	go build -o pdqvet ./cmd/pdqvet
+//	go vet -vettool=$(pwd)/pdqvet ./...
+//
+// Individual analyzers can be selected with their flag names, e.g.
+// `go vet -vettool=./pdqvet -wallclock ./...`. The enforced invariants
+// and the //pdq: annotation grammar are documented in docs/INVARIANTS.md.
+package main
+
+import (
+	"pdq/internal/analysis"
+	"pdq/internal/analysis/atomicpad"
+	"pdq/internal/analysis/lifecycle"
+	"pdq/internal/analysis/shardlock"
+	"pdq/internal/analysis/statstags"
+	"pdq/internal/analysis/wallclock"
+)
+
+func main() {
+	analysis.Main("pdqvet",
+		wallclock.Analyzer,
+		shardlock.Analyzer,
+		atomicpad.Analyzer,
+		statstags.Analyzer,
+		lifecycle.Analyzer,
+	)
+}

@@ -1,0 +1,154 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis surface this module needs, built only
+// on the standard library (the module deliberately has no external
+// dependencies). It exists to host pdqvet, the repo-specific vet suite
+// that turns the dispatch core's concurrency invariants — until now
+// enforced only by comments and code review — into machine-checked
+// rules.
+//
+// The shapes mirror x/tools so the analyzers would port to the real
+// framework mechanically: an Analyzer owns a Run function over a Pass,
+// a Pass carries the parsed and type-checked package plus a Report
+// sink, and diagnostics are position + message. Facts, Requires, and
+// SuggestedFixes are intentionally absent: every pdqvet analyzer is
+// package-local.
+//
+// Three entry points share these types:
+//
+//   - Main (unitchecker.go) speaks cmd/go's -vettool protocol, so CI
+//     runs the suite as `go vet -vettool=$(pwd)/bin/pdqvet ./...`.
+//   - analysistest (analysistest/) runs an analyzer over a fixture
+//     package and matches diagnostics against `// want "re"` comments.
+//   - The annotation helpers below parse the //pdq: comment grammar the
+//     analyzers share (documented in docs/INVARIANTS.md).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation; the first line is used as
+	// the flag usage string.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Report records one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled by the driver when empty
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// The //pdq: annotation grammar (see docs/INVARIANTS.md). Annotations
+// are ordinary line comments; each stands alone on its line (possibly
+// inside a doc comment) so they read as machine-checked contracts:
+//
+//	//pdq:clock-discipline   file marker: the package opts in to wallclock
+//	//pdq:wallclock          func/decl marker: sanctioned wall-clock read
+//	//pdq:crossshard         func marker: runs while a shard lock is (or
+//	//	                     may be) held; blocking shard Lock is illegal
+//	//	                     here and in everything it calls
+//	//pdq:atomic             field marker: raw integer accessed with
+//	//	                     sync/atomic functions
+//	//pdq:isolated           field marker: hot atomic that must own its
+//	//	                     cache line
+const (
+	MarkerClockDiscipline = "pdq:clock-discipline"
+	MarkerWallclock       = "pdq:wallclock"
+	MarkerCrossShard      = "pdq:crossshard"
+	MarkerAtomic          = "pdq:atomic"
+	MarkerIsolated        = "pdq:isolated"
+)
+
+// commentHasMarker reports whether one comment group contains the
+// marker as a standalone `//pdq:name` line (trailing prose after the
+// marker is allowed: "//pdq:crossshard — holds s.mu").
+func commentHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == marker || strings.HasPrefix(text, marker+" ") ||
+			strings.HasPrefix(text, marker+"\t") || strings.HasPrefix(text, marker+":") ||
+			strings.HasPrefix(text, marker+" —") {
+			return true
+		}
+	}
+	return false
+}
+
+// FileHasMarker reports whether any comment anywhere in the file
+// carries the marker.
+func FileHasMarker(f *ast.File, marker string) bool {
+	for _, cg := range f.Comments {
+		if commentHasMarker(cg, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageHasMarker reports whether any file of the pass's package
+// carries the marker.
+func PackageHasMarker(pass *Pass, marker string) bool {
+	for _, f := range pass.Files {
+		if FileHasMarker(f, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeclHasMarker reports whether the declaration's doc comment carries
+// the marker.
+func DeclHasMarker(doc *ast.CommentGroup, marker string) bool {
+	return commentHasMarker(doc, marker)
+}
+
+// FieldHasMarker reports whether a struct field carries the marker in
+// its doc or trailing line comment.
+func FieldHasMarker(f *ast.Field, marker string) bool {
+	return commentHasMarker(f.Doc, marker) || commentHasMarker(f.Comment, marker)
+}
+
+// IsTestFile reports whether pos sits in a _test.go file. The pdqvet
+// analyzers skip test files: tests legitimately read wall clocks,
+// drop entries on purpose, and poke shard internals.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

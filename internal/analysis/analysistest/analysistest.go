@@ -1,0 +1,197 @@
+// Package analysistest runs a pdqvet analyzer over a fixture package
+// and checks its diagnostics against expectations written in the
+// fixture itself — the same contract as x/tools' analysistest, rebuilt
+// on the standard library.
+//
+// Fixtures live under <caller>/testdata/src/<pkg>/ and are plain Go
+// files (never compiled into the module: testdata is invisible to the
+// go tool). A line expecting diagnostics carries a trailing comment of
+// quoted regular expressions:
+//
+//	time.Now() // want `wall clock read`
+//	s.mu.Lock() // want "cross-shard" "second finding"
+//
+// Every diagnostic must match an expectation on its line and vice
+// versa; mismatches in either direction fail the test. Fixtures may
+// import the standard library only — they are type-checked through the
+// source importer, which resolves GOROOT packages without export data,
+// a network, or a module context.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pdq/internal/analysis"
+)
+
+// Run applies a to the fixture package testdata/src/<pkg> under dir
+// (usually the analyzer package's own directory) and reports
+// expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "testdata", "src", pkg)
+	names, err := fixtureFiles(pkgdir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tcfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := tcfg.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", pkg, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		Report:     func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, fset, files, got)
+}
+
+// fixtureFiles lists the fixture package's .go files in stable order.
+func fixtureFiles(pkgdir string) ([]string, error) {
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(pkgdir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", pkgdir)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// expectation is one `// want` regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
+
+// parseWant extracts the quoted regexps from a `// want ...` comment.
+func parseWant(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	t.Helper()
+	var res []*regexp.Regexp
+	for _, m := range wantRE.FindAllString(text, -1) {
+		pat, err := strconv.Unquote(m)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %s: %v", pos, m, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+		}
+		res = append(res, re)
+	}
+	if len(res) == 0 {
+		t.Fatalf("%s: want comment carries no quoted regexp", pos)
+	}
+	return res
+}
+
+// wantPayload extracts the regexp list of a want expectation from a
+// line comment: either the whole comment (`// want "re"`) or a trailing
+// section after another marker (`//pdq:isolated // want "re"`).
+func wantPayload(text string) (string, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return "", false // a /* */ comment; want expectations are line comments
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), "want "); ok {
+		return rest, true
+	}
+	if i := strings.Index(body, "// want "); i >= 0 {
+		return body[i+len("// want "):], true
+	}
+	return "", false
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := wantPayload(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, re := range parseWant(t, pos, rest) {
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, text: re.String(),
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.text)
+		}
+	}
+}

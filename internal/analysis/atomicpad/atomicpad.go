@@ -1,0 +1,188 @@
+// Package atomicpad checks the mechanical-sympathy layout contracts of
+// structs that use cpad cache-line spacers (PR 7's false-sharing work):
+//
+//   - A field marked //pdq:isolated is a hot cross-thread atomic that
+//     must own its cache line. The analyzer computes field offsets
+//     (64-bit gc layout) and flags any other atomic field close enough
+//     to share a 64-byte line with it — which is exactly what a careless
+//     field reordering does: the cpad spacers remain, but two hot
+//     atomics end up between the same pair.
+//
+//   - A raw integer field marked //pdq:atomic (accessed through
+//     sync/atomic functions rather than the atomic.XxxNN wrapper types)
+//     must sit 64-bit aligned under 32-bit (GOARCH=386) layout, where
+//     words are 4-aligned and a misplaced field turns every atomic op
+//     into a runtime panic. Fields of the sync/atomic wrapper types are
+//     exempt: the compiler 8-aligns them on every architecture via
+//     their align64 marker, which go/types cannot see.
+//
+// Structs without a cpad field are out of scope — the contract is about
+// the layouts the dispatch core tuned, not every struct in the module.
+package atomicpad
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdq/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpad",
+	Doc: "check cpad-padded structs: //pdq:isolated atomics must own their cache line, " +
+		"//pdq:atomic raw fields must be 64-bit aligned on 32-bit targets",
+	Run: run,
+}
+
+// cacheLine is the padding granule cpad provides.
+const cacheLine = 64
+
+type fieldInfo struct {
+	v        *types.Var
+	astField *ast.Field
+	off64    int64 // offset under 64-bit (amd64) layout
+	off32    int64 // offset under 32-bit (386) layout
+	size64   int64
+	atomic   bool
+	isolated bool
+	rawWord  bool // raw int64/uint64 marked //pdq:atomic
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	sizes64 := types.SizesFor("gc", "amd64")
+	sizes32 := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name]
+			if !ok {
+				return true
+			}
+			tStruct, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, ts.Name.Name, st, tStruct, sizes64, sizes32)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkStruct(pass *analysis.Pass, name string, st *ast.StructType, tStruct *types.Struct, sizes64, sizes32 types.Sizes) {
+	// Pair every types.Var field with its declaring ast.Field (one
+	// ast.Field may declare several names; embedded fields have none).
+	var astFields []*ast.Field
+	for _, af := range st.Fields.List {
+		n := len(af.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			astFields = append(astFields, af)
+		}
+	}
+	if len(astFields) != tStruct.NumFields() {
+		return // blank-field mismatch would be a bug; bail quietly
+	}
+
+	usesCpad := false
+	vars := make([]*types.Var, tStruct.NumFields())
+	for i := range vars {
+		vars[i] = tStruct.Field(i)
+		if isNamed(vars[i].Type(), "cpad") {
+			usesCpad = true
+		}
+	}
+	if !usesCpad {
+		return
+	}
+	offs64 := sizes64.Offsetsof(vars)
+	offs32 := sizes32.Offsetsof(vars)
+
+	fields := make([]fieldInfo, len(vars))
+	for i, v := range vars {
+		fi := fieldInfo{
+			v: v, astField: astFields[i],
+			off64: offs64[i], off32: offs32[i],
+			size64: sizes64.Sizeof(v.Type()),
+		}
+		fi.isolated = analysis.FieldHasMarker(fi.astField, analysis.MarkerIsolated)
+		marked := analysis.FieldHasMarker(fi.astField, analysis.MarkerAtomic)
+		switch {
+		case isSyncAtomicType(v.Type()):
+			fi.atomic = true
+		case marked && is64BitWord(v.Type()):
+			fi.atomic = true
+			fi.rawWord = true
+		case marked:
+			fi.atomic = true
+		}
+		fields[i] = fi
+	}
+
+	for i := range fields {
+		fi := &fields[i]
+		if fi.isolated {
+			for j := range fields {
+				fj := &fields[j]
+				if i == j || !fj.atomic {
+					continue
+				}
+				var gap int64
+				if fj.off64 >= fi.off64 {
+					gap = fj.off64 - (fi.off64 + fi.size64)
+				} else {
+					gap = fi.off64 - (fj.off64 + fj.size64)
+				}
+				if gap < cacheLine-1 {
+					pass.Reportf(fi.astField.Pos(),
+						"field %s.%s is marked //pdq:isolated but atomic field %s is only %d bytes away: they can share a cache line — keep a cpad between hot atomics",
+						name, fi.v.Name(), fj.v.Name(), gap)
+					break
+				}
+			}
+		}
+		if fi.rawWord && fi.off32%8 != 0 {
+			pass.Reportf(fi.astField.Pos(),
+				"field %s.%s is a raw //pdq:atomic word at 32-bit offset %d (not 8-aligned): sync/atomic 64-bit ops fault on 386/arm — move it to the front or use atomic.Uint64",
+				name, fi.v.Name(), fi.off32)
+		}
+	}
+}
+
+func isNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+func isSyncAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+func is64BitWord(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}

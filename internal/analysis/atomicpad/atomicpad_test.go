@@ -1,0 +1,12 @@
+package atomicpad_test
+
+import (
+	"testing"
+
+	"pdq/internal/analysis/analysistest"
+	"pdq/internal/analysis/atomicpad"
+)
+
+func TestAtomicpad(t *testing.T) {
+	analysistest.Run(t, ".", atomicpad.Analyzer, "padded")
+}

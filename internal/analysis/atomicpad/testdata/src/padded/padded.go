@@ -1,0 +1,63 @@
+// Package padded reproduces the reordered-cpad incident: the spacers
+// survive a refactor but two hot atomics end up sharing the gap between
+// one pair, silently restoring the false sharing PR 7 removed.
+package padded
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cpad is one cache line of padding, as in the dispatch core.
+type cpad [64]byte
+
+// goodShard is the tuned layout: every isolated atomic a full line from
+// the next. No diagnostics.
+type goodShard struct {
+	mu sync.Mutex
+
+	_ cpad
+	//pdq:isolated
+	npending atomic.Int64
+	_        cpad
+	//pdq:isolated
+	minSeq atomic.Uint64
+	_      cpad
+}
+
+// reordered is the incident shape: both counters slid between the same
+// pair of spacers.
+type reordered struct {
+	mu sync.Mutex
+
+	_ cpad
+	//pdq:isolated
+	npending atomic.Int64 // want `atomic field minSeq is only 0 bytes away`
+	//pdq:isolated
+	minSeq atomic.Uint64 // want `atomic field npending is only 0 bytes away`
+	_      cpad
+}
+
+// rawPadded misplaces a raw atomic word: 4-aligned on 386, so 64-bit
+// sync/atomic ops on it fault there.
+type rawPadded struct {
+	flags uint32
+	//pdq:atomic — accessed with atomic.AddUint64
+	hot uint64 // want `not 8-aligned`
+	_   cpad
+}
+
+// rawFront is the legal raw-word placement (offset 0 on every arch).
+type rawFront struct {
+	//pdq:atomic
+	hot   uint64
+	flags uint32
+	_     cpad
+}
+
+// unpadded has neither cpad nor markers: out of scope, whatever its
+// layout.
+type unpadded struct {
+	a atomic.Uint64
+	b atomic.Uint64
+}

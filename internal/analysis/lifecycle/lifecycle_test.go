@@ -1,0 +1,12 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"pdq/internal/analysis/analysistest"
+	"pdq/internal/analysis/lifecycle"
+)
+
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, ".", lifecycle.Analyzer, "leaked")
+}

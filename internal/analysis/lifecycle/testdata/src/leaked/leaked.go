@@ -1,0 +1,131 @@
+// Package leaked reproduces the dropped-Entry incident: a consumer
+// dequeues, inspects, and forgets an entry, wedging its key's conflict
+// chain without any error surfacing.
+package leaked
+
+import "context"
+
+type Entry struct {
+	Key string
+	seq uint64
+}
+
+func (e *Entry) Seq() uint64 { return e.seq }
+
+type Queue struct{}
+
+func (q *Queue) TryDequeue() (*Entry, bool)                         { return nil, false }
+func (q *Queue) Dequeue() (*Entry, bool)                            { return nil, false }
+func (q *Queue) DequeueContext(ctx context.Context) (*Entry, error) { return nil, nil }
+func (q *Queue) TryDequeueBatch(max int) ([]*Entry, bool)           { return nil, false }
+func (q *Queue) CompleteNext(e *Entry) (*Entry, bool)               { return nil, false }
+func (q *Queue) Complete(e *Entry)                                  {}
+func (q *Queue) Release(e *Entry, err error)                        {}
+func (q *Queue) Run(e *Entry) error                                 { return nil }
+func (q *Queue) RunBatch(es []*Entry) error                         { return nil }
+
+// drop is the incident shape: dequeue, peek, forget.
+func drop(q *Queue) uint64 {
+	e, ok := q.TryDequeue() // want `dequeued entry e is never completed, released, run, or handed off`
+	if !ok {
+		return 0
+	}
+	return e.Seq() // receiver-only use: reading is not disposing
+}
+
+// discard throws the whole result tuple away.
+func discard(q *Queue) {
+	q.TryDequeue() // want `result of TryDequeue dropped`
+}
+
+// blank drops the entry position into the blank identifier.
+func blank(q *Queue) bool {
+	_, ok := q.Dequeue() // want `entry from Dequeue assigned to _`
+	return ok
+}
+
+// complete settles by passing the entry to Complete.
+func complete(q *Queue) {
+	if e, ok := q.TryDequeue(); ok {
+		q.Complete(e)
+	}
+}
+
+// chain settles both links: e as CompleteNext's argument, next by a
+// further call.
+func chain(q *Queue, e *Entry) {
+	next, ok := q.CompleteNext(e)
+	if ok {
+		q.Run(next)
+	}
+}
+
+// chainLeak completes e but forgets the successor it was handed.
+func chainLeak(q *Queue, e *Entry) {
+	next, ok := q.CompleteNext(e) // want `dequeued entry next is never completed`
+	if !ok {
+		return
+	}
+	_ = ok
+	println(next.Key)
+}
+
+// handoff settles by returning the entry to the caller.
+func handoff(ctx context.Context, q *Queue) (*Entry, error) {
+	return q.DequeueContext(ctx)
+}
+
+func handoffVar(q *Queue) *Entry {
+	e, _ := q.Dequeue()
+	return e
+}
+
+// send settles through a channel; the receiver now owns the entry.
+func send(q *Queue, out chan<- *Entry) {
+	if e, ok := q.TryDequeue(); ok {
+		out <- e
+	}
+}
+
+// batch settles the slice by handing it to RunBatch.
+func batch(q *Queue) {
+	if es, ok := q.TryDequeueBatch(8); ok {
+		q.RunBatch(es)
+	}
+}
+
+// batchLeak harvests a batch and walks away from it.
+func batchLeak(q *Queue) int {
+	es, ok := q.TryDequeueBatch(8) // want `dequeued entry es is never completed`
+	if !ok {
+		return 0
+	}
+	return len(es)
+}
+
+// closure settles by capture: the goroutine owns the entry now.
+func closure(q *Queue) {
+	if e, ok := q.TryDequeue(); ok {
+		go func() { q.Release(e, nil) }()
+	}
+}
+
+// batchOwner mirrors mux batching: entries settle through a keyed
+// composite-literal field.
+type batchOwner struct {
+	Entries []*Entry
+}
+
+func wrap(q *Queue) batchOwner {
+	es, _ := q.TryDequeueBatch(4)
+	return batchOwner{Entries: es}
+}
+
+// stash settles by placing the entry in a composite literal.
+func stash(q *Queue) []*Entry {
+	var held []*Entry
+	if e, ok := q.TryDequeue(); ok {
+		held = []*Entry{e}
+	}
+	return held
+}

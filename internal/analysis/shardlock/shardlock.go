@@ -1,0 +1,160 @@
+// Package shardlock enforces the cross-shard locking protocol of the
+// sharded dispatch core.
+//
+// A goroutine may block on shard.mu only when it holds no other shard
+// lock — the enqueue path's ordered lockMask, the completion path's
+// one-at-a-time releaseKeys. Everywhere a shard lock is already held
+// (dispatch scans touching foreign shards, expiry claim removal, the
+// intake ring's full-ring fallback, where the lock holder may itself be
+// spin-waiting on this goroutine), acquisition must be TryLock: a
+// blocking Lock there is an ABBA deadlock waiting for load to find it.
+//
+// The code marks those contexts with //pdq:crossshard on the function.
+// This analyzer takes every marked function as a root, walks the
+// package-local static call graph, and flags any blocking `<shard>.mu.
+// Lock()` reachable from a root. TryLock is always legal; Lock on other
+// mutexes (barrier, mux, cluster node) is out of scope.
+package shardlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdq/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardlock",
+	Doc: "flag blocking shard.mu.Lock() reachable from //pdq:crossshard functions, " +
+		"where only TryLock is deadlock-safe",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The protocol concerns types named "shard" carrying a mu field.
+	// A package without one has nothing to check.
+	if !packageHasShard(pass) {
+		return nil, nil
+	}
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if analysis.DeclHasMarker(fd.Doc, analysis.MarkerCrossShard) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+
+	// Reachability over package-local direct calls, roots included.
+	reached := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reached[fn] {
+			return
+		}
+		reached[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			if callee, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if _, local := decls[callee]; local {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	for fn := range reached {
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isShardMuLock(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"blocking shard.mu.Lock() in %s, reachable from a //pdq:crossshard context: a shard lock may already be held, use TryLock and retry",
+				fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isShardMuLock matches `<expr>.mu.Lock()` where <expr> has type shard
+// or *shard (named "shard" in the analyzed package).
+func isShardMuLock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Lock" {
+		return false
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[mu.X]
+	if !ok {
+		return false
+	}
+	return isShardType(tv.Type)
+}
+
+func isShardType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "shard"
+}
+
+func packageHasShard(pass *analysis.Pass) bool {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if name == "shard" {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if _, ok := tn.Type().Underlying().(*types.Struct); ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package shardlock_test
+
+import (
+	"testing"
+
+	"pdq/internal/analysis/analysistest"
+	"pdq/internal/analysis/shardlock"
+)
+
+func TestShardlock(t *testing.T) {
+	analysistest.Run(t, ".", shardlock.Analyzer, "crossshard")
+}

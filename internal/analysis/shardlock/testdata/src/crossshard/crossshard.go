@@ -1,0 +1,55 @@
+// Package crossshard reproduces the foreign-Lock incident: a dispatch
+// path holding its home shard's lock taking a blocking Lock on another
+// shard, the ABBA deadlock the TryLock protocol exists to prevent.
+package crossshard
+
+import "sync"
+
+type shard struct {
+	mu      sync.Mutex
+	pending int
+}
+
+type queue struct {
+	shards []shard
+}
+
+// tryDispatchCross holds the home shard's lock while acquiring foreign
+// shards — the canonical cross-shard context.
+//
+//pdq:crossshard — s.mu is held on entry
+func (q *queue) tryDispatchCross(s *shard, other int) bool {
+	f := &q.shards[other]
+	f.mu.Lock() // want `blocking shard\.mu\.Lock\(\) in tryDispatchCross`
+	defer f.mu.Unlock()
+	return q.acquireForeign(other)
+}
+
+// acquireForeign is not annotated, but is reachable from the marked
+// root above: its blocking Lock is flagged transitively.
+func (q *queue) acquireForeign(i int) bool {
+	q.shards[i].mu.Lock() // want `blocking shard\.mu\.Lock\(\) in acquireForeign`
+	defer q.shards[i].mu.Unlock()
+	return q.shards[i].pending > 0
+}
+
+// tryAcquireForeign is the legal shape: TryLock and retry.
+//
+//pdq:crossshard
+func (q *queue) tryAcquireForeign(i int) bool {
+	if !q.shards[i].mu.TryLock() {
+		return false
+	}
+	defer q.shards[i].mu.Unlock()
+	return q.shards[i].pending > 0
+}
+
+// releaseKeys blocks on shard locks one at a time while holding none —
+// legal, and unreachable from any //pdq:crossshard root.
+func (q *queue) releaseKeys() {
+	for i := range q.shards {
+		q.shards[i].mu.Lock()
+		q.shards[i].pending--
+		q.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,12 @@
+package statstags_test
+
+import (
+	"testing"
+
+	"pdq/internal/analysis/analysistest"
+	"pdq/internal/analysis/statstags"
+)
+
+func TestStatstags(t *testing.T) {
+	analysistest.Run(t, ".", statstags.Analyzer, "stats")
+}

@@ -1,0 +1,320 @@
+package analysis
+
+// cmd/go's -vettool protocol, reimplemented on the standard library
+// (x/tools' unitchecker is unavailable: this module carries no external
+// dependencies). The contract, as go vet drives it:
+//
+//	pdqvet -V=full          print a versioned fingerprint for the build cache
+//	pdqvet -flags           print the supported flags as JSON
+//	pdqvet [flags] foo.cfg  analyze one package described by the JSON config
+//
+// The .cfg file names the package's sources and maps every import to a
+// gc export-data file cmd/go already produced, so type-checking needs
+// no network, no GOPATH scan, and no source re-parse of dependencies:
+// the stdlib gc importer reads those files directly through the lookup
+// hook of importer.ForCompiler. Diagnostics go to stderr as
+// file:line:col: messages and exit with code 2, which go vet renders
+// like any other vet finding. Analyzers here have no facts, so
+// dependency (VetxOnly) runs short-circuit to writing an empty facts
+// file.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// vetConfig is the JSON cmd/go writes for each vetted package. Field
+// names are fixed by cmd/go/internal/work (and mirrored by x/tools'
+// unitchecker.Config); unknown fields are ignored on decode.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the analyzers as a vet tool. It never returns.
+func Main(progname string, analyzers ...*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := fs.Bool("json", false, "emit JSON output instead of text")
+	fix := fs.Bool("fix", false, "accepted for vet compatibility; no-op")
+	fs.Var(versionFlag{progname}, "V", "print version and exit")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		selected[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analysis: "+doc)
+	}
+	_ = fs.Parse(os.Args[1:])
+	_ = fix
+
+	if *printFlags {
+		printFlagDefs(fs)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoke via "go vet -vettool=%s [package]"`, progname)
+	}
+
+	// go vet semantics: naming any analyzer flag runs only the named
+	// ones; naming none runs them all.
+	var run []*Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			run = append(run, a)
+		}
+	}
+	if len(run) == 0 {
+		run = analyzers
+	}
+
+	diags, err := analyzeConfig(args[0], run, *jsonOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) > 0 && !*jsonOut {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// versionFlag implements -V=full: cmd/go hashes the output into its
+// build cache key, so it must change when the tool's code changes —
+// hashing the executable itself achieves that.
+type versionFlag struct{ progname string }
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (v versionFlag) String() string { return "" }
+func (v versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", v.progname, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// printFlagDefs emits the JSON flag inventory go vet requests with
+// -flags before forwarding user flags to the tool.
+func printFlagDefs(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var defs []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		defs = append(defs, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+	data, err := json.Marshal(defs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// goMinorVersion trims a toolchain version like "go1.24.0" to the
+// "go1.24" form go/types accepts in every supported release.
+var goMinorVersion = regexp.MustCompile(`^go\d+\.\d+`)
+
+func analyzeConfig(cfgPath string, analyzers []*Analyzer, jsonOut bool) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", cfgPath, err)
+	}
+
+	// Facts output: pdqvet analyzers export none, but cmd/go caches the
+	// file as the action's output, so one must exist — and a VetxOnly
+	// (dependency) run needs nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, &cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	var all []Diagnostic
+	perAnalyzer := make(map[string][]Diagnostic)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", buildGOARCH()),
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			if d.Category == "" {
+				d.Category = name
+			}
+			all = append(all, d)
+			perAnalyzer[name] = append(perAnalyzer[name], d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+
+	if jsonOut {
+		emitJSON(fset, cfg.ID, perAnalyzer)
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+	}
+	return all, nil
+}
+
+// buildGOARCH is the architecture being vetted: cmd/go forwards the
+// build's GOARCH to the tool's environment, so cross-vetting (GOARCH=arm
+// go vet ...) sizes types for the target, not the host.
+func buildGOARCH() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+func typecheck(fset *token.FileSet, cfg *vetConfig, files []*ast.File) (*types.Package, *types.Info, error) {
+	// The gc importer reads the export-data files cmd/go listed in
+	// PackageFile; ImportMap canonicalizes source-level import paths
+	// first (vendoring, test variants).
+	gcImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if p, ok := cfg.ImportMap[importPath]; ok {
+			importPath = p
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gcImp.Import(importPath)
+	})
+
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, buildGOARCH()),
+	}
+	if v := goMinorVersion.FindString(cfg.GoVersion); v != "" {
+		tcfg.GoVersion = v
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func emitJSON(fset *token.FileSet, id string, per map[string][]Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	inner := make(map[string][]jsonDiag)
+	for name, ds := range per {
+		out := make([]jsonDiag, len(ds))
+		for i, d := range ds {
+			out[i] = jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message}
+		}
+		inner[name] = out
+	}
+	data, err := json.MarshalIndent(map[string]map[string][]jsonDiag{id: inner}, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,44 @@
+// Package clocked reproduces the wall-clock maturity incident: a
+// scheduling path comparing maturity instants read from the wall clock,
+// which an NTP step can fire early.
+//
+//pdq:clock-discipline
+package clocked
+
+import "time"
+
+// clockEpoch anchors the monotonic scheduling clock. The read is the
+// sanctioned anchor.
+//
+//pdq:wallclock — the one place the package touches the wall clock
+var clockEpoch = time.Now()
+
+// nowNanos is the shim every scheduling comparison must use.
+//
+//pdq:wallclock
+func nowNanos() int64 { return int64(time.Since(clockEpoch)) }
+
+type entry struct {
+	notBefore int64
+	deadline  time.Time
+}
+
+// matureRipe is the historical bug shape: maturity compared against a
+// fresh wall-clock read instead of the monotonic shim.
+func matureRipe(e *entry) bool {
+	now := time.Now().UnixNano() // want `wall clock read time\.Now`
+	return e.notBefore <= now
+}
+
+// expireIfDue compounds it with time.Since and time.Until.
+func expireIfDue(e *entry, start time.Time) bool {
+	if time.Since(start) > time.Second { // want `wall clock read time\.Since`
+		return true
+	}
+	return time.Until(e.deadline) <= 0 // want `wall clock read time\.Until`
+}
+
+// throughShim is the corrected shape: no diagnostic.
+func throughShim(e *entry) bool {
+	return e.notBefore <= nowNanos()
+}

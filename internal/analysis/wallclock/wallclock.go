@@ -1,0 +1,71 @@
+// Package wallclock forbids wall-clock reads in packages that schedule
+// on the monotonic clock.
+//
+// PR 7 moved every scheduling comparison (maturity, expiry, timed
+// parks) onto a package-monotonic epoch after a wall-clock read let an
+// NTP slew fire a delayed entry before its maturity. The discipline
+// only holds if no new code reads the wall clock on those paths, so:
+// in a package opted in with a //pdq:clock-discipline file marker, any
+// call to time.Now, time.Since, or time.Until is a diagnostic unless
+// it sits in a _test.go file or in a declaration marked //pdq:wallclock
+// (the nowNanos/toNanos shims themselves, and sanctioned wall-clock
+// uses such as epoch anchors).
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdq/internal/analysis"
+)
+
+var forbidden = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Until in clock-disciplined packages; " +
+		"scheduling code must route through the monotonic nowNanos shim",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.PackageHasMarker(pass, analysis.MarkerClockDiscipline) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if analysis.DeclHasMarker(doc, analysis.MarkerWallclock) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !forbidden[fn.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"wall clock read time.%s in clock-disciplined package %s: route through the monotonic scheduling clock (nowNanos/toNanos), or mark the declaration //pdq:wallclock",
+					fn.Name(), pass.Pkg.Path())
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

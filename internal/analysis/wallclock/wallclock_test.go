@@ -1,0 +1,19 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"pdq/internal/analysis/analysistest"
+	"pdq/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, ".", wallclock.Analyzer, "clocked")
+}
+
+func TestWallclockOptOut(t *testing.T) {
+	// No //pdq:clock-discipline marker: the same wall-clock reads are
+	// legal, so the fixture carries no want comments and must produce
+	// no diagnostics.
+	analysistest.Run(t, ".", wallclock.Analyzer, "unmarked")
+}

@@ -54,10 +54,10 @@ type Message struct {
 
 // Stats counts baseline queue activity.
 type Stats struct {
-	Enqueued  uint64 // messages accepted
-	Handled   uint64 // handlers executed to completion
-	SpinLoops uint64 // busy-wait iterations across all workers
-	Aborts    uint64 // optimistic conflicts that re-enqueued the message
+	Enqueued  uint64 `json:"enqueued"`   // messages accepted
+	Handled   uint64 `json:"handled"`    // handlers executed to completion
+	SpinLoops uint64 `json:"spin_loops"` // busy-wait iterations across all workers
+	Aborts    uint64 `json:"aborts"`     // optimistic conflicts that re-enqueued the message
 }
 
 // ErrClosed is returned by Enqueue after Close.

@@ -30,13 +30,13 @@ type qEntry struct {
 
 // PDQStats counts simulated-PDQ activity on one node.
 type PDQStats struct {
-	Enqueued     uint64
-	Dispatched   uint64
-	KeyConflicts uint64 // scan skips due to in-flight same-key handlers
-	WindowStalls uint64 // scans that exhausted the search window
-	SeqBarriers  uint64 // sequential entries dispatched
-	MaxLen       int
-	DispatchWait sim.Accumulator // enqueue-to-dispatch time
+	Enqueued     uint64          `json:"enqueued"`
+	Dispatched   uint64          `json:"dispatched"`
+	KeyConflicts uint64          `json:"key_conflicts"` // scan skips due to in-flight same-key handlers
+	WindowStalls uint64          `json:"window_stalls"` // scans that exhausted the search window
+	SeqBarriers  uint64          `json:"seq_barriers"`  // sequential entries dispatched
+	MaxLen       int             `json:"max_len"`
+	DispatchWait sim.Accumulator `json:"dispatch_wait"` // enqueue-to-dispatch time
 }
 
 // simPDQ is the discrete-event model of the PDQ hardware: a FIFO of

@@ -121,10 +121,10 @@ func (b *Bus) Interrupt(n int, fn func(target int)) {
 
 // Stats summarizes bus activity.
 type Stats struct {
-	Transactions uint64
-	Interrupts   uint64
-	Bus          sim.ResourceStats
-	Memory       sim.ResourceStats
+	Transactions uint64            `json:"transactions"`
+	Interrupts   uint64            `json:"interrupts"`
+	Bus          sim.ResourceStats `json:"bus"`
+	Memory       sim.ResourceStats `json:"memory"`
 }
 
 // StatsAt snapshots counters for a simulation horizon.

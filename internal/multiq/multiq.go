@@ -26,11 +26,11 @@ type Message struct {
 
 // Stats reports per-partition load so imbalance is measurable.
 type Stats struct {
-	Enqueued     uint64   // total accepted messages
-	Handled      uint64   // total executed handlers
-	PerPartition []uint64 // handled per partition
-	MaxPartition uint64   // max of PerPartition
-	MinPartition uint64   // min of PerPartition
+	Enqueued     uint64   `json:"enqueued"`      // total accepted messages
+	Handled      uint64   `json:"handled"`       // total executed handlers
+	PerPartition []uint64 `json:"per_partition"` // handled per partition
+	MaxPartition uint64   `json:"max_partition"` // max of PerPartition
+	MinPartition uint64   `json:"min_partition"` // min of PerPartition
 }
 
 // Imbalance returns max/mean handled per partition; 1.0 is perfect balance.

@@ -129,10 +129,11 @@ func (nw *Network) deliver(m Message, start sim.Time) {
 
 // Stats summarizes traffic.
 type Stats struct {
-	Sent, Delivered uint64
-	Bytes           uint64
-	MeanLatency     float64
-	MaxLatency      float64
+	Sent        uint64  `json:"sent"`
+	Delivered   uint64  `json:"delivered"`
+	Bytes       uint64  `json:"bytes"`
+	MeanLatency float64 `json:"mean_latency"`
+	MaxLatency  float64 `json:"max_latency"`
 }
 
 // Stats returns a traffic snapshot.

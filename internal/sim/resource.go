@@ -83,14 +83,14 @@ func (r *Resource) Delay() Time {
 
 // ResourceStats is a snapshot of a resource's counters.
 type ResourceStats struct {
-	Name     string
-	Servers  int
-	Served   uint64
-	BusyTime Time
-	WaitTime Time
-	MaxWait  Time
-	MeanWait float64
-	UtilAt   float64 // utilization given horizon passed to StatsAt
+	Name     string  `json:"name"`
+	Servers  int     `json:"servers"`
+	Served   uint64  `json:"served"`
+	BusyTime Time    `json:"busy_time"`
+	WaitTime Time    `json:"wait_time"`
+	MaxWait  Time    `json:"max_wait"`
+	MeanWait float64 `json:"mean_wait"`
+	UtilAt   float64 `json:"util_at"` // utilization given horizon passed to StatsAt
 }
 
 // StatsAt snapshots statistics assuming the simulation ran for horizon

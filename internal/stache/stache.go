@@ -194,21 +194,21 @@ type pendingReq struct {
 
 // Stats counts protocol activity on one node.
 type Stats struct {
-	Faults        uint64
-	Merged        uint64
-	HomeRequests  uint64
-	DataReplies   uint64
-	CtlReplies    uint64
-	Invalidations uint64
-	InvAcks       uint64
-	Recalls       uint64
-	Writebacks    uint64
-	Defers        uint64
-	Completions   uint64
-	PageOps       uint64
-	Forwards      uint64 // requests forwarded to owners (3-hop variant)
-	FwdReplies    uint64 // owner-side forwarded replies sent
-	Evictions     uint64 // capacity evictions (finite-cache extension)
+	Faults        uint64 `json:"faults"`
+	Merged        uint64 `json:"merged"`
+	HomeRequests  uint64 `json:"home_requests"`
+	DataReplies   uint64 `json:"data_replies"`
+	CtlReplies    uint64 `json:"ctl_replies"`
+	Invalidations uint64 `json:"invalidations"`
+	InvAcks       uint64 `json:"inv_acks"`
+	Recalls       uint64 `json:"recalls"`
+	Writebacks    uint64 `json:"writebacks"`
+	Defers        uint64 `json:"defers"`
+	Completions   uint64 `json:"completions"`
+	PageOps       uint64 `json:"page_ops"`
+	Forwards      uint64 `json:"forwards"`    // requests forwarded to owners (3-hop variant)
+	FwdReplies    uint64 `json:"fwd_replies"` // owner-side forwarded replies sent
+	Evictions     uint64 `json:"evictions"`   // capacity evictions (finite-cache extension)
 }
 
 // Node holds one node's protocol state: fine-grain tags for cached remote

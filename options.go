@@ -216,7 +216,11 @@ func Barge() EnqueueOption {
 // combination.
 func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error) {
 	m := Message{Mode: ModeKeyed, Handler: handler}
-	var now time.Time // fetched lazily for the relative scheduling options
+	// Fetched lazily for the relative scheduling options — through the
+	// scheduling clock, not time.Now(): an independent wall-clock sample
+	// here would let WithDelay/WithTTL instants drift from the clock the
+	// shard timers compare against.
+	var now time.Time
 	for _, o := range opts {
 		if o.hasMode {
 			if m.Mode != ModeKeyed && m.Mode != o.mode {
@@ -241,7 +245,7 @@ func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error)
 		}
 		if o.hasDelay {
 			if now.IsZero() {
-				now = time.Now()
+				now = schedNow()
 			}
 			m.NotBefore = now.Add(o.delay)
 		}
@@ -250,7 +254,7 @@ func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error)
 		}
 		if o.hasTTL {
 			if now.IsZero() {
-				now = time.Now()
+				now = schedNow()
 			}
 			m.Deadline = now.Add(o.ttl)
 		}

@@ -115,11 +115,14 @@ type intake struct {
 	slots []ringSlot
 	mask  uint64
 	_     cpad
-	tail  atomic.Uint64
-	_     cpad
-	head  uint64 // consumer cursor; guarded by shard.mu
-	_     cpad
+	//pdq:isolated
+	tail atomic.Uint64
+	_    cpad
+	head uint64 // consumer cursor; guarded by shard.mu
+	_    cpad
 
+	// Cold occupancy stats: adjacent on purpose, they are only bumped on
+	// publish/fallback paths that already own their cache traffic.
 	published atomic.Uint64 // lock-free publishes
 	fallbacks atomic.Uint64 // ring-full publishes completed under the shard lock
 	spins     atomic.Uint64 // ring-full spin iterations across producers
@@ -190,6 +193,8 @@ func (q *Queue) enqueueIntake(s *shard, m *Message, smask uint64, attempt uint32
 // drained) spins briefly, then falls back to draining the ring under a
 // TryLock'd shard mutex — TryLock, never Lock, because the current lock
 // holder may itself be spin-waiting for this producer's publish.
+//
+//pdq:crossshard — the lock holder may be spin-waiting on this producer.
 func (q *Queue) publishIntake(s *shard, n *node) {
 	in := &s.in
 	pos := in.tail.Add(1) - 1
@@ -288,6 +293,8 @@ func (q *Queue) drainIntakeScan(s *shard) {
 // to completion. Callers hold all those shards' locks and are about to
 // fetch a sequence number; the complete drain guarantees every entry
 // published before this point sequences first.
+//
+//pdq:crossshard — runs with multiple shard locks already held.
 func (q *Queue) flushIntakeMask(mask uint64) {
 	if q.ring == 0 {
 		return
@@ -378,11 +385,14 @@ type epochPool struct {
 	slots []poolSlot
 	mask  uint64
 	_     cpad
-	head  atomic.Uint64 // take cursor
-	_     cpad
-	tail  atomic.Uint64 // retire cursor
-	_     cpad
+	//pdq:isolated
+	head atomic.Uint64 // take cursor
+	_    cpad
+	//pdq:isolated
+	tail atomic.Uint64 // retire cursor
+	_    cpad
 
+	// Cold stats, deliberately adjacent (bumped only on retire paths).
 	reclaimed atomic.Uint64 // nodes successfully retired for reuse
 	capped    atomic.Uint64 // nodes dropped because the pool was full
 }

@@ -48,11 +48,28 @@ import (
 // monotonic observer, including the timed parks consumers arm. The
 // anchor is package-global, not per queue, because a Mux compares
 // maturity instants across member queues.
+// Scheduling paths must read time only through the shims below;
+// pdqvet's wallclock analyzer enforces it (the markers opt this package
+// in and sanction the anchor's raw read).
+//
+//pdq:clock-discipline
+//pdq:wallclock
 var clockEpoch = time.Now()
 
 // nowNanos returns the current instant on the scheduling clock. Always
 // monotonic: time.Since uses the monotonic reading clockEpoch carries.
+//
+//pdq:wallclock — reads through the anchor's monotonic reading.
 func nowNanos() int64 { return int64(time.Since(clockEpoch)) }
+
+// schedNow returns the current instant as a time.Time on the scheduling
+// clock: clockEpoch plus nowNanos, monotonic reading preserved (Add
+// keeps it), so toNanos(schedNow().Add(d)) == nowNanos()+d exactly.
+// Code needing "now" as a time.Time (option building, stats snapshots)
+// must use this instead of time.Now(): a second raw wall-clock read
+// would re-sample the clock outside the scheduling domain, and pdqvet's
+// wallclock analyzer flags it.
+func schedNow() time.Time { return clockEpoch.Add(time.Duration(nowNanos())) }
 
 // toNanos places an absolute instant on the scheduling clock, through
 // its monotonic reading when it has one (times built from time.Now())
@@ -381,6 +398,8 @@ func (s *shard) creditDispatch(b int) {
 // hook is still owed. Reports false when a foreign shard's lock was
 // unavailable; the entry stays pending for a later attempt. Caller
 // holds s.mu.
+//
+//pdq:crossshard — holds s.mu while touching foreign shards.
 func (q *Queue) tryExpire(s *shard, n *node, expired *[]Message) bool {
 	e := &n.entry
 	var locked uint64
@@ -416,6 +435,8 @@ func (q *Queue) tryExpire(s *shard, n *node, expired *[]Message) bool {
 // shard's lock was unavailable (retry, as in tryExpire). Shared by the
 // single-dequeue scan and the batch harvest so the two expiry paths
 // cannot diverge. Caller holds s.mu.
+//
+//pdq:crossshard — holds s.mu; expiry may reach into foreign shards.
 func (q *Queue) expireIfDue(s *shard, n *node, now *int64, expired *[]Message) (handled, retry bool) {
 	dl := n.entry.deadline
 	if dl == 0 {

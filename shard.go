@@ -34,18 +34,24 @@ type shard struct {
 
 	stats shardCounters
 
-	// Cross-thread hot state, one cache line each.
-	_          cpad
-	npending   atomic.Int64 // entries homed here (intake ring included), readable without mu
-	_          cpad
-	minSeq     atomic.Uint64 // min pending seq across bands and delayed; MaxUint64 when empty
-	_          cpad
+	// Cross-thread hot state, one cache line each (the //pdq:isolated
+	// markers make pdqvet's atomicpad analyzer verify the spacing).
+	_ cpad
+	//pdq:isolated
+	npending atomic.Int64 // entries homed here (intake ring included), readable without mu
+	_        cpad
+	//pdq:isolated
+	minSeq atomic.Uint64 // min pending seq across bands and delayed; MaxUint64 when empty
+	_      cpad
+	//pdq:isolated
 	nextMature atomic.Int64 // earliest maturity instant; MaxInt64 when nothing is delayed
 	_          cpad
-	wakeGen    atomic.Uint64 // this shard's slice of the consumer eventcount
-	_          cpad
-	completed  atomic.Uint64 // Complete calls credited to this shard
-	_          cpad
+	//pdq:isolated
+	wakeGen atomic.Uint64 // this shard's slice of the consumer eventcount
+	_       cpad
+	//pdq:isolated
+	completed atomic.Uint64 // Complete calls credited to this shard
+	_         cpad
 
 	in   intake    // lock-free producer intake ring (empty when disabled)
 	pool epochPool // lock-free node recycling across the producer/consumer boundary
@@ -356,6 +362,8 @@ func (q *Queue) scanShard(s *shard) (e *Entry, ok bool, retry bool) {
 
 // scanLocked is scanShard's body. Caller holds s.mu and must pass the
 // expired messages to finishExpired after unlocking.
+//
+//pdq:crossshard — holds s.mu; dispatch and expiry reach foreign shards.
 func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bool) {
 	q.drainIntakeScan(s)
 	// The barrier gate must be read AFTER the intake drain: a drained
@@ -462,6 +470,8 @@ func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bo
 // holding s.mu — so lock contention aborts with retry=true instead of
 // risking an ABBA deadlock; the consumer rescans. On success every key is
 // acquired on its owning shard and the entry is unlinked from s.
+//
+//pdq:crossshard
 func (q *Queue) tryDispatchCross(s *shard, n *node) (ok bool, kind int, retry bool) {
 	e := &n.entry
 	barge := e.msg.Mode == ModeBarge
