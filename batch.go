@@ -205,7 +205,7 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 				q.releaseSlot()
 				s.stats.dispatched++
 				s.stats.noSyncDispatched++
-				s.creditDispatch(int(b))
+				s.creditDispatch(int(b), &n.entry, &now)
 				msgs++
 				es = append(es, take(n))
 			case n.entry.smask == 1<<s.idx:
@@ -231,7 +231,7 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 				if len(m.Keys) > 1 {
 					s.stats.multiKeyDispatched++
 				}
-				s.creditDispatch(int(b))
+				s.creditDispatch(int(b), &n.entry, &now)
 				if !barge {
 					// A barge entry's holder may park its keys past the
 					// batch, so they never join the in-batch exception.
@@ -252,7 +252,7 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 				// batch). A lost lock race reports retry, as in scanShard.
 				ok, kind, r := q.tryDispatchCross(s, n)
 				if ok {
-					s.creditDispatch(int(b))
+					s.creditDispatch(int(b), &n.entry, &now)
 					if m.Mode != ModeBarge {
 						acquired = append(acquired, m.Keys...)
 					}

@@ -1,0 +1,280 @@
+// Command apigen renders the exported API surface of the module's
+// public packages (pdq, cluster, pdqhttp) into golden text files under
+// api/, one sorted declaration per line with bodies and unexported
+// details stripped.
+//
+//	apigen [-dir .] [-out api]          regenerate api/*.txt
+//	apigen [-dir .] [-out api] -check   fail if the surface drifted
+//
+// The golden files make API changes reviewable: any signature change,
+// removed symbol, or new export shows up as a one-line diff in the PR,
+// and the -check mode in CI refuses unacknowledged drift. After an
+// intentional change, rerun apigen and commit the new files.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// surfaces lists the packages with a stability contract. Internal
+// packages and commands are deliberately absent.
+var surfaces = []struct{ name, dir string }{
+	{"pdq", "."},
+	{"cluster", "cluster"},
+	{"pdqhttp", "pdqhttp"},
+}
+
+func main() {
+	dir := flag.String("dir", ".", "module root")
+	out := flag.String("out", "api", "golden-file directory, relative to -dir")
+	check := flag.Bool("check", false, "compare instead of write; nonzero exit on drift")
+	flag.Parse()
+
+	drift := false
+	for _, s := range surfaces {
+		text, err := render(filepath.Join(*dir, s.dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apigen: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*dir, *out, s.name+".txt")
+		if *check {
+			want, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "apigen: %v (run apigen to create it)\n", err)
+				os.Exit(1)
+			}
+			if d := diff(string(want), text); d != "" {
+				fmt.Fprintf(os.Stderr, "apigen: %s drifted from %s:\n%s", s.name, path, d)
+				drift = true
+			}
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "apigen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apigen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("apigen: wrote", path)
+	}
+	if drift {
+		fmt.Fprintln(os.Stderr, "apigen: API changed; rerun `go run ./cmd/apigen` and commit api/")
+		os.Exit(1)
+	}
+}
+
+// render parses the package in dir (tests excluded, comments dropped)
+// and returns its exported declarations, one per line, sorted.
+func render(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		if pkg.Name == "main" {
+			continue
+		}
+		// Deterministic file order (ranging over pkg.Files is not).
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			for _, decl := range pkg.Files[name].Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// declLines renders one top-level declaration's exported surface.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !exportedFunc(d) {
+			return nil
+		}
+		fn := *d
+		fn.Doc, fn.Body = nil, nil
+		return []string{oneLine(fset, &fn)}
+	case *ast.GenDecl:
+		var lines []string
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.ValueSpec:
+				for i, n := range sp.Names {
+					if !n.IsExported() {
+						continue
+					}
+					lines = append(lines, valueLine(fset, d.Tok, sp, i))
+				}
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				ts := *sp
+				ts.Doc, ts.Comment = nil, nil
+				ts.Type = pruneType(sp.Type)
+				one := &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{&ts}}
+				lines = append(lines, oneLine(fset, one))
+			}
+		}
+		return lines
+	}
+	return nil
+}
+
+// exportedFunc reports whether d is an exported function or a method on
+// an exported receiver type.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// valueLine renders the i'th name of a const/var spec. Typed specs drop
+// their initializer (the type is the contract); untyped specs keep it
+// (the value is all there is — sentinel errors, iota bases).
+func valueLine(fset *token.FileSet, tok token.Token, sp *ast.ValueSpec, i int) string {
+	one := &ast.ValueSpec{Names: []*ast.Ident{sp.Names[i]}, Type: sp.Type}
+	if sp.Type == nil && i < len(sp.Values) {
+		one.Values = []ast.Expr{sp.Values[i]}
+	}
+	return oneLine(fset, &ast.GenDecl{Tok: tok, Specs: []ast.Spec{one}})
+}
+
+// pruneType strips unexported members from struct and interface types;
+// other types pass through unchanged.
+func pruneType(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		kept := pruneFields(tt.Fields, func(f *ast.Field) bool {
+			if len(f.Names) == 0 { // embedded
+				return embeddedExported(f.Type)
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					return true
+				}
+			}
+			return false
+		})
+		out := *tt
+		out.Fields = kept
+		return &out
+	case *ast.InterfaceType:
+		kept := pruneFields(tt.Methods, func(f *ast.Field) bool {
+			if len(f.Names) == 0 { // embedded interface
+				return embeddedExported(f.Type)
+			}
+			return f.Names[0].IsExported()
+		})
+		out := *tt
+		out.Methods = kept
+		return &out
+	}
+	return t
+}
+
+func pruneFields(fl *ast.FieldList, keep func(*ast.Field) bool) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		if !keep(f) {
+			continue
+		}
+		nf := *f
+		nf.Doc, nf.Comment = nil, nil
+		out.List = append(out.List, &nf)
+	}
+	return out
+}
+
+func embeddedExported(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.IsExported()
+	case *ast.StarExpr:
+		return embeddedExported(tt.X)
+	case *ast.SelectorExpr:
+		return tt.Sel.IsExported()
+	}
+	return false
+}
+
+var spaceRun = regexp.MustCompile(`\s+`)
+
+// oneLine prints a node and collapses it onto a single line so the
+// golden file diffs one declaration per line.
+func oneLine(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("apigen error: %v", err)
+	}
+	return strings.TrimSpace(spaceRun.ReplaceAllString(buf.String(), " "))
+}
+
+// diff returns a minimal line diff of want vs got ("" when equal).
+func diff(want, got string) string {
+	if want == got {
+		return ""
+	}
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	seen := map[string]bool{}
+	for _, l := range w {
+		seen[l] = true
+	}
+	inGot := map[string]bool{}
+	for _, l := range g {
+		inGot[l] = true
+		if l != "" && !seen[l] {
+			fmt.Fprintf(&b, "  + %s\n", l)
+		}
+	}
+	for _, l := range w {
+		if l != "" && !inGot[l] {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteString("  (ordering or whitespace changed)\n")
+	}
+	return b.String()
+}

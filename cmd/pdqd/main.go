@@ -1,0 +1,140 @@
+// Command pdqd serves a pdq.Mux of named queues over HTTP: JSON message
+// ingest with per-band admission control, Prometheus /metrics, and
+// pprof, with a worker pool draining the queues in-process.
+//
+//	pdqd [-addr :8383] [-queues jobs,mail] [-capacity 4096] [-shards 0]
+//	     [-workers 0] [-batch 1] [-autocreate] [-verbose]
+//
+// Queues named in -queues are created at boot, bounded at -capacity
+// (the admission controller's occupancy signal; see pdqhttp.Admission).
+// -workers 0 sizes the pool at GOMAXPROCS. With -autocreate, a POST to
+// an unknown queue creates it with the same shape instead of 404ing.
+//
+// Built-in wire handlers, so the daemon is loadable out of the box:
+//
+//	noop   does nothing (dispatch cost only)
+//	sleep  blocks for {"ms": n} milliseconds (I/O-bound stand-in)
+//	spin   busy-burns {"us": n} microseconds (CPU-bound stand-in)
+//	echo   logs its payload at -verbose (debugging)
+//
+// SIGINT/SIGTERM shut down cleanly: stop intake, drain the queues,
+// wait for the workers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"pdq"
+	"pdq/pdqhttp"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8383", "listen address")
+		queues     = flag.String("queues", "jobs", "comma-separated queue names created at boot")
+		capacity   = flag.Int("capacity", 4096, "per-queue admission capacity (0 = unbounded: disables overload shedding)")
+		shards     = flag.Int("shards", 0, "dispatch shards per queue (0 = GOMAXPROCS-derived)")
+		workers    = flag.Int("workers", 0, "worker goroutines draining the mux (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 1, "worker dispatch batch size")
+		autocreate = flag.Bool("autocreate", false, "create unknown queues on first POST instead of 404")
+		verbose    = flag.Bool("verbose", false, "log ingest shed/err summaries and echo payloads")
+	)
+	flag.Parse()
+
+	queueOpts := []pdq.Option{pdq.WithShards(*shards)}
+	if *capacity > 0 {
+		queueOpts = append(queueOpts, pdq.WithCapacity(*capacity))
+	}
+
+	mux := pdq.NewMux()
+	names := strings.Split(*queues, ",")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := mux.Queue(name, queueOpts...); err != nil {
+			log.Fatalf("pdqd: queue %q: %v", name, err)
+		}
+	}
+
+	reg := pdqhttp.NewRegistry()
+	reg.Register("noop", func(json.RawMessage) {})
+	reg.Register("sleep", func(data json.RawMessage) {
+		var p struct {
+			MS int `json:"ms"`
+		}
+		json.Unmarshal(data, &p)
+		time.Sleep(time.Duration(p.MS) * time.Millisecond)
+	})
+	reg.Register("spin", func(data json.RawMessage) {
+		var p struct {
+			US int `json:"us"`
+		}
+		json.Unmarshal(data, &p)
+		end := time.Now().Add(time.Duration(p.US) * time.Microsecond)
+		for time.Now().Before(end) {
+		}
+	})
+	reg.Register("echo", func(data json.RawMessage) {
+		if *verbose {
+			log.Printf("echo: %s", data)
+		}
+	})
+
+	srvOpts := []pdqhttp.ServerOption{}
+	if *autocreate {
+		srvOpts = append(srvOpts, pdqhttp.WithAutoCreate(queueOpts...))
+	}
+	api := pdqhttp.NewServer(mux, reg, srvOpts...)
+
+	n := *workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	pool := pdq.ServeMux(context.Background(), mux, n, pdq.WithWorkerBatch(*batch))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: api}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("pdqd: serving %s (queues=%s capacity=%d workers=%d)", *addr, strings.Join(names, ","), *capacity, pool.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("pdqd: %v: draining", s)
+	case err := <-errCh:
+		log.Fatalf("pdqd: serve: %v", err)
+	}
+
+	// Stop intake first (in-flight requests get 5s to finish), then let
+	// the workers drain what was admitted, then exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("pdqd: http shutdown: %v", err)
+	}
+	mux.Close()
+	pool.Wait()
+	if *verbose {
+		for _, name := range mux.Names() {
+			if q, err := mux.Queue(name); err == nil {
+				st := q.Stats()
+				fmt.Fprintf(os.Stderr, "pdqd: %s: %s\n", name, st.String())
+			}
+		}
+	}
+	log.Print("pdqd: drained, bye")
+}

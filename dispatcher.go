@@ -104,7 +104,6 @@ package pdq
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -169,8 +168,13 @@ func (m Mode) String() string {
 
 // Message is the unit of work carried by the queue. Handler receives Data
 // when the dispatcher (or a manual dequeue caller) executes the message.
-// Most callers build messages implicitly through Enqueue options; the
-// struct is exported for the low-level EnqueueMessage path.
+// Message is the queue's primary admission surface: build one with
+// NewMessage (or populate the struct directly and Validate it) and admit
+// it with EnqueueMessage/EnqueueMessageWait. The Enqueue/EnqueueWait
+// closure shorthand builds the same Message internally; anything that
+// crosses a process boundary — the pdqhttp wire form, persisted work,
+// cross-node forwarding — should construct a Message explicitly so both
+// paths admit identical values.
 type Message struct {
 	// Keys is the synchronization key set (ModeKeyed only; it must be
 	// empty in the other modes). Duplicate keys are permitted and act as
@@ -211,6 +215,7 @@ type Entry struct {
 	smask     uint64 // bit set of shard indexes the key set touches
 	notBefore int64  // maturity instant on the scheduling clock (see clockEpoch); 0 = immediate
 	deadline  int64  // expiry instant on the scheduling clock; 0 = none
+	enqAt     int64  // admission instant on the scheduling clock, for the dispatch-latency histograms
 	attempt   uint32 // prior failed executions (0 = first dispatch)
 	err       error  // error from the Release that caused this retry, if any
 
@@ -268,13 +273,6 @@ func (e *Entry) Err() error { return e.err }
 // queue, mirroring the small dispatch buffer of a hardware PDQ
 // implementation (paper Section 3.2).
 const DefaultSearchWindow = 64
-
-// Errors returned by queue operations.
-var (
-	ErrClosed     = errors.New("pdq: queue closed")
-	ErrFull       = errors.New("pdq: queue full")
-	ErrNilHandler = errors.New("pdq: nil handler")
-)
 
 // Queue is a Parallel Dispatch Queue. All methods are safe for concurrent
 // use. The zero value is not usable; call New.
@@ -409,6 +407,12 @@ func resolveShards(n int) int {
 // message's handler instead. Enqueue never blocks; on a full bounded
 // queue it fails with ErrFull (use EnqueueWait for backpressure
 // instead).
+//
+// Enqueue is in-process shorthand: it builds a Message (see NewMessage)
+// and admits it. Work that originates outside the process — wire
+// requests, replayed journals, cross-node forwards — should build the
+// Message explicitly instead, with handlers resolved from a registry by
+// name (see pdqhttp) rather than captured in closures.
 func (q *Queue) Enqueue(handler func(data any), opts ...EnqueueOption) error {
 	m, err := buildMessage(handler, opts)
 	if err != nil {
@@ -432,8 +436,10 @@ func (q *Queue) EnqueueWait(ctx context.Context, handler func(data any), opts ..
 }
 
 // EnqueueMessage appends m to the queue without blocking; a full bounded
-// queue fails with ErrFull. The key slice is copied at admission, so the
-// caller may reuse or mutate it freely afterwards.
+// queue fails with ErrFull. This is the primary admission path — Enqueue
+// is shorthand that assembles the same Message from options. The key
+// slice is copied at admission, so the caller may reuse or mutate it
+// freely afterwards.
 func (q *Queue) EnqueueMessage(m Message) error {
 	if err := checkMessage(&m); err != nil {
 		return err
@@ -492,6 +498,16 @@ func (q *Queue) admitWait(ctx context.Context, m Message) error {
 	return q.enqueueReserved(&m, 0, nil)
 }
 
+// Validate checks and normalizes m exactly as admission would: exactly
+// one of Handler and Batch must be set, Keys only in keyed or barge
+// mode, barge requires keys, sequential messages carry no Priority or
+// scheduling instants, and Priority is clamped into [0, NumPriorities).
+// EnqueueMessage and EnqueueMessageWait run the same validation; calling
+// Validate first lets a caller classify a bad message (see ErrorCode)
+// before committing to admission — the pdqhttp server does this to map
+// wire errors to HTTP statuses without touching the queue.
+func (m *Message) Validate() error { return checkMessage(m) }
+
 // checkMessage validates a caller-built message — exactly one of Handler
 // and Batch, keys only in keyed mode, no scheduling on barriers — and
 // normalizes it by clamping Priority into [0, NumPriorities).
@@ -503,7 +519,9 @@ func checkMessage(m *Message) error {
 		return errBothHandlers
 	}
 	if m.Mode != ModeKeyed && m.Mode != ModeBarge && len(m.Keys) > 0 {
-		return fmt.Errorf("pdq: %v message must not carry keys", m.Mode)
+		// Wrap (never shadow) the sentinel so ErrorCode classifies the
+		// failure while the message still names the offending mode.
+		return fmt.Errorf("%w (%v)", errModeKeys, m.Mode)
 	}
 	if m.Mode == ModeBarge && len(m.Keys) == 0 {
 		return errBargeNoKeys
@@ -601,7 +619,7 @@ func (q *Queue) enqueueSharded(m *Message, attempt uint32, lastErr error) (*shar
 		}
 	}
 	n := h.newNode()
-	n.entry = Entry{msg: *m, seq: seq, smask: smask, attempt: attempt, err: lastErr}
+	n.entry = Entry{msg: *m, seq: seq, smask: smask, attempt: attempt, err: lastErr, enqAt: nowNanos()}
 	if !m.NotBefore.IsZero() {
 		n.entry.notBefore = toNanos(m.NotBefore)
 	}
@@ -1036,6 +1054,13 @@ func (q *Queue) Len() int {
 // InFlight returns the number of dispatched-but-incomplete handlers.
 func (q *Queue) InFlight() int {
 	return int(q.inflightAll.Load())
+}
+
+// Cap returns the queue's admission capacity (WithCapacity), 0 for
+// unbounded. Len()/Cap() is the occupancy signal overload controllers
+// key on (see pdqhttp.Admission).
+func (q *Queue) Cap() int {
+	return q.cap
 }
 
 // Shards returns the resolved shard count of the dispatch core (see

@@ -1,0 +1,103 @@
+package pdq
+
+import "errors"
+
+// Error is the concrete type behind the package's sentinel errors. Every
+// sentinel carries a stable, machine-readable code — a short snake_case
+// string that survives wrapping (ErrorCode) and crossing a process
+// boundary (the pdqhttp wire layer maps codes onto HTTP statuses) — next
+// to its human-readable message. Sentinels remain comparable with
+// errors.Is exactly as before; Error exists so callers that need to act
+// on the *kind* of failure can do so without matching message text.
+type Error struct {
+	code string
+	msg  string
+}
+
+// Error returns the human-readable message.
+func (e *Error) Error() string { return e.msg }
+
+// Code returns the error's stable machine-readable code. Codes are part
+// of the public API: they never change for a given sentinel, so wire
+// protocols and logs can key on them across versions.
+func (e *Error) Code() string { return e.code }
+
+// NewError returns an error carrying a stable machine-readable code, for
+// layers above the queue (pdqhttp's admission shed, application
+// taxonomies) that want their failures classified by ErrorCode alongside
+// the package sentinels. Calls with the same arguments return distinct
+// values: compare with ErrorCode (or keep the returned value as your own
+// sentinel and compare with errors.Is), not by constructing twice.
+func NewError(code, msg string) *Error {
+	return &Error{code: code, msg: msg}
+}
+
+// ErrorCode extracts the stable code of the queue error inside err,
+// unwrapping as errors.As does. It returns "" when err carries no *Error
+// (including nil), so callers can distinguish queue-taxonomy failures
+// from everything else with one call.
+func ErrorCode(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.code
+	}
+	return ""
+}
+
+// Sentinel errors returned by queue operations. Each is a *Error with a
+// stable code (in parentheses); test with errors.Is, or switch on
+// ErrorCode when the error may arrive wrapped.
+var (
+	// ErrClosed (queue_closed) rejects enqueues on a closed queue, and is
+	// returned by DequeueContext/DequeueBatch once a closed queue drains.
+	ErrClosed = &Error{code: "queue_closed", msg: "pdq: queue closed"}
+	// ErrFull (queue_full) rejects a non-blocking enqueue on a bounded
+	// queue at capacity; EnqueueWait converts it into backpressure.
+	ErrFull = &Error{code: "queue_full", msg: "pdq: queue full"}
+	// ErrNilHandler (nil_handler) rejects a message carrying neither a
+	// Handler nor a Batch handler.
+	ErrNilHandler = &Error{code: "nil_handler", msg: "pdq: nil handler"}
+	// ErrExpired (expired) is the error an entry's message carries to the
+	// dead-letter hook when its deadline (WithDeadline, WithTTL) passes
+	// before dispatch; the handler never runs.
+	ErrExpired = &Error{code: "expired", msg: "pdq: entry deadline exceeded"}
+	// ErrHandlerExited (handler_exited) is passed to Release when a
+	// handler terminates its goroutine with runtime.Goexit (most commonly
+	// t.Fatal in a test) instead of returning or panicking. The entry goes
+	// straight to the dead-letter hook — the retry budget does not apply,
+	// because each attempt would consume the worker goroutine executing
+	// it.
+	ErrHandlerExited = &Error{code: "handler_exited", msg: "pdq: handler called runtime.Goexit"}
+	// ErrMuxClosed (mux_closed) rejects queue creation on a closed Mux,
+	// and is returned by the mux dequeue paths once every member queue
+	// drains.
+	ErrMuxClosed = &Error{code: "mux_closed", msg: "pdq: mux closed"}
+	// ErrQueueExists (queue_exists) is returned by Mux.Queue when
+	// construction options are passed for a name that is already
+	// registered: the options cannot be applied retroactively, and
+	// silently ignoring them would hide a misconfiguration. The existing
+	// queue is returned alongside the error, so callers that treat the
+	// options as best-effort can proceed with it.
+	ErrQueueExists = &Error{code: "queue_exists", msg: "pdq: queue already exists"}
+)
+
+// Validation errors shared by the enqueue paths. They are *Error values
+// like the sentinels above so the wire layer classifies them, but they
+// are not exported: callers hit them only by mis-building a message.
+var (
+	// errConflictingModes reports Sequential() combined with NoSync().
+	errConflictingModes = &Error{code: "conflicting_modes", msg: "pdq: conflicting dispatch modes"}
+	// errBothHandlers reports a message carrying both a plain Handler and
+	// a Batch handler; a message must carry exactly one of the two.
+	errBothHandlers = &Error{code: "both_handlers", msg: "pdq: message carries both Handler and Batch"}
+	// errBargeNoKeys rejects a barge message with an empty key set (an
+	// acquisition of nothing is NoSync, not Barge).
+	errBargeNoKeys = &Error{code: "barge_without_keys", msg: "pdq: barge message requires at least one key"}
+	// errSequentialSched rejects scheduling options on a Sequential
+	// message: a barrier is a fixed point in global queue order, which a
+	// band, delay, or deadline would contradict.
+	errSequentialSched = &Error{code: "sequential_sched", msg: "pdq: sequential message cannot carry scheduling options"}
+	// errModeKeys rejects keys on a mode that takes none (Sequential,
+	// NoSync). The mode name is appended at the failure site.
+	errModeKeys = &Error{code: "mode_keys", msg: "pdq: message mode must not carry keys"}
+)

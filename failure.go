@@ -127,15 +127,6 @@ func logDeadLetter(m Message, err error) {
 	log.Printf("pdq: dead-letter %s entry (keys=%v): %v", m.Mode, m.Keys, err)
 }
 
-// ErrHandlerExited is the error Run passes to Release when a handler
-// terminates its goroutine with runtime.Goexit (most commonly t.Fatal /
-// t.FailNow called from a handler in a test) instead of returning or
-// panicking. The goroutine still exits, but the entry's keys are freed
-// first and the entry goes straight to the dead-letter hook — the retry
-// budget does not apply, because each attempt would consume the worker
-// goroutine executing it.
-var ErrHandlerExited = errors.New("pdq: handler called runtime.Goexit")
-
 // Run executes a dequeued entry's handler with the failure lifecycle
 // applied: on normal return it calls Complete, and on a handler panic it
 // recovers, converts the panic into a *PanicError, and calls Release, so

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+
+	"pdq/internal/sim"
+)
+
+// TrafficConfig shapes a Traffic generator: Zipf-skewed key popularity,
+// a priority-band mix, and square-wave burstiness. The generator drives
+// the module's ingest load tools (cmd/pdqload, examples/overload) and
+// overload tests from one deterministic source, so a workload is
+// reproducible from its config + seed alone.
+type TrafficConfig struct {
+	// Keys is the key-space size; each event picks a key in [0, Keys).
+	Keys int
+	// Skew is the Zipf exponent of key popularity: 0 is uniform, 1 is
+	// classic Zipf, larger concentrates harder on few hot keys.
+	Skew float64
+	// BandShare weights the priority bands: event bands are drawn
+	// proportionally to the weights, index = band. Nil or empty means
+	// everything in band 0.
+	BandShare []float64
+	// BurstLen > 0 enables bursts: phases alternate between BurstLen
+	// events at BurstMult times the base arrival rate and CalmLen events
+	// at the base rate.
+	BurstLen int
+	// CalmLen is the events per calm phase (default BurstLen).
+	CalmLen int
+	// BurstMult is the arrival-rate multiplier inside a burst
+	// (default 2; must be >= 1).
+	BurstMult float64
+	// Seed selects the deterministic stream.
+	Seed uint64
+}
+
+// Event is one generated arrival.
+type Event struct {
+	// Key is the synchronization key.
+	Key uint64
+	// Band is the priority band drawn from BandShare.
+	Band int
+	// Gap is the exponential inter-arrival time before this event, in
+	// units of the base mean inter-arrival time — multiply by (mean
+	// inter-arrival at the target rate) to pace real traffic. Inside a
+	// burst phase gaps shrink by BurstMult.
+	Gap float64
+	// Burst reports whether the event belongs to a burst phase.
+	Burst bool
+}
+
+// Traffic is a deterministic arrival generator. Not safe for concurrent
+// use; derive one per producer with distinct seeds instead.
+type Traffic struct {
+	cfg   TrafficConfig
+	rng   *sim.Rand
+	cum   []float64 // cumulative band weights, normalized
+	left  int       // events left in the current phase
+	burst bool
+}
+
+// NewTraffic validates cfg and returns a generator over its stream.
+func NewTraffic(cfg TrafficConfig) (*Traffic, error) {
+	if cfg.Keys < 1 {
+		return nil, fmt.Errorf("workload: traffic needs at least one key, got %d", cfg.Keys)
+	}
+	if cfg.BurstLen > 0 && cfg.BurstMult == 0 {
+		cfg.BurstMult = 2
+	}
+	if cfg.BurstMult != 0 && cfg.BurstMult < 1 {
+		return nil, fmt.Errorf("workload: burst multiplier %g < 1", cfg.BurstMult)
+	}
+	if cfg.BurstLen > 0 && cfg.CalmLen == 0 {
+		cfg.CalmLen = cfg.BurstLen
+	}
+	t := &Traffic{cfg: cfg, rng: sim.NewStream(cfg.Seed, 0x726166666963)}
+	var total float64
+	for _, w := range cfg.BandShare {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative band weight %g", w)
+		}
+		total += w
+	}
+	if total > 0 {
+		t.cum = make([]float64, len(cfg.BandShare))
+		var cum float64
+		for i, w := range cfg.BandShare {
+			cum += w / total
+			t.cum[i] = cum
+		}
+	}
+	if cfg.BurstLen > 0 {
+		t.left = cfg.CalmLen // start calm; the first burst arrives later
+	}
+	return t, nil
+}
+
+// Next returns the next arrival in the stream.
+func (t *Traffic) Next() Event {
+	if t.cfg.BurstLen > 0 {
+		if t.left == 0 {
+			t.burst = !t.burst
+			if t.burst {
+				t.left = t.cfg.BurstLen
+			} else {
+				t.left = t.cfg.CalmLen
+			}
+		}
+		t.left--
+	}
+	e := Event{
+		Key:   uint64(t.rng.Zipf(t.cfg.Keys, t.cfg.Skew)),
+		Gap:   t.rng.Exp(1),
+		Burst: t.burst,
+	}
+	if t.burst {
+		e.Gap /= t.cfg.BurstMult
+	}
+	if t.cum != nil {
+		u := t.rng.Float64()
+		for b, c := range t.cum {
+			if u < c {
+				e.Band = b
+				break
+			}
+			e.Band = b // rounding: the last band absorbs the tail
+		}
+	}
+	return e
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTrafficDeterministic verifies two generators with the same config
+// produce identical streams, and a different seed diverges.
+func TestTrafficDeterministic(t *testing.T) {
+	cfg := TrafficConfig{Keys: 64, Skew: 1, BandShare: []float64{4, 2, 1, 1}, BurstLen: 100, Seed: 7}
+	a, err := NewTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewTraffic(cfg)
+	cfg.Seed = 8
+	c, _ := NewTraffic(cfg)
+	var diverged bool
+	for i := 0; i < 1000; i++ {
+		ea, eb, ec := a.Next(), b.Next(), c.Next()
+		if ea != eb {
+			t.Fatalf("event %d: same seed diverged: %+v vs %+v", i, ea, eb)
+		}
+		if ea != ec {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestTrafficSkewConcentrates verifies Zipf skew concentrates popularity
+// on low-numbered keys while skew 0 stays uniform.
+func TestTrafficSkewConcentrates(t *testing.T) {
+	const n = 20000
+	count := func(skew float64) float64 {
+		g, err := NewTraffic(TrafficConfig{Keys: 64, Skew: skew, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := 0
+		for i := 0; i < n; i++ {
+			if g.Next().Key < 4 {
+				hot++
+			}
+		}
+		return float64(hot) / n
+	}
+	uniform := count(0)
+	skewed := count(1.2)
+	if math.Abs(uniform-4.0/64) > 0.02 {
+		t.Fatalf("uniform hot-4 share = %.3f, want ~%.3f", uniform, 4.0/64)
+	}
+	if skewed < 3*uniform {
+		t.Fatalf("skewed hot-4 share = %.3f, not concentrated vs uniform %.3f", skewed, uniform)
+	}
+}
+
+// TestTrafficBandShare verifies the band mix tracks the weights.
+func TestTrafficBandShare(t *testing.T) {
+	g, err := NewTraffic(TrafficConfig{Keys: 8, BandShare: []float64{6, 2, 1, 1}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var got [4]int
+	for i := 0; i < n; i++ {
+		got[g.Next().Band]++
+	}
+	want := [4]float64{0.6, 0.2, 0.1, 0.1}
+	for b := range got {
+		share := float64(got[b]) / n
+		if math.Abs(share-want[b]) > 0.02 {
+			t.Fatalf("band %d share = %.3f, want ~%.2f", b, share, want[b])
+		}
+	}
+}
+
+// TestTrafficBursts verifies burst phases alternate with the configured
+// lengths and compress inter-arrival gaps by the multiplier.
+func TestTrafficBursts(t *testing.T) {
+	g, err := NewTraffic(TrafficConfig{Keys: 8, BurstLen: 50, CalmLen: 150, BurstMult: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var burstGap, calmGap float64
+	var burstN, calmN int
+	for i := 0; i < 8000; i++ {
+		e := g.Next()
+		if e.Burst {
+			burstGap += e.Gap
+			burstN++
+		} else {
+			calmGap += e.Gap
+			calmN++
+		}
+	}
+	if burstN == 0 || calmN == 0 {
+		t.Fatalf("phases did not alternate: burst=%d calm=%d", burstN, calmN)
+	}
+	if ratio := float64(burstN) / float64(burstN+calmN); math.Abs(ratio-0.25) > 0.02 {
+		t.Fatalf("burst event fraction = %.3f, want ~0.25", ratio)
+	}
+	meanBurst := burstGap / float64(burstN)
+	meanCalm := calmGap / float64(calmN)
+	if meanBurst > meanCalm/3 {
+		t.Fatalf("burst mean gap %.3f vs calm %.3f: expected ~4x compression", meanBurst, meanCalm)
+	}
+}
+
+// TestTrafficValidation covers config errors.
+func TestTrafficValidation(t *testing.T) {
+	if _, err := NewTraffic(TrafficConfig{}); err == nil {
+		t.Fatal("zero keys must fail")
+	}
+	if _, err := NewTraffic(TrafficConfig{Keys: 4, BandShare: []float64{1, -1}}); err == nil {
+		t.Fatal("negative band weight must fail")
+	}
+	if _, err := NewTraffic(TrafficConfig{Keys: 4, BurstLen: 10, BurstMult: 0.5}); err == nil {
+		t.Fatal("burst multiplier < 1 must fail")
+	}
+}

@@ -1,0 +1,163 @@
+package pdq
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyBucketBounds pins the bucket geometry: power-of-two
+// microsecond bounds, every duration lands in the bucket whose bound is
+// the first at or above it.
+func TestLatencyBucketBounds(t *testing.T) {
+	if got := LatencyBucketBound(0); got != time.Microsecond {
+		t.Fatalf("bucket 0 bound = %v, want 1µs", got)
+	}
+	for i := 1; i < LatencyBuckets-1; i++ {
+		want := time.Microsecond << i
+		if got := LatencyBucketBound(i); got != want {
+			t.Fatalf("bucket %d bound = %v, want %v", i, got, want)
+		}
+	}
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{100 * time.Second, LatencyBuckets - 1},
+		{time.Duration(1<<62 - 1), LatencyBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := latencyBucket(c.d); got != c.want {
+			t.Fatalf("latencyBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+		if c.d > LatencyBucketBound(c.want) {
+			t.Fatalf("latencyBucket(%v) = %d but bound %v is below it", c.d, c.want, LatencyBucketBound(c.want))
+		}
+	}
+}
+
+// TestLatencyHistogramObserve checks observe, merge, Mean, and the
+// conservative Quantile over a known sample set.
+func TestLatencyHistogramObserve(t *testing.T) {
+	var h LatencyHistogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zero quantile and mean")
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond) // bucket 0
+	}
+	h.Observe(time.Second) // bucket 20
+	if h.Count != 100 {
+		t.Fatalf("count = %d, want 100", h.Count)
+	}
+	if got := h.Quantile(0.5); got != time.Microsecond {
+		t.Fatalf("p50 = %v, want 1µs", got)
+	}
+	if got := h.Quantile(0.99); got != time.Microsecond {
+		t.Fatalf("p99 = %v, want 1µs (99 of 100 samples in bucket 0)", got)
+	}
+	if got, want := h.Quantile(1), LatencyBucketBound(20); got != want {
+		t.Fatalf("p100 = %v, want %v (bound of 1s's bucket)", got, want)
+	}
+	wantMean := (99*uint64(time.Microsecond) + uint64(time.Second)) / 100
+	if got := h.Mean(); uint64(got) != wantMean {
+		t.Fatalf("mean = %v, want %v", got, time.Duration(wantMean))
+	}
+	var o LatencyHistogram
+	o.Observe(-time.Second) // clamped to 0, bucket 0
+	h.Merge(&o)
+	if h.Count != 101 || h.Buckets[0] != 101-1 {
+		t.Fatalf("after merge: count = %d buckets[0] = %d, want 101 and 100", h.Count, h.Buckets[0])
+	}
+}
+
+// TestBandLatencyRecorded verifies every dispatch lands one sample in
+// its band's histogram, across the keyed, nosync, and batch paths.
+func TestBandLatencyRecorded(t *testing.T) {
+	q := New()
+	nop := func(any) {}
+	const per = 8
+	for b := 0; b < NumPriorities; b++ {
+		for i := 0; i < per; i++ {
+			if err := q.Enqueue(nop, WithKey(Key(b*per+i)), WithPriority(b)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < NumPriorities*per; i++ {
+		e, ok := q.TryDequeue()
+		if !ok {
+			t.Fatalf("dispatch %d: nothing dispatchable", i)
+		}
+		q.Complete(e)
+	}
+	st := q.Stats()
+	for b := 0; b < NumPriorities; b++ {
+		h := st.BandLatency[b]
+		if h.Count != per {
+			t.Fatalf("band %d: %d samples, want %d", b, h.Count, per)
+		}
+		var bucketSum uint64
+		for _, c := range h.Buckets {
+			bucketSum += c
+		}
+		if bucketSum != h.Count {
+			t.Fatalf("band %d: bucket sum %d != count %d", b, bucketSum, h.Count)
+		}
+	}
+
+	// Nosync and batch harvest paths record too.
+	q2 := New()
+	for i := 0; i < per; i++ {
+		_ = q2.Enqueue(nop, NoSync())
+	}
+	es, ok := q2.TryDequeueBatch(per)
+	if !ok {
+		t.Fatal("batch harvest dispatched nothing")
+	}
+	for _, e := range es {
+		q2.Complete(e)
+	}
+	if got := q2.Stats().BandLatency[0].Count; got != per {
+		t.Fatalf("nosync batch: band 0 samples = %d, want %d", got, per)
+	}
+}
+
+// TestLatencyDelayedFromMaturity verifies a WithDelay message's latency
+// is measured from maturity, not admission: the intentional delay must
+// not count as queueing.
+func TestLatencyDelayedFromMaturity(t *testing.T) {
+	const delay = 80 * time.Millisecond
+	q := New()
+	if err := q.Enqueue(func(any) {}, WithKey(1), WithDelay(delay)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if e, ok := q.TryDequeue(); ok {
+			q.Complete(e)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delayed entry never matured")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h := q.Stats().BandLatency[0]
+	if h.Count != 1 {
+		t.Fatalf("samples = %d, want 1", h.Count)
+	}
+	// The entry sat ~delay between admission and dispatch; measured from
+	// maturity the recorded latency must be well under the delay.
+	if got := h.Quantile(1); got >= delay {
+		t.Fatalf("recorded latency bound %v includes the intentional %v delay", got, delay)
+	}
+}

@@ -1,0 +1,75 @@
+package pdq
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNewMessageSymmetry verifies NewMessage + EnqueueMessage is the
+// same admission as Enqueue with identical options.
+func TestNewMessageSymmetry(t *testing.T) {
+	var got []int
+	h := func(d any) { got = append(got, d.(int)) }
+	m, err := NewMessage(h, WithKey(7), WithPriority(2), WithData(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Keys) != 1 || m.Keys[0] != 7 || m.Priority != 2 || m.Data != 41 || m.Mode != ModeKeyed {
+		t.Fatalf("built message = %+v", m)
+	}
+	q := New()
+	if err := q.EnqueueMessage(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(h, WithKey(7), WithPriority(2), WithData(42)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		e, ok := q.TryDequeue()
+		if !ok {
+			t.Fatalf("dispatch %d: nothing dispatchable", i)
+		}
+		e.Message().Handler(e.Message().Data)
+		q.Complete(e)
+	}
+	if len(got) != 2 || got[0] != 41 || got[1] != 42 {
+		t.Fatalf("handled payloads %v, want [41 42]", got)
+	}
+}
+
+// TestNewMessageValidates verifies NewMessage rejects what admission
+// would, with classifiable codes, and never returns a partial message.
+func TestNewMessageValidates(t *testing.T) {
+	if _, err := NewMessage(nil); !errors.Is(err, ErrNilHandler) {
+		t.Fatalf("nil handler: %v", err)
+	}
+	if _, err := NewMessage(func(any) {}, Sequential(), WithPriority(1)); err == nil {
+		t.Fatal("sequential with priority must fail")
+	} else if ErrorCode(err) != "sequential_sched" {
+		t.Fatalf("code = %q, want sequential_sched", ErrorCode(err))
+	}
+	if _, err := NewMessage(func(any) {}, NoSync(), WithKey(1)); ErrorCode(err) != "mode_keys" {
+		t.Fatalf("keys on nosync: %v", err)
+	}
+}
+
+// TestMessageValidate verifies Validate normalizes a hand-built message
+// the way admission does (priority clamping) and classifies bad ones.
+func TestMessageValidate(t *testing.T) {
+	m := Message{Handler: func(any) {}, Priority: 99}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Priority != NumPriorities-1 {
+		t.Fatalf("priority = %d, want clamp to %d", m.Priority, NumPriorities-1)
+	}
+	bad := Message{Handler: func(any) {}, Batch: func([]any) {}}
+	if err := bad.Validate(); ErrorCode(err) != "both_handlers" {
+		t.Fatalf("both handlers: %v", err)
+	}
+	seq := Message{Handler: func(any) {}, Mode: ModeSequential, Deadline: time.Now()}
+	if err := seq.Validate(); ErrorCode(err) != "sequential_sched" {
+		t.Fatalf("sequential with deadline: %v", err)
+	}
+}

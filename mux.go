@@ -2,7 +2,6 @@ package pdq
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -63,16 +62,6 @@ func NewMux() *Mux {
 		wakeCh: make(chan struct{}, 1),
 	}
 }
-
-// ErrMuxClosed is returned when creating a queue on a closed mux.
-var ErrMuxClosed = errors.New("pdq: mux closed")
-
-// ErrQueueExists is returned by Mux.Queue when construction options are
-// passed for a name that is already registered: the options cannot be
-// applied retroactively, and silently ignoring them would hide a
-// misconfiguration. The existing queue is returned alongside the error,
-// so callers that treat the options as best-effort can proceed with it.
-var ErrQueueExists = errors.New("pdq: queue already exists")
 
 // Queue returns the virtual queue with the given name, creating it shaped
 // by opts if absent. A plain lookup (no opts) of an existing queue
@@ -332,33 +321,20 @@ func (s MuxStats) String() string {
 // makes each worker fill a batch across the member queues per blocking
 // dispatch).
 func ServeMux(ctx context.Context, m *Mux, n int, opts ...PoolOption) *MuxPool {
-	if n < 1 {
-		n = 1
-	}
-	var cfg poolConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	p := &MuxPool{m: m, cancel: cancel, workers: n, batch: cfg.batch}
-	p.wg.Add(n)
-	for i := 0; i < n; i++ {
-		go p.worker(ctx)
-	}
+	p := &MuxPool{m: m}
+	p.start(ctx, n, opts, p.worker)
 	return p
 }
 
-// MuxPool controls the workers started by ServeMux.
+// MuxPool controls the workers started by ServeMux. Its Workers, Stop,
+// and Wait come from the same workerSet lifecycle Pool uses (see
+// WorkerGroup).
 type MuxPool struct {
-	m       *Mux
-	wg      sync.WaitGroup
-	cancel  context.CancelFunc
-	workers int
-	batch   int
+	workerSet
+	m *Mux
 }
 
 func (p *MuxPool) worker(ctx context.Context) {
-	defer p.wg.Done()
 	if p.batch > 1 {
 		for {
 			batches, err := p.m.DequeueBatch(ctx, p.batch)
@@ -382,15 +358,3 @@ func (p *MuxPool) worker(ctx context.Context) {
 		q.Run(e)
 	}
 }
-
-// Workers reports the worker count.
-func (p *MuxPool) Workers() int { return p.workers }
-
-// Stop cancels the workers and waits for them to exit.
-func (p *MuxPool) Stop() {
-	p.cancel()
-	p.wg.Wait()
-}
-
-// Wait blocks until all workers exit (after Mux.Close and drain).
-func (p *MuxPool) Wait() { p.wg.Wait() }

@@ -214,6 +214,17 @@ func Barge() EnqueueOption {
 
 // buildMessage assembles a Message from enqueue options and validates the
 // combination.
+// NewMessage assembles and validates a Message from the options Enqueue
+// accepts, without admitting it. It is the symmetric counterpart of
+// Enqueue for callers that hold the message before choosing a queue —
+// or admit it elsewhere entirely: q.EnqueueMessage(m) after a successful
+// NewMessage(h, opts...) is exactly q.Enqueue(h, opts...). Relative
+// scheduling options (WithDelay, WithTTL) are resolved against the
+// scheduling clock here, at build time.
+func NewMessage(handler func(data any), opts ...EnqueueOption) (Message, error) {
+	return buildMessage(handler, opts)
+}
+
 func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error) {
 	m := Message{Mode: ModeKeyed, Handler: handler}
 	// Fetched lazily for the relative scheduling options — through the

@@ -1,0 +1,122 @@
+package pdqhttp
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"pdq"
+)
+
+// Admission is the façade's overload controller. It sheds load by
+// priority band, lowest first, keyed on queue occupancy (Len/Cap):
+// band b is rejected with ErrShed once occupancy reaches Thresholds[b],
+// so as a burst fills the queue, band 0 turns away first, then band 1,
+// and the highest band keeps admitting until the queue is nearly full.
+//
+// The staggering is grounded in the M/M/c waiting-time curve
+// (internal/queueing.MMcWait): queueing delay is roughly flat at low
+// utilization and explodes hyperbolically as utilization approaches 1 —
+// W ~ ErlangC/(c·mu − lambda). A band's threshold is therefore a cap on
+// the utilization the bands above it can be driven to by traffic at or
+// below this band: shedding band 0 at 0.5 keeps the system left of the
+// knee for everyone else, while band 3's 0.97 only guards against hard
+// overflow. Between the occupancy gate and ErrFull there is a second
+// stage: bands with a WaitBudget briefly block in EnqueueMessageWait for
+// capacity instead of failing, converting short bursts into bounded
+// delay — only for bands worth delaying an HTTP request for.
+//
+// On an unbounded queue (Cap() == 0) occupancy is undefined; the
+// occupancy gate is skipped and only ErrFull/WaitBudget handling (which
+// an unbounded queue never triggers) applies.
+//
+// The zero value is not usable; call NewAdmission. All methods are safe
+// for concurrent use.
+type Admission struct {
+	// Thresholds[b] is the occupancy fraction at or above which band b
+	// is shed. Monotonically non-decreasing in b by construction in
+	// NewAdmission; the fields are exported for tuning before serving,
+	// not for concurrent mutation.
+	Thresholds [pdq.NumPriorities]float64
+	// WaitBudget[b] bounds the EnqueueMessageWait blocking a band-b
+	// admission may spend after ErrFull before giving up with 429.
+	WaitBudget [pdq.NumPriorities]time.Duration
+
+	shed     [pdq.NumPriorities]atomic.Uint64
+	admitted [pdq.NumPriorities]atomic.Uint64
+}
+
+// DefaultThresholds stagger shedding across the four bands: half-full
+// sheds the lowest band, and only a nearly full queue sheds the highest.
+var DefaultThresholds = [pdq.NumPriorities]float64{0.50, 0.70, 0.85, 0.97}
+
+// DefaultWaitBudget gives only the top two bands a blocking budget:
+// low-band producers get an immediate 429 and back off, high-band
+// producers ride out sub-50ms bursts as latency instead of errors.
+var DefaultWaitBudget = [pdq.NumPriorities]time.Duration{0, 0, 50 * time.Millisecond, 250 * time.Millisecond}
+
+// NewAdmission returns an admission controller with the default
+// per-band thresholds and wait budgets.
+func NewAdmission() *Admission {
+	return &Admission{Thresholds: DefaultThresholds, WaitBudget: DefaultWaitBudget}
+}
+
+// band clamps a message priority to a valid band index.
+func band(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p >= pdq.NumPriorities {
+		return pdq.NumPriorities - 1
+	}
+	return p
+}
+
+// Admit runs the full admission flow for m against q: occupancy gate,
+// non-blocking enqueue, then the band's blocking budget if the queue is
+// full. The returned error is nil on admission, ErrShed or pdq.ErrFull
+// on overload (both map to 429), or the queue's own admission error.
+func (a *Admission) Admit(ctx context.Context, q *pdq.Queue, m pdq.Message) error {
+	b := band(m.Priority)
+	if c := q.Cap(); c > 0 {
+		if occ := float64(q.Len()) / float64(c); occ >= a.Thresholds[b] {
+			a.shed[b].Add(1)
+			return ErrShed
+		}
+	}
+	err := q.EnqueueMessage(m)
+	if errors.Is(err, pdq.ErrFull) {
+		if d := a.WaitBudget[b]; d > 0 {
+			wctx, cancel := context.WithTimeout(ctx, d)
+			err = q.EnqueueMessageWait(wctx, m)
+			cancel()
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				err = pdq.ErrFull
+			}
+		}
+		if errors.Is(err, pdq.ErrFull) {
+			a.shed[b].Add(1)
+		}
+	}
+	if err == nil {
+		a.admitted[b].Add(1)
+	}
+	return err
+}
+
+// AdmissionStats is the controller's counter snapshot, per band.
+type AdmissionStats struct {
+	Admitted [pdq.NumPriorities]uint64 `json:"admitted"` // messages enqueued
+	Shed     [pdq.NumPriorities]uint64 `json:"shed"`     // messages rejected for overload (occupancy gate or exhausted wait budget)
+}
+
+// Stats returns a snapshot of the per-band admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	var s AdmissionStats
+	for b := 0; b < pdq.NumPriorities; b++ {
+		s.Admitted[b] = a.admitted[b].Load()
+		s.Shed[b] = a.shed[b].Load()
+	}
+	return s
+}

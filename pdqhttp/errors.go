@@ -1,0 +1,62 @@
+package pdqhttp
+
+import (
+	"net/http"
+
+	"pdq"
+)
+
+// Wire-layer errors. Like the queue's sentinels they are pdq.Error
+// values with stable codes, so one ErrorCode switch classifies failures
+// from both layers.
+var (
+	// ErrShed (shed) reports an admission rejected by overload control:
+	// the queue had room, but the message's priority band is being shed
+	// to protect higher bands (HTTP 429; see Admission).
+	ErrShed = pdq.NewError("shed", "pdqhttp: message shed by admission control")
+
+	errNoHandler      = pdq.NewError("no_handler", "pdqhttp: message names no handler")
+	errUnknownHandler = pdq.NewError("unknown_handler", "pdqhttp: unregistered handler")
+	errBadMode        = pdq.NewError("bad_mode", "pdqhttp: unknown dispatch mode")
+	errBadJSON        = pdq.NewError("bad_json", "pdqhttp: malformed message body")
+	errUnknownQueue   = pdq.NewError("unknown_queue", "pdqhttp: no such queue")
+)
+
+// StatusCode maps an admission error onto its HTTP status:
+//
+//	429 Too Many Requests  - queue_full, shed (retryable; back off)
+//	503 Service Unavailable - queue_closed, mux_closed (shutting down)
+//	404 Not Found          - unknown_queue
+//	400 Bad Request        - every message-validation code (bad_json,
+//	                         no_handler, unknown_handler, bad_mode, and
+//	                         the queue's own nil_handler, both_handlers,
+//	                         mode_keys, barge_without_keys,
+//	                         sequential_sched, conflicting_modes)
+//	500                    - anything without a code (unexpected)
+//
+// nil maps to 200.
+func StatusCode(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	switch pdq.ErrorCode(err) {
+	case "queue_full", "shed":
+		return http.StatusTooManyRequests
+	case "queue_closed", "mux_closed":
+		return http.StatusServiceUnavailable
+	case "unknown_queue":
+		return http.StatusNotFound
+	case "":
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// wireError is the JSON error body: {"error":{"code":...,"message":...}}.
+type wireError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}

@@ -1,0 +1,183 @@
+package pdqhttp
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+
+	"pdq"
+)
+
+// Labels attach to every sample a WriteMetrics call emits, rendered
+// sorted by key for a stable text form.
+type Labels map[string]string
+
+// WriteMetrics renders any Stats struct as Prometheus text-format
+// samples, deriving metric names from the struct's json tags — the one
+// exporter behind /metrics for every stats surface in the module
+// (pdq.Stats, pdq.MuxStats, cluster.Stats, AdmissionStats, ...). The
+// mapping follows the module's stats conventions:
+//
+//   - unsigned integer fields are cumulative counters: <prefix>_<tag>_total
+//   - signed integer fields are gauges or config levels: <prefix>_<tag>
+//   - float fields are gauges: <prefix>_<tag>
+//   - a fixed-size array is a per-priority-band vector: one sample per
+//     element with a band="<i>" label
+//   - pdq.LatencyHistogram emits a Prometheus histogram in seconds:
+//     <prefix>_<tag>_seconds_bucket{le=...}, ..._sum, ..._count
+//   - a nested struct recurses with its tag joined to the prefix
+//   - a slice of structs recurses per element with an idx="<i>" label
+//
+// Fields without a json tag (or tagged "-") and unexported fields are
+// skipped. Samples are emitted without TYPE/HELP metadata: the names are
+// self-describing under the conventions above, and untyped samples are
+// ingested (and histogram_quantile over _bucket series works) all the
+// same. v must be a struct or pointer to one.
+func WriteMetrics(w io.Writer, prefix string, labels Labels, v any) error {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return fmt.Errorf("pdqhttp: WriteMetrics on nil %T", v)
+		}
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		return fmt.Errorf("pdqhttp: WriteMetrics needs a struct, got %T", v)
+	}
+	return writeStruct(w, prefix, labels, rv)
+}
+
+var histType = reflect.TypeOf(pdq.LatencyHistogram{})
+
+func writeStruct(w io.Writer, prefix string, labels Labels, rv reflect.Value) error {
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		name := prefix + "_" + tag
+		if err := writeValue(w, name, labels, rv.Field(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeValue(w io.Writer, name string, labels Labels, fv reflect.Value) error {
+	if fv.Type() == histType {
+		return writeHistogram(w, name, labels, fv.Interface().(pdq.LatencyHistogram))
+	}
+	switch fv.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return writeSample(w, name+"_total", labels, fmt.Sprintf("%d", fv.Uint()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return writeSample(w, name, labels, fmt.Sprintf("%d", fv.Int()))
+	case reflect.Float32, reflect.Float64:
+		return writeSample(w, name, labels, fmt.Sprintf("%g", fv.Float()))
+	case reflect.Bool:
+		v := "0"
+		if fv.Bool() {
+			v = "1"
+		}
+		return writeSample(w, name, labels, v)
+	case reflect.Array:
+		for i := 0; i < fv.Len(); i++ {
+			if err := writeValue(w, name, withLabel(labels, "band", fmt.Sprintf("%d", i)), fv.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Slice:
+		for i := 0; i < fv.Len(); i++ {
+			el := fv.Index(i)
+			if el.Kind() == reflect.Struct {
+				if err := writeStruct(w, name, withLabel(labels, "idx", fmt.Sprintf("%d", i)), el); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeValue(w, name, withLabel(labels, "idx", fmt.Sprintf("%d", i)), el); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Struct:
+		return writeStruct(w, name, labels, fv)
+	default:
+		// Strings, maps, funcs: not a metric; skip silently so stats
+		// structs can carry diagnostic fields the exporter ignores.
+		return nil
+	}
+}
+
+// writeHistogram renders a LatencyHistogram as a Prometheus histogram in
+// seconds: cumulative _bucket series over the queue's power-of-two
+// bounds, then _sum and _count.
+func writeHistogram(w io.Writer, name string, labels Labels, h pdq.LatencyHistogram) error {
+	name += "_seconds"
+	var cum uint64
+	for i := 0; i < pdq.LatencyBuckets; i++ {
+		cum += h.Buckets[i]
+		le := "+Inf"
+		if i < pdq.LatencyBuckets-1 {
+			le = fmt.Sprintf("%g", pdq.LatencyBucketBound(i).Seconds())
+		}
+		if err := writeSample(w, name+"_bucket", withLabel(labels, "le", le), fmt.Sprintf("%d", cum)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_sum", labels, fmt.Sprintf("%g", float64(h.SumNanos)/1e9)); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, fmt.Sprintf("%d", h.Count))
+}
+
+func writeSample(w io.Writer, name string, labels Labels, value string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(labels), value)
+	return err
+}
+
+func withLabel(labels Labels, k, v string) Labels {
+	out := make(Labels, len(labels)+1)
+	for lk, lv := range labels {
+		out[lk] = lv
+	}
+	out[k] = v
+	return out
+}
+
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

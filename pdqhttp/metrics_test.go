@@ -1,0 +1,212 @@
+package pdqhttp
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pdq"
+	"pdq/cluster"
+	"pdq/internal/lockq"
+	"pdq/internal/machine"
+	"pdq/internal/membus"
+	"pdq/internal/multiq"
+	"pdq/internal/netsim"
+	"pdq/internal/sim"
+	"pdq/internal/stache"
+)
+
+// statsSurfaces enumerates every exported stats struct in the module.
+// WriteMetrics (and the JSON contracts external tooling reads) must keep
+// working over all of them; a new stats type belongs on this list.
+var statsSurfaces = []struct {
+	name string
+	v    any
+}{
+	{"pdq.Stats", pdq.Stats{}},
+	{"pdq.MuxStats", pdq.MuxStats{}},
+	{"pdq.LatencyHistogram", pdq.LatencyHistogram{}},
+	{"pdqhttp.AdmissionStats", AdmissionStats{}},
+	{"cluster.Stats", cluster.Stats{}},
+	{"cluster.NodeStats", cluster.NodeStats{}},
+	{"lockq.Stats", lockq.Stats{}},
+	{"machine.PDQStats", machine.PDQStats{}},
+	{"membus.Stats", membus.Stats{}},
+	{"multiq.Stats", multiq.Stats{}},
+	{"netsim.Stats", netsim.Stats{}},
+	{"sim.ResourceStats", sim.ResourceStats{}},
+	{"stache.Stats", stache.Stats{}},
+}
+
+// fill sets every numeric leaf of v to a distinct nonzero value and
+// gives nil slices one element, so round-trips and exporter output can
+// be checked for completeness field by field.
+func fill(v reflect.Value, next *int) {
+	switch v.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*next++
+		v.SetUint(uint64(*next))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*next++
+		v.SetInt(int64(*next))
+	case reflect.Float32, reflect.Float64:
+		*next++
+		v.SetFloat(float64(*next))
+	case reflect.String:
+		v.SetString("x")
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).IsExported() {
+				fill(v.Field(i), next)
+			}
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fill(v.Index(i), next)
+		}
+	case reflect.Slice:
+		if v.IsNil() {
+			v.Set(reflect.MakeSlice(v.Type(), 1, 1))
+		}
+		for i := 0; i < v.Len(); i++ {
+			fill(v.Index(i), next)
+		}
+	}
+}
+
+// checkTags asserts every exported field of a stats struct carries a
+// unique snake_case json tag, recursively — the contract both the JSON
+// surface and the metrics exporter derive names from.
+func checkTags(t *testing.T, name string, rt reflect.Type, seen map[string]bool) {
+	t.Helper()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			t.Errorf("%s.%s: missing json tag", name, f.Name)
+			continue
+		}
+		if strings.ToLower(tag) != tag || strings.Contains(tag, "-") {
+			t.Errorf("%s.%s: tag %q is not snake_case", name, f.Name, tag)
+		}
+		if seen[tag] {
+			t.Errorf("%s.%s: duplicate json tag %q", name, f.Name, tag)
+		}
+		seen[tag] = true
+		ft := f.Type
+		for ft.Kind() == reflect.Pointer || ft.Kind() == reflect.Slice || ft.Kind() == reflect.Array {
+			ft = ft.Elem()
+		}
+		if ft.Kind() == reflect.Struct {
+			// Nested structs get their own namespace (the exporter joins
+			// with the parent tag), so uniqueness restarts.
+			checkTags(t, name+"."+f.Name, ft, map[string]bool{})
+		}
+	}
+}
+
+// TestStatsSurfaces runs the three contracts over every stats struct:
+// unique snake_case tags, a lossless JSON round-trip, and WriteMetrics
+// emitting every numeric leaf.
+func TestStatsSurfaces(t *testing.T) {
+	for _, s := range statsSurfaces {
+		t.Run(s.name, func(t *testing.T) {
+			rt := reflect.TypeOf(s.v)
+			checkTags(t, s.name, rt, map[string]bool{})
+
+			// Round-trip a fully populated value.
+			pv := reflect.New(rt)
+			var next int
+			fill(pv.Elem(), &next)
+			data, err := json.Marshal(pv.Interface())
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back := reflect.New(rt)
+			if err := json.Unmarshal(data, back.Interface()); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(pv.Interface(), back.Interface()) {
+				t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back.Elem(), pv.Elem())
+			}
+
+			// The exporter must emit something for every filled numeric
+			// leaf: sample count >= leaves is a cheap full-coverage proxy
+			// (histograms expand one struct into many samples).
+			var sb strings.Builder
+			if err := WriteMetrics(&sb, "t", nil, pv.Interface()); err != nil {
+				t.Fatalf("WriteMetrics: %v", err)
+			}
+			lines := strings.Count(sb.String(), "\n")
+			if lines < next-countStrings(rt) {
+				t.Fatalf("WriteMetrics emitted %d samples for %d numeric leaves:\n%s", lines, next, sb.String())
+			}
+		})
+	}
+}
+
+// countStrings counts string leaves (filled but not exported as metrics).
+func countStrings(rt reflect.Type) int {
+	n := 0
+	switch rt.Kind() {
+	case reflect.String:
+		return 1
+	case reflect.Struct:
+		for i := 0; i < rt.NumField(); i++ {
+			if rt.Field(i).IsExported() {
+				n += countStrings(rt.Field(i).Type)
+			}
+		}
+	case reflect.Array, reflect.Slice, reflect.Pointer:
+		n += countStrings(rt.Elem())
+	}
+	return n
+}
+
+// TestWriteMetricsShape pins the exporter's text form on a hand-built
+// struct covering each kind.
+func TestWriteMetricsShape(t *testing.T) {
+	type inner struct {
+		Deep uint64 `json:"deep"`
+	}
+	v := struct {
+		C     uint64               `json:"c"`
+		G     int                  `json:"g"`
+		F     float64              `json:"f"`
+		Bands [2]uint64            `json:"bands"`
+		Hist  pdq.LatencyHistogram `json:"hist"`
+		Sub   inner                `json:"sub"`
+		Per   []inner              `json:"per"`
+		Skip  string               `json:"skip"`
+		None  int                  `json:"-"`
+	}{C: 7, G: -2, F: 1.5, Bands: [2]uint64{3, 4}, Sub: inner{9}, Per: []inner{{11}}, Skip: "no"}
+	v.Hist.Observe(0)
+
+	var sb strings.Builder
+	if err := WriteMetrics(&sb, "x", Labels{"q": `a"b\c`}, v); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"x_c_total{q=\"a\\\"b\\\\c\"} 7",
+		"x_g{q=\"a\\\"b\\\\c\"} -2",
+		"x_f{q=\"a\\\"b\\\\c\"} 1.5",
+		"x_bands_total{band=\"0\",q=\"a\\\"b\\\\c\"} 3",
+		"x_bands_total{band=\"1\",q=\"a\\\"b\\\\c\"} 4",
+		"x_hist_seconds_bucket{le=\"1e-06\",q=\"a\\\"b\\\\c\"} 1",
+		"x_hist_seconds_count{q=\"a\\\"b\\\\c\"} 1",
+		"x_sub_deep_total{q=\"a\\\"b\\\\c\"} 9",
+		"x_per_deep_total{idx=\"0\",q=\"a\\\"b\\\\c\"} 11",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "skip") || strings.Contains(got, "x_none") {
+		t.Errorf("exported a skipped field:\n%s", got)
+	}
+}

@@ -1,0 +1,269 @@
+package pdqhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"pdq"
+)
+
+// Server is the HTTP façade over a pdq.Mux. Routes:
+//
+//	POST /v1/queues/{queue}/messages  - admit one WireMessage (202 on accept)
+//	GET  /v1/queues                   - queue names with stats, JSON
+//	GET  /v1/queues/{queue}/stats     - one queue's pdq.Stats, JSON
+//	GET  /v1/handlers                 - registered handler names, JSON
+//	GET  /metrics                     - Prometheus text over every stats surface
+//	GET  /healthz                     - liveness (200 "ok")
+//	GET  /debug/pprof/                - the standard pprof handlers
+//
+// The server only routes requests; the queues are drained by whatever
+// worker pool the caller runs (pdq.ServeMux). Construct with NewServer
+// and serve it like any http.Handler.
+type Server struct {
+	mux *pdq.Mux
+	reg *Registry
+	adm *Admission
+	h   *http.ServeMux
+
+	autoCreate bool
+	queueOpts  []pdq.Option
+
+	srcMu   sync.Mutex
+	sources []metricsSource
+
+	// HTTP outcome counters for /metrics: index by status class sample.
+	accepted    atomic.Uint64 // 202s
+	rejected    atomic.Uint64 // 4xx
+	unavailable atomic.Uint64 // 5xx
+}
+
+type metricsSource struct {
+	prefix   string
+	labels   Labels
+	snapshot func() any
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithAdmission installs a custom-tuned admission controller (the
+// default is NewAdmission()).
+func WithAdmission(a *Admission) ServerOption {
+	return func(s *Server) { s.adm = a }
+}
+
+// WithAutoCreate makes POST to an unknown queue name create the queue
+// with the given construction options, instead of failing with 404.
+// Bounded capacity (pdq.WithCapacity) is what gives the admission
+// controller its occupancy signal; an unbounded auto-created queue is
+// never shed.
+func WithAutoCreate(opts ...pdq.Option) ServerOption {
+	return func(s *Server) {
+		s.autoCreate = true
+		s.queueOpts = opts
+	}
+}
+
+// WithMetricsSource adds an extra stats surface to /metrics: snapshot is
+// called per scrape and its result rendered by WriteMetrics under the
+// given prefix and labels. Use it to expose cluster.Stats or
+// application stats next to the queue metrics.
+func WithMetricsSource(prefix string, labels Labels, snapshot func() any) ServerOption {
+	return func(s *Server) {
+		s.sources = append(s.sources, metricsSource{prefix: prefix, labels: labels, snapshot: snapshot})
+	}
+}
+
+// NewServer builds the façade over m, resolving wire handlers in reg.
+func NewServer(m *pdq.Mux, reg *Registry, opts ...ServerOption) *Server {
+	s := &Server{mux: m, reg: reg}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.adm == nil {
+		s.adm = NewAdmission()
+	}
+	h := http.NewServeMux()
+	h.HandleFunc("POST /v1/queues/{queue}/messages", s.handleEnqueue)
+	h.HandleFunc("GET /v1/queues", s.handleQueues)
+	h.HandleFunc("GET /v1/queues/{queue}/stats", s.handleQueueStats)
+	h.HandleFunc("GET /v1/handlers", s.handleHandlers)
+	h.HandleFunc("GET /metrics", s.handleMetrics)
+	h.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	h.HandleFunc("/debug/pprof/", pprof.Index)
+	h.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.h = h
+	return s
+}
+
+// Admission returns the server's admission controller, for inspection
+// and for wiring its stats elsewhere.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// ServeHTTP dispatches to the façade's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.ServeHTTP(w, r)
+}
+
+// maxBodyBytes bounds an ingest request body; a wire message is control
+// metadata plus a payload, not a bulk transfer.
+const maxBodyBytes = 1 << 20
+
+// handleEnqueue admits one wire message into the named queue.
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("queue")
+	q, err := s.lookupQueue(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var wm WireMessage
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&wm); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", errBadJSON, err))
+		return
+	}
+	m, err := wm.ToMessage(s.reg)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.adm.Admit(r.Context(), q, m); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.accepted.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "{\"queue\":%q,\"status\":\"accepted\"}\n", name)
+}
+
+// lookupQueue resolves a queue name, auto-creating when configured.
+func (s *Server) lookupQueue(name string) (*pdq.Queue, error) {
+	if s.autoCreate {
+		q, err := s.mux.Queue(name, s.queueOpts...)
+		if errors.Is(err, pdq.ErrQueueExists) {
+			return q, nil // raced another creator; the queue exists
+		}
+		return q, err
+	}
+	// Mux.Queue with no opts would create a missing name; probe the
+	// name set first so an unknown queue is a 404, not an implicit
+	// unbounded queue.
+	if !s.hasQueue(name) {
+		return nil, fmt.Errorf("%w: %q", errUnknownQueue, name)
+	}
+	return s.mux.Queue(name)
+}
+
+func (s *Server) handleQueues(w http.ResponseWriter, r *http.Request) {
+	out := make(map[string]pdq.Stats)
+	for _, name := range s.mux.Names() {
+		if q, err := s.mux.Queue(name); err == nil {
+			out[name] = q.Stats()
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleQueueStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("queue")
+	if !s.hasQueue(name) {
+		s.writeError(w, fmt.Errorf("%w: %q", errUnknownQueue, name))
+		return
+	}
+	q, err := s.mux.Queue(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, q.Stats())
+}
+
+func (s *Server) handleHandlers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.reg.Names())
+}
+
+func (s *Server) hasQueue(name string) bool {
+	for _, n := range s.mux.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleMetrics renders every stats surface as Prometheus text: one
+// pdq_* sample set per queue (label queue="name"), the mux totals, the
+// admission controller, the façade's own request counters, and any
+// WithMetricsSource extras.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, name := range s.mux.Names() {
+		q, err := s.mux.Queue(name)
+		if err != nil {
+			continue
+		}
+		st := q.Stats()
+		WriteMetrics(w, "pdq", Labels{"queue": name}, st)
+		// Levels the Stats snapshot doesn't carry: live depth and flight.
+		writeSample(w, "pdq_len", Labels{"queue": name}, fmt.Sprintf("%d", q.Len()))
+		writeSample(w, "pdq_in_flight", Labels{"queue": name}, fmt.Sprintf("%d", q.InFlight()))
+		writeSample(w, "pdq_capacity", Labels{"queue": name}, fmt.Sprintf("%d", q.Cap()))
+	}
+	WriteMetrics(w, "pdq_mux", nil, s.mux.Stats())
+	WriteMetrics(w, "pdqhttp_admission", nil, s.adm.Stats())
+	writeSample(w, "pdqhttp_accepted_total", nil, fmt.Sprintf("%d", s.accepted.Load()))
+	writeSample(w, "pdqhttp_rejected_total", nil, fmt.Sprintf("%d", s.rejected.Load()))
+	writeSample(w, "pdqhttp_unavailable_total", nil, fmt.Sprintf("%d", s.unavailable.Load()))
+	s.srcMu.Lock()
+	sources := s.sources
+	s.srcMu.Unlock()
+	for _, src := range sources {
+		WriteMetrics(w, src.prefix, src.labels, src.snapshot())
+	}
+}
+
+// writeError renders err as the façade's JSON error body with the
+// status StatusCode assigns, plus Retry-After on 429.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := StatusCode(err)
+	switch {
+	case status == http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+		s.rejected.Add(1)
+	case status >= 500:
+		s.unavailable.Add(1)
+	default:
+		s.rejected.Add(1)
+	}
+	var body wireError
+	body.Error.Code = pdq.ErrorCode(err)
+	if body.Error.Code == "" {
+		body.Error.Code = "internal"
+	}
+	body.Error.Message = err.Error()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,309 @@
+package pdqhttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdq"
+)
+
+func postMsg(t *testing.T, ts *httptest.Server, queue string, body string) (*http.Response, wireError) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/queues/"+queue+"/messages", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var we wireError
+	if resp.StatusCode >= 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+			t.Fatalf("status %d with undecodable error body: %v", resp.StatusCode, err)
+		}
+	}
+	resp.Body.Close()
+	return resp, we
+}
+
+// TestServerIngest drives wire messages end to end: POST -> queue ->
+// worker pool -> registered handler.
+func TestServerIngest(t *testing.T) {
+	mux := pdq.NewMux()
+	if _, err := mux.Queue("jobs", pdq.WithCapacity(128)); err != nil {
+		t.Fatal(err)
+	}
+	var sum atomic.Int64
+	done := make(chan struct{}, 16)
+	reg := NewRegistry()
+	reg.Register("add", func(data json.RawMessage) {
+		var v int64
+		json.Unmarshal(data, &v)
+		sum.Add(v)
+		done <- struct{}{}
+	})
+	pool := pdq.ServeMux(context.Background(), mux, 2)
+	defer pool.Stop()
+	ts := httptest.NewServer(NewServer(mux, reg))
+	defer ts.Close()
+
+	for i := 1; i <= 3; i++ {
+		resp, we := postMsg(t, ts, "jobs", fmt.Sprintf(`{"handler":"add","data":%d,"keys":[7]}`, i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("status %d (%+v), want 202", resp.StatusCode, we)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handler did not run")
+		}
+	}
+	if got := sum.Load(); got != 6 {
+		t.Fatalf("sum = %d, want 6", got)
+	}
+}
+
+// TestServerErrors pins the HTTP status taxonomy.
+func TestServerErrors(t *testing.T) {
+	mux := pdq.NewMux()
+	if _, err := mux.Queue("jobs", pdq.WithCapacity(4)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Register("noop", func(json.RawMessage) {})
+	ts := httptest.NewServer(NewServer(mux, reg))
+	defer ts.Close()
+
+	cases := []struct {
+		queue, body string
+		status      int
+		code        string
+	}{
+		{"nope", `{"handler":"noop"}`, http.StatusNotFound, "unknown_queue"},
+		{"jobs", `{not json`, http.StatusBadRequest, "bad_json"},
+		{"jobs", `{"handler":"ghost"}`, http.StatusBadRequest, "unknown_handler"},
+		{"jobs", `{}`, http.StatusBadRequest, "no_handler"},
+		{"jobs", `{"handler":"noop","mode":"warp"}`, http.StatusBadRequest, "bad_mode"},
+		{"jobs", `{"handler":"noop","mode":"nosync","keys":[1]}`, http.StatusBadRequest, "mode_keys"},
+		{"jobs", `{"handler":"noop","mode":"barge"}`, http.StatusBadRequest, "barge_without_keys"},
+		{"jobs", `{"handler":"noop","mode":"sequential","priority":2}`, http.StatusBadRequest, "sequential_sched"},
+	}
+	for _, c := range cases {
+		resp, we := postMsg(t, ts, c.queue, c.body)
+		if resp.StatusCode != c.status || we.Error.Code != c.code {
+			t.Errorf("POST %s %q: %d/%q, want %d/%q", c.queue, c.body, resp.StatusCode, we.Error.Code, c.status, c.code)
+		}
+	}
+}
+
+// TestServerFullQueue verifies a saturated bounded queue turns into 429
+// with Retry-After, and that admission shedding kicks in below hard full
+// for the low band.
+func TestServerFullQueue(t *testing.T) {
+	mux := pdq.NewMux()
+	// No workers: everything enqueued stays pending.
+	if _, err := mux.Queue("jobs", pdq.WithCapacity(10)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Register("noop", func(json.RawMessage) {})
+	ts := httptest.NewServer(NewServer(mux, reg))
+	defer ts.Close()
+
+	// Band 3 admits until the 0.97 threshold (covers the whole capacity
+	// of 10 but ErrFull stops it); band 0 sheds at 50%.
+	var got429 bool
+	for i := 0; i < 15; i++ {
+		resp, we := postMsg(t, ts, "jobs", `{"handler":"noop","priority":3,"keys":[1]}`)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			if we.Error.Code != "queue_full" && we.Error.Code != "shed" {
+				t.Fatalf("429 code %q", we.Error.Code)
+			}
+			break
+		}
+	}
+	if !got429 {
+		t.Fatal("bounded queue never returned 429")
+	}
+	// The queue now sits at ~capacity; band 0 must shed.
+	resp, we := postMsg(t, ts, "jobs", `{"handler":"noop","keys":[2]}`)
+	if resp.StatusCode != http.StatusTooManyRequests || we.Error.Code != "shed" {
+		t.Fatalf("band-0 on a loaded queue: %d/%q, want 429/shed", resp.StatusCode, we.Error.Code)
+	}
+}
+
+// TestServerAutoCreate verifies WithAutoCreate creates queues on first
+// POST with the configured options.
+func TestServerAutoCreate(t *testing.T) {
+	mux := pdq.NewMux()
+	reg := NewRegistry()
+	reg.Register("noop", func(json.RawMessage) {})
+	ts := httptest.NewServer(NewServer(mux, reg, WithAutoCreate(pdq.WithCapacity(8))))
+	defer ts.Close()
+
+	resp, we := postMsg(t, ts, "fresh", `{"handler":"noop"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d (%+v), want 202", resp.StatusCode, we)
+	}
+	q, err := mux.Queue("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 8 {
+		t.Fatalf("auto-created capacity = %d, want 8", q.Cap())
+	}
+}
+
+// TestServerMetricsEndpoint scrapes /metrics and checks for the key
+// sample families from every surface.
+func TestServerMetricsEndpoint(t *testing.T) {
+	mux := pdq.NewMux()
+	if _, err := mux.Queue("jobs", pdq.WithCapacity(64)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	done := make(chan struct{}, 1)
+	reg.Register("noop", func(json.RawMessage) { done <- struct{}{} })
+	pool := pdq.ServeMux(context.Background(), mux, 1)
+	defer pool.Stop()
+	ts := httptest.NewServer(NewServer(mux, reg,
+		WithMetricsSource("extra", Labels{"src": "x"}, func() any {
+			return struct {
+				N uint64 `json:"n"`
+			}{42}
+		})))
+	defer ts.Close()
+
+	if resp, we := postMsg(t, ts, "jobs", `{"handler":"noop","keys":[9],"priority":2}`); resp.StatusCode != 202 {
+		t.Fatalf("ingest: %d %+v", resp.StatusCode, we)
+	}
+	<-done
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`pdq_enqueued_total{queue="jobs"} 1`,
+		`pdq_priority_dispatched_total{band="2",queue="jobs"} 1`,
+		`pdq_band_latency_seconds_count{band="2",queue="jobs"} 1`,
+		`pdq_band_latency_seconds_bucket{band="2",le="+Inf",queue="jobs"} 1`,
+		`pdq_capacity{queue="jobs"} 64`,
+		`pdq_mux_dispatched_total 1`,
+		`pdqhttp_admission_admitted_total{band="2"} 1`,
+		`pdqhttp_accepted_total 1`,
+		`extra_n_total{src="x"} 42`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}
+
+// TestAdmissionBands verifies the occupancy gate is staggered: at 60%
+// occupancy band 0 sheds while band 3 admits.
+func TestAdmissionBands(t *testing.T) {
+	q := pdq.New(pdq.WithCapacity(100))
+	nop := func(any) {}
+	for i := 0; i < 60; i++ {
+		if err := q.Enqueue(nop, pdq.NoSync()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := NewAdmission()
+	m0, err := pdq.NewMessage(nop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(context.Background(), q, m0); err != ErrShed {
+		t.Fatalf("band 0 at 60%% occupancy: %v, want ErrShed", err)
+	}
+	m3, err := pdq.NewMessage(nop, pdq.WithPriority(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(context.Background(), q, m3); err != nil {
+		t.Fatalf("band 3 at 60%% occupancy: %v, want admit", err)
+	}
+	st := a.Stats()
+	if st.Shed[0] != 1 || st.Admitted[3] != 1 {
+		t.Fatalf("admission stats %+v", st)
+	}
+}
+
+// TestAdmissionWaitBudget verifies a high band converts a transient full
+// queue into bounded waiting instead of an error.
+func TestAdmissionWaitBudget(t *testing.T) {
+	q := pdq.New(pdq.WithCapacity(1))
+	nop := func(any) {}
+	if err := q.Enqueue(nop, pdq.NoSync()); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdmission()
+	a.Thresholds[3] = 1.1 // disable the occupancy gate; exercise ErrFull
+	a.WaitBudget[3] = 2 * time.Second
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		if e, ok := q.TryDequeue(); ok {
+			q.Complete(e) // frees the slot; the waiting admit proceeds
+		}
+	}()
+	m, err := pdq.NewMessage(nop, pdq.WithPriority(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(context.Background(), q, m); err != nil {
+		t.Fatalf("band 3 with wait budget: %v, want admit after slot frees", err)
+	}
+	// Band 0 has no budget: immediate ErrFull.
+	m0, _ := pdq.NewMessage(nop)
+	a.Thresholds[0] = 1.1
+	if err := a.Admit(context.Background(), q, m0); err != pdq.ErrFull {
+		t.Fatalf("band 0 on full queue: %v, want ErrFull", err)
+	}
+}
+
+// TestParseMode covers the wire mode names.
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]pdq.Mode{
+		"": pdq.ModeKeyed, "keyed": pdq.ModeKeyed, "sequential": pdq.ModeSequential,
+		"nosync": pdq.ModeNoSync, "barge": pdq.ModeBarge,
+	} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("warp"); pdq.ErrorCode(err) != "bad_mode" {
+		t.Fatalf("bad mode error: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package pdqhttp puts a pdq.Mux behind an HTTP façade: a JSON wire form
+// for pdq.Message with handlers resolved by registered name, an ingest
+// endpoint per named queue, a Prometheus /metrics exporter over every
+// Stats surface, and admission control that sheds low-priority bands
+// before high-band latency degrades (see Admission).
+//
+// A message on the wire names its handler instead of carrying a closure;
+// the server resolves the name through a Registry and builds the same
+// pdq.Message the in-process API would (WireMessage.ToMessage goes
+// through pdq.NewMessage), so wire and library admissions are
+// indistinguishable to the queue.
+package pdqhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pdq"
+)
+
+// Handler executes one wire message's payload. The raw JSON body of the
+// message's data field is delivered verbatim; the handler owns decoding.
+type Handler func(data json.RawMessage)
+
+// Registry maps handler names to Handler funcs. A wire message names its
+// handler; the server resolves it here at admission, so only registered
+// code ever runs — the wire cannot inject behavior, only select it.
+// Registration and lookup are safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]Handler)}
+}
+
+// Register binds name to h, replacing any previous binding.
+func (r *Registry) Register(name string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[name] = h
+}
+
+// Lookup resolves a handler name; ok is false for unregistered names.
+func (r *Registry) Lookup(name string) (h Handler, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok = r.m[name]
+	return h, ok
+}
+
+// Names returns the registered handler names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WireMessage is the JSON form of a pdq.Message. Zero values mean the
+// same thing they mean in-process: keyed mode, band 0, immediate
+// dispatch, no deadline. Relative schedule fields (delay_ms, ttl_ms) are
+// resolved against the receiving server's clock at admission — prefer
+// them over the absolute not_before/deadline instants unless the caller
+// and server share a clock.
+type WireMessage struct {
+	// Handler names the registered handler to run; required.
+	Handler string `json:"handler"`
+	// Data is the handler's payload, passed through verbatim.
+	Data json.RawMessage `json:"data,omitempty"`
+	// Keys is the synchronization key set (keyed and barge modes).
+	Keys []uint64 `json:"keys,omitempty"`
+	// Mode is "keyed" (default), "sequential", "nosync", or "barge".
+	Mode string `json:"mode,omitempty"`
+	// Priority is the scheduling band, clamped to [0, pdq.NumPriorities).
+	Priority int `json:"priority,omitempty"`
+	// DelayMS defers dispatch by this many milliseconds (pdq.WithDelay).
+	DelayMS int64 `json:"delay_ms,omitempty"`
+	// TTLMS expires the message this many milliseconds after admission
+	// if it has not dispatched (pdq.WithTTL).
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// NotBefore defers dispatch until an absolute instant; overrides
+	// DelayMS when both are set.
+	NotBefore *time.Time `json:"not_before,omitempty"`
+	// Deadline expires the message at an absolute instant; overrides
+	// TTLMS when both are set.
+	Deadline *time.Time `json:"deadline,omitempty"`
+}
+
+// ParseMode maps a wire mode string to a pdq.Mode. The empty string is
+// keyed, matching the Message zero value.
+func ParseMode(s string) (pdq.Mode, error) {
+	switch s {
+	case "", "keyed":
+		return pdq.ModeKeyed, nil
+	case "sequential":
+		return pdq.ModeSequential, nil
+	case "nosync":
+		return pdq.ModeNoSync, nil
+	case "barge":
+		return pdq.ModeBarge, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", errBadMode, s)
+	}
+}
+
+// ToMessage resolves the wire form into an admittable pdq.Message:
+// handler looked up in reg, options assembled exactly as the in-process
+// Enqueue path would (through pdq.NewMessage, which validates and
+// normalizes). Errors carry stable codes — unknown_handler, bad_mode, or
+// the queue's own validation codes — so the server maps them to HTTP
+// statuses without string matching.
+func (wm *WireMessage) ToMessage(reg *Registry) (pdq.Message, error) {
+	if wm.Handler == "" {
+		return pdq.Message{}, errNoHandler
+	}
+	h, ok := reg.Lookup(wm.Handler)
+	if !ok {
+		return pdq.Message{}, fmt.Errorf("%w: %q", errUnknownHandler, wm.Handler)
+	}
+	mode, err := ParseMode(wm.Mode)
+	if err != nil {
+		return pdq.Message{}, err
+	}
+	data := wm.Data
+	opts := []pdq.EnqueueOption{pdq.WithData(data)}
+	if len(wm.Keys) > 0 {
+		keys := make([]pdq.Key, len(wm.Keys))
+		for i, k := range wm.Keys {
+			keys[i] = pdq.Key(k)
+		}
+		opts = append(opts, pdq.WithKeys(keys...))
+	}
+	switch mode {
+	case pdq.ModeSequential:
+		opts = append(opts, pdq.Sequential())
+	case pdq.ModeNoSync:
+		opts = append(opts, pdq.NoSync())
+	case pdq.ModeBarge:
+		opts = append(opts, pdq.Barge())
+	}
+	if wm.Priority != 0 {
+		opts = append(opts, pdq.WithPriority(wm.Priority))
+	}
+	if wm.NotBefore != nil {
+		opts = append(opts, pdq.WithNotBefore(*wm.NotBefore))
+	} else if wm.DelayMS > 0 {
+		opts = append(opts, pdq.WithDelay(time.Duration(wm.DelayMS)*time.Millisecond))
+	}
+	if wm.Deadline != nil {
+		opts = append(opts, pdq.WithDeadline(*wm.Deadline))
+	} else if wm.TTLMS > 0 {
+		opts = append(opts, pdq.WithTTL(time.Duration(wm.TTLMS)*time.Millisecond))
+	}
+	return pdq.NewMessage(func(d any) {
+		raw, _ := d.(json.RawMessage)
+		h(raw)
+	}, opts...)
+}

@@ -2,7 +2,6 @@ package pdq
 
 import (
 	"context"
-	"sync"
 )
 
 // Pool runs a fixed set of worker goroutines that dequeue entries from a
@@ -20,11 +19,8 @@ import (
 // messages reach the dead-letter hook — without any polling, as long as
 // the pool is running.
 type Pool struct {
-	q       *Queue
-	wg      sync.WaitGroup
-	cancel  context.CancelFunc
-	workers int
-	batch   int
+	workerSet
+	q *Queue
 }
 
 // PoolOption configures the workers started by Serve and ServeMux.
@@ -50,24 +46,12 @@ func WithWorkerBatch(n int) PoolOption {
 // choice for a sharded queue is max(q.Shards(), GOMAXPROCS). Worker
 // behavior is shaped by opts (see WithWorkerBatch).
 func Serve(ctx context.Context, q *Queue, n int, opts ...PoolOption) *Pool {
-	if n < 1 {
-		n = 1
-	}
-	var cfg poolConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	p := &Pool{q: q, cancel: cancel, workers: n, batch: cfg.batch}
-	p.wg.Add(n)
-	for i := 0; i < n; i++ {
-		go p.worker(ctx)
-	}
+	p := &Pool{q: q}
+	p.start(ctx, n, opts, p.worker)
 	return p
 }
 
 func (p *Pool) worker(ctx context.Context) {
-	defer p.wg.Done()
 	if p.batch > 1 {
 		for {
 			es, err := p.q.DequeueBatch(ctx, p.batch)
@@ -105,17 +89,5 @@ func (p *Pool) worker(ctx context.Context) {
 	}
 }
 
-// Workers reports how many workers the pool started with.
-func (p *Pool) Workers() int { return p.workers }
-
-// Stop cancels the workers and waits for them to exit. Handlers already
-// running complete normally; undispatched entries remain in the queue.
-// For a clean drain instead, call Queue.Close then Pool.Wait.
-func (p *Pool) Stop() {
-	p.cancel()
-	p.wg.Wait()
-}
-
-// Wait blocks until all workers have exited (e.g. after Queue.Close once
-// the queue drains).
-func (p *Pool) Wait() { p.wg.Wait() }
+// Workers, Stop, and Wait come from the embedded workerSet; Pool and
+// MuxPool share the one WorkerGroup lifecycle.

@@ -176,7 +176,7 @@ func (q *Queue) enqueueIntake(s *shard, m *Message, smask uint64, attempt uint32
 		return ErrClosed
 	}
 	n := s.pool.get()
-	n.entry = Entry{msg: *m, smask: smask, attempt: attempt, err: lastErr}
+	n.entry = Entry{msg: *m, smask: smask, attempt: attempt, err: lastErr, enqAt: nowNanos()}
 	if !m.NotBefore.IsZero() {
 		n.entry.notBefore = toNanos(m.NotBefore)
 	}

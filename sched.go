@@ -33,7 +33,6 @@ package pdq
 //     delayed entry — so the dead-letter call can trail the deadline.
 
 import (
-	"errors"
 	"math"
 	"math/bits"
 	"time"
@@ -108,16 +107,6 @@ const priorityCreditBase = 8
 func creditLimit(b int) uint32 {
 	return priorityCreditBase << (NumPriorities - 1 - b)
 }
-
-// ErrExpired is the error an entry's message carries to the dead-letter
-// hook when its deadline (WithDeadline, WithTTL) passes before dispatch.
-// The handler never runs; test with errors.Is(err, ErrExpired).
-var ErrExpired = errors.New("pdq: entry deadline exceeded")
-
-// errSequentialSched rejects scheduling options on a Sequential message:
-// a barrier is a fixed point in global queue order, which a band, delay,
-// or deadline would contradict.
-var errSequentialSched = errors.New("pdq: sequential message cannot carry scheduling options")
 
 // WithPriority assigns the message to priority band p (clamped to
 // [0, NumPriorities)). Higher bands dispatch first; band 0 is the
@@ -375,11 +364,24 @@ func (s *shard) bandOrder() (order [NumPriorities]uint8) {
 	return order
 }
 
-// creditDispatch records a dispatch from band b: the band's own credit
-// resets, and every lower band left waiting with mature work accrues one
-// credit toward its starvation boost. Caller holds s.mu.
-func (s *shard) creditDispatch(b int) {
+// creditDispatch records a dispatch of entry e from band b: the band's
+// own credit resets, every lower band left waiting with mature work
+// accrues one credit toward its starvation boost, and the entry's
+// dispatch latency — time spent dispatchable, i.e. since enqueue or
+// since maturity for a delayed entry — is folded into the band's
+// histogram. now is the scan's lazily fetched clock sample (0 = not yet
+// read), shared so a batch harvest reads the clock once, not per entry.
+// Caller holds s.mu.
+func (s *shard) creditDispatch(b int, e *Entry, now *int64) {
 	s.stats.prioDispatched[b]++
+	if *now == 0 {
+		*now = nowNanos()
+	}
+	base := e.enqAt
+	if e.notBefore > base {
+		base = e.notBefore
+	}
+	s.stats.latency[b].Observe(time.Duration(*now - base))
 	s.credit[b] = 0
 	for i := 0; i < b; i++ {
 		if s.bands[i].head != nil {

@@ -74,6 +74,7 @@ type shardCounters struct {
 	expired            uint64 // entries dropped undispatched at their deadline
 	delayed            uint64 // entries admitted with a future maturity
 	prioDispatched     [NumPriorities]uint64
+	latency            [NumPriorities]LatencyHistogram // dispatch latency per band (see Stats.BandLatency)
 	maxPending         int
 	maxBatch           int // largest harvest from this shard, in messages
 	maxRingOcc         int // deepest intake-ring backlog met by a drain
@@ -373,7 +374,7 @@ func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bo
 	// could dispatch a just-drained post-barrier entry ahead of the
 	// barrier.
 	barSeq := q.bar.minSeq.Load()
-	var now int64 // fetched lazily: scans without timed entries never read the clock
+	var now int64 // fetched lazily: idle scans never read the clock; the first expiry check or dispatch does
 	if s.timers.len() > 0 {
 		now = nowNanos()
 		s.matureRipe(now)
@@ -413,7 +414,7 @@ func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bo
 				q.releaseSlot()
 				s.stats.dispatched++
 				s.stats.noSyncDispatched++
-				s.creditDispatch(int(b))
+				s.creditDispatch(int(b), &n.entry, &now)
 				return s.take(n), true, retry
 			}
 			// ModeKeyed or ModeBarge (a keyless entry has an empty key set
@@ -439,7 +440,7 @@ func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bo
 					if len(m.Keys) > 1 {
 						s.stats.multiKeyDispatched++
 					}
-					s.creditDispatch(int(b))
+					s.creditDispatch(int(b), &n.entry, &now)
 					return s.take(n), true, retry
 				}
 				s.countConflict(kind)
@@ -448,7 +449,7 @@ func (q *Queue) scanLocked(s *shard, expired *[]Message) (e *Entry, ok, retry bo
 			}
 			ok2, kind, r := q.tryDispatchCross(s, n)
 			if ok2 {
-				s.creditDispatch(int(b))
+				s.creditDispatch(int(b), &n.entry, &now)
 				return s.take(n), true, retry
 			}
 			if r {

@@ -1,20 +1,116 @@
 package pdq
 
 import (
-	"errors"
 	"fmt"
+	"math"
+	"math/bits"
+	"time"
 )
 
-// errConflictingModes reports Sequential() combined with NoSync().
-var errConflictingModes = errors.New("pdq: conflicting dispatch modes")
+// LatencyBuckets is the bucket count of a LatencyHistogram. Bucket i
+// counts dispatch latencies at or below LatencyBucketBound(i); the last
+// bucket is the overflow and counts everything larger.
+const LatencyBuckets = 28
 
-// errBothHandlers reports a message carrying both a plain Handler and a
-// Batch handler; a message must carry exactly one of the two.
-var errBothHandlers = errors.New("pdq: message carries both Handler and Batch")
+// latencyBucketBase is the upper bound of bucket 0.
+const latencyBucketBase = time.Microsecond
 
-// errBargeNoKeys rejects a barge message with an empty key set (an
-// acquisition of nothing is NoSync, not Barge).
-var errBargeNoKeys = errors.New("pdq: barge message requires at least one key")
+// LatencyBucketBound returns the inclusive upper bound of histogram
+// bucket i: power-of-two multiples of 1µs, from 1µs (i = 0) to ~134s
+// (i = LatencyBuckets-2). The last bucket (i = LatencyBuckets-1) is the
+// overflow; its bound is reported as the maximum duration.
+func LatencyBucketBound(i int) time.Duration {
+	if i >= LatencyBuckets-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return latencyBucketBase << i
+}
+
+// latencyBucket maps one latency to its histogram bucket.
+func latencyBucket(d time.Duration) int {
+	if d <= latencyBucketBase {
+		return 0
+	}
+	// Bucket i covers (base<<(i-1), base<<i]: the index is the bit length
+	// of ceil(d/base) - 1, i.e. of (d-1)/base.
+	b := 64 - bits.LeadingZeros64(uint64(d-1)/uint64(latencyBucketBase))
+	if b >= LatencyBuckets {
+		return LatencyBuckets - 1
+	}
+	return b
+}
+
+// LatencyHistogram is a fixed-bucket latency distribution. The dispatch
+// core records, per priority band, the time every message spends
+// dispatchable before a consumer takes it: from enqueue (or from
+// maturity, for WithDelay/WithNotBefore messages — the intentional delay
+// is not queueing) to the dispatch that removes it from the pending
+// list. Sequential barriers are not recorded (they carry no band).
+// Buckets are power-of-two multiples of 1µs (LatencyBucketBound), so the
+// histogram is cheap to record under the dispatch lock and exports
+// directly as a Prometheus histogram.
+type LatencyHistogram struct {
+	Count    uint64                 `json:"count"`   // recorded dispatches
+	SumNanos uint64                 `json:"sum_ns"`  // total latency, nanoseconds
+	Buckets  [LatencyBuckets]uint64 `json:"buckets"` // counts per bucket (see LatencyBucketBound)
+}
+
+// Observe folds one latency into the histogram. It is not synchronized;
+// concurrent recorders need external coordination (the queue records
+// under its shard locks, pdqload from one goroutine per band).
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Count++
+	h.SumNanos += uint64(d)
+	h.Buckets[latencyBucket(d)]++
+}
+
+// Merge adds o's samples into h. Like Observe, unsynchronized.
+func (h *LatencyHistogram) Merge(o *LatencyHistogram) {
+	h.Count += o.Count
+	h.SumNanos += o.SumNanos
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile latency (q in
+// [0, 1]): the bound of the first bucket at or below which a fraction q
+// of the recorded samples fall. With no samples it returns 0. The bound
+// is conservative by at most one power of two — adequate for "is p99
+// under 100ms" regression gates, which is what it exists for.
+func (h LatencyHistogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.Buckets {
+		cum += h.Buckets[i]
+		if cum >= target {
+			return LatencyBucketBound(i)
+		}
+	}
+	return LatencyBucketBound(LatencyBuckets - 1)
+}
+
+// Mean returns the mean recorded latency, 0 with no samples.
+func (h LatencyHistogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNanos / h.Count)
+}
 
 // Stats counts queue activity. All counters are cumulative since New. The
 // JSON field names are stable so external tooling (cmd/pdqbench's
@@ -63,6 +159,12 @@ type Stats struct {
 	// (band 0 first; coalesced messages and retries re-count, sequential
 	// barriers are counted in SeqDispatched instead).
 	PriorityDispatched [NumPriorities]uint64 `json:"priority_dispatched"`
+
+	// BandLatency is the dispatch-latency distribution per priority band:
+	// how long each dispatched entry sat dispatchable (enqueue — or
+	// maturity, for delayed entries — to dispatch). Coalesced runs record
+	// their representative once; sequential barriers are not recorded.
+	BandLatency [NumPriorities]LatencyHistogram `json:"band_latency"`
 }
 
 // Stats returns a snapshot of the queue's counters, aggregated across the
@@ -90,6 +192,7 @@ func (q *Queue) Stats() Stats {
 		s.Delayed += c.delayed
 		for b := range c.prioDispatched {
 			s.PriorityDispatched[b] += c.prioDispatched[b]
+			s.BandLatency[b].Merge(&c.latency[b])
 		}
 		if c.maxBatch > s.MaxBatch {
 			s.MaxBatch = c.maxBatch

@@ -1,0 +1,73 @@
+package pdq
+
+import (
+	"context"
+	"sync"
+)
+
+// WorkerGroup is the lifecycle shared by the worker pools Serve and
+// ServeMux return. Servers that run either kind of pool (cmd/pdqd) hold
+// this interface instead of the concrete type.
+type WorkerGroup interface {
+	// Workers reports how many workers the group started with.
+	Workers() int
+	// Stop cancels the workers and waits for them to exit. Handlers
+	// already running complete normally; undispatched entries remain
+	// queued. For a clean drain instead, close the queue (or mux) and
+	// call Wait.
+	Stop()
+	// Wait blocks until all workers have exited (e.g. after Queue.Close
+	// or Mux.Close once the backlog drains).
+	Wait()
+}
+
+var (
+	_ WorkerGroup = (*Pool)(nil)
+	_ WorkerGroup = (*MuxPool)(nil)
+)
+
+// workerSet is the one implementation of WorkerGroup. Pool and MuxPool
+// embed it; only their worker loop bodies differ.
+type workerSet struct {
+	wg      sync.WaitGroup
+	cancel  context.CancelFunc
+	workers int
+	batch   int
+}
+
+// start clamps n to at least 1, applies opts, and launches n goroutines
+// running loop until it returns or the derived context is cancelled.
+func (s *workerSet) start(ctx context.Context, n int, opts []PoolOption, loop func(ctx context.Context)) {
+	if n < 1 {
+		n = 1
+	}
+	var cfg poolConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, s.cancel = context.WithCancel(ctx)
+	s.workers = n
+	s.batch = cfg.batch
+	s.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer s.wg.Done()
+			loop(ctx)
+		}()
+	}
+}
+
+// Workers reports how many workers the pool started with.
+func (s *workerSet) Workers() int { return s.workers }
+
+// Stop cancels the workers and waits for them to exit. Handlers already
+// running complete normally; undispatched entries remain in the queue.
+// For a clean drain instead, close the queue (or mux) and call Wait.
+func (s *workerSet) Stop() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Wait blocks until all workers have exited (e.g. after Queue.Close or
+// Mux.Close once the backlog drains).
+func (s *workerSet) Wait() { s.wg.Wait() }
