@@ -166,7 +166,11 @@ func (q *Queue) harvestLocked(s *shard, max int, expired *[]Message) (es []*Entr
 		}
 		ents = append(ents, n.entry)
 		s.recycle(n)
-		return &ents[len(ents)-1]
+		e := &ents[len(ents)-1]
+		if t := s.tr; t != nil && e.msg.TraceID != 0 {
+			t.record(s.idx, e.msg.TraceID, TraceHarvest, e.seq, int64(len(ents)-1))
+		}
+		return e
 	}
 	windowHit := false
 	msgs := 0 // messages harvested: entries plus coalesced merges
@@ -379,6 +383,9 @@ func (q *Queue) coalesceRun(s *shard, e *Entry, n *node, barSeq uint64, scanned 
 			e.extra = new([]Message)
 		}
 		*e.extra = append(*e.extra, *m)
+		if t := s.tr; t != nil && m.TraceID != 0 {
+			t.record(s.idx, m.TraceID, TraceCoalesce, n.entry.seq, int64(len(*e.extra)))
+		}
 		s.recycle(n)
 		budget--
 		n = next
@@ -554,6 +561,15 @@ func (q *Queue) completeBatch(es []*Entry) {
 	}
 	ws := q.shardFromMask(mask)
 	ws.completed.Add(uint64(len(es)))
+	if t := q.tr; t != nil {
+		// The group commit bypasses per-entry Complete; traced entries
+		// still owe their completion events.
+		for _, e := range es {
+			if e.msg.TraceID != 0 {
+				t.record(q.shardFromMask(e.smask).idx, e.msg.TraceID, TraceComplete, e.seq, 0)
+			}
+		}
+	}
 	// As in finishInflight: the batch's entries retire together; the
 	// drain gate and the pending-before-inflight read order still hold.
 	if q.inflightAll.Add(-int64(len(es))) == 0 && q.drainWaiters.Load() > 0 && q.isIdle() {

@@ -288,6 +288,27 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 // is bypassed.
 func (c *Cluster) Queue(i int) *pdq.Queue { return c.nodes[i].q }
 
+// TraceSnapshot drains and merges the lifecycle trace events of every
+// node's queue into one stream, sorted by timestamp. Every in-process
+// queue stamps events on the same scheduling-clock epoch and node
+// queues label events with their node id (pdq.WithTraceNode), so the
+// merged stream orders one cross-node trace end to end. Consuming, like
+// pdq.Queue.TraceSnapshot; empty unless the cluster was built with
+// WithQueueOptions(pdq.WithTrace(rate)).
+func (c *Cluster) TraceSnapshot() []pdq.TraceEvent {
+	var evs []pdq.TraceEvent
+	for i := range c.nodes {
+		evs = append(evs, c.nodes[i].q.TraceSnapshot()...)
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].At != evs[b].At {
+			return evs[a].At < evs[b].At
+		}
+		return evs[a].Node < evs[b].Node
+	})
+	return evs
+}
+
 // homeOf returns the home node of a hash-sorted key set and whether the
 // set spans multiple owners. The home is the owner of the lowest-hashing
 // key — the first group acquired, so a spanning op's first claim is

@@ -53,6 +53,7 @@ type spanOp struct {
 	origin int
 	name   string
 	data   any
+	trace  uint64    // lifecycle trace ID riding the op (0 = untraced)
 	keys   []pdq.Key // deduped, global hash order
 	groups []claimGroup
 	idx    int          // next group to acquire
@@ -117,7 +118,11 @@ func (n *node) init(c *Cluster, id, nodes int) {
 	n.id = id
 	qopts := append(append([]pdq.Option{pdq.WithSearchWindow(0)}, c.cfg.qopts...),
 		pdq.WithRetry(c.cfg.retry),
-		pdq.WithDeadLetter(n.onQueueDeadLetter))
+		pdq.WithDeadLetter(n.onQueueDeadLetter),
+		// Label trace events with the node identity so merged snapshots
+		// (Cluster.TraceSnapshot) attribute every event to its recorder.
+		// Inert unless WithQueueOptions enabled pdq.WithTrace.
+		pdq.WithTraceNode(id))
 	n.q = pdq.New(qopts...)
 	n.tx = make([]txPeer, nodes)
 	n.rx = make([]rxPeer, nodes)
@@ -136,25 +141,30 @@ func (n *node) init(c *Cluster, id, nodes int) {
 func (n *node) route(name string, data any, keys []pdq.Key) error {
 	if len(keys) == 0 {
 		n.local.Add(1)
-		return n.enqueueLocal(name, data, nil)
+		return n.enqueueLocal(name, data, nil, 0)
 	}
 	sorted := sortKeys(keys)
 	home, spans := n.c.homeOf(sorted)
 	if !spans && home == n.id {
 		n.local.Add(1)
-		return n.enqueueLocal(name, data, sorted)
+		return n.enqueueLocal(name, data, sorted, 0)
 	}
 	if home == n.id {
-		// Spanning op homed here: start the acquisition directly.
+		// Spanning op homed here: start the acquisition directly. The
+		// origin samples, so the trace starts at the node the user called.
 		n.mu.Lock()
-		n.startSpanLocked(n.id, name, data, sorted)
+		n.startSpanLocked(n.id, name, data, sorted, n.q.TraceSampleID())
 		n.mu.Unlock()
 		return nil
 	}
 	n.forwarded.Add(1)
+	// Sample before the message leaves: the forward hop is the trace's
+	// first event, and the home node records the rest under the same ID.
+	trace := n.q.TraceSampleID()
+	n.q.RecordTraceEvent(trace, pdq.TraceForward, 0, int64(home))
 	n.mu.Lock()
 	n.sendSeqLocked(home, WireMsg{
-		Kind: kindEnqueue, Origin: n.id, Handler: name, Keys: sorted, Data: data,
+		Kind: kindEnqueue, Origin: n.id, Handler: name, Keys: sorted, Data: data, TraceID: trace,
 	})
 	n.mu.Unlock()
 	return nil
@@ -162,20 +172,22 @@ func (n *node) route(name string, data any, keys []pdq.Key) error {
 
 // enqueueLocal admits a message into this node's queue under its full key
 // set. The handler wrapper counts successful executions cluster-side.
-func (n *node) enqueueLocal(name string, data any, keys []pdq.Key) error {
+func (n *node) enqueueLocal(name string, data any, keys []pdq.Key, trace uint64) error {
 	h := n.c.handler(name)
 	if h == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownHandler, name)
 	}
+	// WithTraceID(0) is inert, so the local queue's own sampler decides
+	// for origin-local messages while forwarded ones keep their ID.
 	return n.q.Enqueue(func(d any) {
 		h(d)
 		n.executed.Add(1)
-	}, pdq.WithKeys(keys...), pdq.WithData(data))
+	}, pdq.WithKeys(keys...), pdq.WithData(data), pdq.WithTraceID(trace))
 }
 
 // startSpanLocked builds and starts the state machine for a spanning op
 // homed at this node. Caller holds n.mu.
-func (n *node) startSpanLocked(origin int, name string, data any, sorted []pdq.Key) {
+func (n *node) startSpanLocked(origin int, name string, data any, sorted []pdq.Key, trace uint64) {
 	n.spanning.Add(1)
 	groups := groupByOwner(n.c.ring, sorted)
 	for _, g := range groups {
@@ -185,9 +197,10 @@ func (n *node) startSpanLocked(origin int, name string, data any, sorted []pdq.K
 	}
 	n.nextOp++
 	op := &spanOp{
-		id: n.nextOp, origin: origin, name: name, data: data,
+		id: n.nextOp, origin: origin, name: name, data: data, trace: trace,
 		keys: sorted, groups: groups,
 	}
+	n.q.RecordTraceEvent(trace, pdq.TraceSpanStart, op.id, int64(len(groups)))
 	n.ops[op.id] = op
 	n.advanceLocked(op)
 }
@@ -201,16 +214,21 @@ func (n *node) advanceLocked(op *spanOp) {
 	if op.idx < len(op.groups) {
 		g := op.groups[op.idx]
 		if g.owner == n.id {
+			// The claim entry carries the op's trace ID, so its Barge
+			// lifecycle in the local queue joins the op's trace.
 			if err := n.q.Enqueue(nopHandler, pdq.Barge(),
-				pdq.WithKeys(g.keys...), pdq.WithData(&localClaim{op: op})); err != nil {
+				pdq.WithKeys(g.keys...), pdq.WithData(&localClaim{op: op}),
+				pdq.WithTraceID(op.trace)); err != nil {
 				n.failSpanLocked(op, err)
 			}
 			return
 		}
-		n.sendSeqLocked(g.owner, WireMsg{Kind: kindClaim, Op: op.id, Group: op.idx, Keys: g.keys})
+		n.q.RecordTraceEvent(op.trace, pdq.TraceClaimSend, op.id, int64(g.owner))
+		n.sendSeqLocked(g.owner, WireMsg{Kind: kindClaim, Op: op.id, Group: op.idx, Keys: g.keys, TraceID: op.trace})
 		return
 	}
-	if err := n.q.Enqueue(func(any) { n.execSpan(op) }, pdq.NoSync()); err != nil {
+	if err := n.q.Enqueue(func(any) { n.execSpan(op) }, pdq.NoSync(),
+		pdq.WithTraceID(op.trace)); err != nil {
 		n.failSpanLocked(op, err)
 	}
 }
@@ -269,7 +287,8 @@ func (n *node) releaseSpanLocked(op *spanOp) {
 			continue
 		}
 		released[g.owner] = true
-		n.sendSeqLocked(g.owner, WireMsg{Kind: kindRelease, Op: op.id})
+		n.q.RecordTraceEvent(op.trace, pdq.TraceReleaseSend, op.id, int64(g.owner))
+		n.sendSeqLocked(g.owner, WireMsg{Kind: kindRelease, Op: op.id, TraceID: op.trace})
 	}
 }
 
@@ -306,7 +325,10 @@ func (n *node) serve(ctx context.Context) {
 			ck := claimKey{home: d.home, op: d.op}
 			n.parked[ck] = append(n.parked[ck], e)
 			n.claimsHeld.Add(1)
-			n.sendSeqLocked(d.home, WireMsg{Kind: kindGrant, Op: d.op, Group: d.group})
+			// The grant inherits the claim entry's trace ID (stamped at
+			// kindClaim admission), closing the claim → grant hop pair.
+			n.sendSeqLocked(d.home, WireMsg{Kind: kindGrant, Op: d.op, Group: d.group,
+				TraceID: e.Message().TraceID})
 			n.mu.Unlock()
 		default:
 			n.q.Run(e)
@@ -375,25 +397,29 @@ func (n *node) ackLocked(from int, seq uint64) {
 func (n *node) processLocked(from int, m WireMsg) {
 	switch m.Kind {
 	case kindEnqueue:
+		n.q.RecordTraceEvent(m.TraceID, pdq.TraceRecv, m.Seq, int64(from))
 		home, spans := n.c.homeOf(m.Keys)
 		if spans && home == n.id {
-			n.startSpanLocked(m.Origin, m.Handler, m.Data, m.Keys)
+			n.startSpanLocked(m.Origin, m.Handler, m.Data, m.Keys, m.TraceID)
 			return
 		}
 		// Wholly owned here (the sender routed it; re-derived for safety).
-		if err := n.enqueueLocal(m.Handler, m.Data, m.Keys); err != nil {
+		if err := n.enqueueLocal(m.Handler, m.Data, m.Keys, m.TraceID); err != nil {
 			n.deadLettered.Add(1)
 			n.c.deadLetter(n.id, pdq.Message{Keys: m.Keys, Data: m.Data}, err)
 		}
 	case kindClaim:
+		n.q.RecordTraceEvent(m.TraceID, pdq.TraceRecv, m.Seq, int64(from))
 		if err := n.q.Enqueue(nopHandler, pdq.Barge(), pdq.WithKeys(m.Keys...),
-			pdq.WithData(&remoteClaim{home: from, op: m.Op, group: m.Group})); err != nil {
+			pdq.WithData(&remoteClaim{home: from, op: m.Op, group: m.Group}),
+			pdq.WithTraceID(m.TraceID)); err != nil {
 			// Queue closed or full: the claim can never be granted. The home
 			// op stalls until the cluster is torn down; record the failure.
 			n.deadLettered.Add(1)
 			n.c.deadLetter(n.id, pdq.Message{Keys: m.Keys}, err)
 		}
 	case kindGrant:
+		n.q.RecordTraceEvent(m.TraceID, pdq.TraceGrant, m.Seq, int64(from))
 		op := n.ops[m.Op]
 		if op == nil || op.idx != m.Group {
 			return // stale grant for an op already failed/finished
@@ -401,6 +427,7 @@ func (n *node) processLocked(from int, m WireMsg) {
 		op.idx++
 		n.advanceLocked(op)
 	case kindRelease:
+		n.q.RecordTraceEvent(m.TraceID, pdq.TraceRecv, m.Seq, int64(from))
 		ck := claimKey{home: from, op: m.Op}
 		for _, e := range n.parked[ck] {
 			n.q.Complete(e)
@@ -443,6 +470,7 @@ func (n *node) retransmit(ctx context.Context, rto time.Duration) {
 					}
 					n.tx[to].unacked[seq] = u
 					n.redelivered.Add(1)
+					n.q.RecordTraceEvent(u.m.TraceID, pdq.TraceRetransmit, u.m.Seq, int64(to))
 					n.c.tr.Send(n.id, to, u.m)
 				}
 			}

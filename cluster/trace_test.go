@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdq"
+)
+
+// tracesByID buckets a merged snapshot into per-trace event lists,
+// preserving the snapshot's time order.
+func tracesByID(evs []pdq.TraceEvent) map[uint64][]pdq.TraceEvent {
+	out := make(map[uint64][]pdq.TraceEvent)
+	for _, ev := range evs {
+		if ev.TraceID != 0 {
+			out[ev.TraceID] = append(out[ev.TraceID], ev)
+		}
+	}
+	return out
+}
+
+func kindSet(evs []pdq.TraceEvent) map[pdq.TraceKind]bool {
+	s := make(map[pdq.TraceKind]bool)
+	for _, ev := range evs {
+		s[ev.Kind] = true
+	}
+	return s
+}
+
+func nodeSet(evs []pdq.TraceEvent) map[int]bool {
+	s := make(map[int]bool)
+	for _, ev := range evs {
+		s[ev.Node] = true
+	}
+	return s
+}
+
+// A rate-1 traced 4-node cluster must correlate a forwarded message's
+// whole lifecycle — the origin's forward hop, the home's receive, and
+// the home queue's admission-to-completion core events — under one
+// trace ID spanning both nodes, and a spanning op's claim/grant/release
+// wire hops must join the same trace as its home dispatch.
+func TestClusterTracePropagation(t *testing.T) {
+	c, err := New(4, WithQueueOptions(pdq.WithTrace(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register("noop", func(any) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One forwarded message: a key owned by node 2, enqueued at node 0.
+	fwdKey := keyOwnedBy(t, c, 2, 0)
+	if err := c.Enqueue(0, "noop", nil, fwdKey); err != nil {
+		t.Fatal(err)
+	}
+	// One spanning message: keys owned by two different nodes, enqueued
+	// at one of the owners so the op homes locally and claims remotely.
+	kA := keyOwnedBy(t, c, 1, 0)
+	kB := keyOwnedBy(t, c, 3, 0)
+	if err := c.Enqueue(1, "noop", nil, kA, kB); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, c)
+
+	traces := tracesByID(c.TraceSnapshot())
+
+	// The spanning message may itself forward first (its home is the
+	// lowest-hashing key's owner, not necessarily the origin), so the
+	// span_start kind — not the forward hop — identifies it.
+	var fwd, span []pdq.TraceEvent
+	for _, evs := range traces {
+		ks := kindSet(evs)
+		switch {
+		case ks[pdq.TraceSpanStart]:
+			span = evs
+		case ks[pdq.TraceForward]:
+			fwd = evs
+		}
+	}
+
+	if fwd == nil {
+		t.Fatal("no trace carries a forward hop")
+	}
+	for _, k := range []pdq.TraceKind{pdq.TraceForward, pdq.TraceRecv, pdq.TraceEnqueue,
+		pdq.TraceDispatch, pdq.TraceHandlerStart, pdq.TraceHandlerEnd, pdq.TraceComplete} {
+		if !kindSet(fwd)[k] {
+			t.Fatalf("forwarded trace lacks %s: %v", k, fwd)
+		}
+	}
+	ns := nodeSet(fwd)
+	if !ns[0] || !ns[2] {
+		t.Fatalf("forwarded trace spans nodes %v, want origin 0 and home 2", ns)
+	}
+	for i := 1; i < len(fwd); i++ {
+		if fwd[i].At < fwd[i-1].At {
+			t.Fatalf("forwarded trace timestamps regress at %d: %v", i, fwd)
+		}
+	}
+
+	if span == nil {
+		t.Fatal("no trace carries a span_start hop")
+	}
+	sk := kindSet(span)
+	for _, k := range []pdq.TraceKind{pdq.TraceSpanStart, pdq.TraceClaimSend, pdq.TraceGrant,
+		pdq.TraceReleaseSend, pdq.TraceHandlerStart, pdq.TraceHandlerEnd} {
+		if !sk[k] {
+			t.Fatalf("spanning trace lacks %s: %v", k, span)
+		}
+	}
+	if sn := nodeSet(span); len(sn) < 2 {
+		t.Fatalf("spanning trace confined to nodes %v, want at least home + remote owner", sn)
+	}
+}
+
+// A lossy transport must surface its repair work in the trace:
+// retransmissions of unacked traced forwards join the forward's trace
+// ID, and every forwarded trace still reaches completion exactly once.
+func TestClusterTraceRetransmit(t *testing.T) {
+	tr := NewChanTransport(2, WithLoss(0.4), WithChanSeed(7))
+	c, err := New(2, WithTransport(tr), WithRetransmitTimeout(2*time.Millisecond),
+		WithQueueOptions(pdq.WithTrace(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var ran atomic.Uint64
+	if err := c.Register("count", func(any) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	k := keyOwnedBy(t, c, 1, 0)
+	const msgs = 30
+	for i := 0; i < msgs; i++ {
+		if err := c.Enqueue(0, "count", nil, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, c)
+	if got := ran.Load(); got != msgs {
+		t.Fatalf("handler ran %d times, want %d", got, msgs)
+	}
+	forwarded, retransmitted := 0, 0
+	for _, evs := range tracesByID(c.TraceSnapshot()) {
+		ks := kindSet(evs)
+		if !ks[pdq.TraceForward] {
+			continue
+		}
+		forwarded++
+		if !ks[pdq.TraceComplete] {
+			t.Fatalf("forwarded trace lacks completion: %v", evs)
+		}
+		if ks[pdq.TraceRetransmit] {
+			retransmitted++
+		}
+	}
+	if forwarded != msgs {
+		t.Fatalf("reconstructed %d forwarded traces, want %d", forwarded, msgs)
+	}
+	if retransmitted == 0 {
+		t.Fatal("40% loss produced no traced retransmission")
+	}
+}

@@ -78,6 +78,13 @@ type WireMsg struct {
 	Keys []pdq.Key
 	// Data is the message payload (kindEnqueue).
 	Data any
+
+	// TraceID carries the lifecycle-trace identity of the logical message
+	// or spanning op this wire message serves (0 = untraced). Propagating
+	// it on every hop — forwards, claims, grants, releases, and their
+	// retransmissions — lets the flight recorders of all involved nodes
+	// correlate into one cross-node trace (see pdq.WithTrace).
+	TraceID uint64
 }
 
 // Transport moves wire messages between the cluster's nodes. Delivery is

@@ -133,6 +133,7 @@ type config struct {
 	ttl        time.Duration
 	nodes      int
 	loss       float64
+	trace      float64
 }
 
 // result is the machine-readable record written to BENCH_<strategy>.json.
@@ -152,6 +153,7 @@ type result struct {
 	Priorities int     `json:"priorities,omitempty"` // priority bands in use (pdq strategy)
 	DelayFrac  float64 `json:"delay_frac,omitempty"` // fraction of messages enqueued with a 1ms delay (pdq strategy)
 	TTLNanos   int64   `json:"ttl_ns,omitempty"`     // per-message TTL (pdq strategy)
+	TraceRate  float64 `json:"trace_rate,omitempty"` // lifecycle trace sampling rate (pdq strategy; omitted when tracing is off, so A/B shapes match)
 	Nodes      int     `json:"nodes,omitempty"`      // cluster size (cluster strategy)
 	Loss       float64 `json:"loss,omitempty"`       // injected transport loss probability (cluster strategy)
 	WorkNanos  int64   `json:"work_ns"`
@@ -193,11 +195,12 @@ func main() {
 		ttl        = flag.Duration("ttl", 0, "per-message TTL, 0 = none (pdq only)")
 		nodes      = flag.Int("nodes", 4, "cluster size; workers counts per node (cluster only)")
 		loss       = flag.Float64("loss", 0, "injected transport loss probability (cluster only)")
+		trace      = flag.Float64("trace", 0, "lifecycle trace sampling rate in (0,1], 0 = off (pdq only)")
 		procs      = flag.String("procs", "", "comma-separated GOMAXPROCS sweep, e.g. 1,2,4,8 (writes BENCH_<strategy>_scaling.json instead of the regular files)")
 		jsonDir    = flag.String("json", ".", "directory for BENCH_<strategy>.json files (empty = disabled)")
 	)
 	flag.Parse()
-	cfg := config{*workers, *messages, *keys, *setSize, *shards, *ring, *window, *batch, *coalesce, *skew, *panicRate, *work, *blockKeys, *blockTime, *seed, *priorities, *delayFrac, *ttl, *nodes, *loss}
+	cfg := config{*workers, *messages, *keys, *setSize, *shards, *ring, *window, *batch, *coalesce, *skew, *panicRate, *work, *blockKeys, *blockTime, *seed, *priorities, *delayFrac, *ttl, *nodes, *loss, *trace}
 	procsList, err := parseProcs(*procs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdqbench:", err)
@@ -255,6 +258,9 @@ func main() {
 	}
 	if cfg.ttl > 0 {
 		pdqOnly("-ttl > 0")
+	}
+	if cfg.trace > 0 {
+		pdqOnly("-trace > 0")
 	}
 	if cfg.batch > 1 {
 		pdqOnly("-batch > 1")
@@ -356,6 +362,7 @@ type scalingResult struct {
 	Priorities int     `json:"priorities,omitempty"`
 	DelayFrac  float64 `json:"delay_frac,omitempty"`
 	TTLNanos   int64   `json:"ttl_ns,omitempty"`
+	TraceRate  float64 `json:"trace_rate,omitempty"`
 	Nodes      int     `json:"nodes,omitempty"`
 	Loss       float64 `json:"loss,omitempty"`
 	WorkNanos  int64   `json:"work_ns"`
@@ -389,7 +396,8 @@ func runSweep(name string, cfg config, procs []int) (scalingResult, error) {
 				Batch:  res.Batch, Coalesce: res.Coalesce, Skew: res.Skew,
 				PanicRate: res.PanicRate, Priorities: res.Priorities,
 				DelayFrac: res.DelayFrac, TTLNanos: res.TTLNanos,
-				Nodes: res.Nodes, Loss: res.Loss,
+				TraceRate: res.TraceRate,
+				Nodes:     res.Nodes, Loss: res.Loss,
 				WorkNanos: res.WorkNanos, Seed: res.Seed,
 				CPUs: runtime.NumCPU(),
 			}
@@ -492,7 +500,7 @@ func runStrategy(name string, cfg config) (result, error) {
 		Batch: cfg.batch, Coalesce: cfg.coalesce,
 		PanicRate:  cfg.panicRate,
 		Priorities: cfg.priorities, DelayFrac: cfg.delayFrac,
-		TTLNanos:  cfg.ttl.Nanoseconds(),
+		TTLNanos: cfg.ttl.Nanoseconds(), TraceRate: cfg.trace,
 		WorkNanos: cfg.work.Nanoseconds(),
 		BlockKeys: cfg.blockKeys, BlockNanos: cfg.blockTime.Nanoseconds(),
 		Seed: cfg.seed,
@@ -506,6 +514,9 @@ func runStrategy(name string, cfg config) (result, error) {
 	switch name {
 	case "pdq":
 		opts := []pdq.Option{pdq.WithShards(cfg.shards), pdq.WithIntakeRing(cfg.ring), pdq.WithSearchWindow(cfg.window)}
+		if cfg.trace > 0 {
+			opts = append(opts, pdq.WithTrace(cfg.trace))
+		}
 		if cfg.panicRate > 0 {
 			// Failure injection: each execution panics with probability
 			// panicrate (a seeded per-execution draw; the exact failure

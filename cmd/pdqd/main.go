@@ -3,7 +3,7 @@
 // pprof, with a worker pool draining the queues in-process.
 //
 //	pdqd [-addr :8383] [-queues jobs,mail] [-capacity 4096] [-shards 0]
-//	     [-workers 0] [-batch 1] [-autocreate] [-verbose]
+//	     [-workers 0] [-batch 1] [-trace 0] [-autocreate] [-verbose]
 //
 // Queues named in -queues are created at boot, bounded at -capacity
 // (the admission controller's occupancy signal; see pdqhttp.Admission).
@@ -48,6 +48,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines draining the mux (0 = GOMAXPROCS)")
 		batch      = flag.Int("batch", 1, "worker dispatch batch size")
 		autocreate = flag.Bool("autocreate", false, "create unknown queues on first POST instead of 404")
+		trace      = flag.Float64("trace", 0, "lifecycle trace sampling rate in (0,1]; 0 disables (serve events at /debug/trace)")
 		verbose    = flag.Bool("verbose", false, "log ingest shed/err summaries and echo payloads")
 	)
 	flag.Parse()
@@ -55,6 +56,9 @@ func main() {
 	queueOpts := []pdq.Option{pdq.WithShards(*shards)}
 	if *capacity > 0 {
 		queueOpts = append(queueOpts, pdq.WithCapacity(*capacity))
+	}
+	if *trace > 0 {
+		queueOpts = append(queueOpts, pdq.WithTrace(*trace))
 	}
 
 	mux := pdq.NewMux()

@@ -1,0 +1,352 @@
+// Trace reconstruction and analysis: pure functions from a flat JSONL
+// event stream to per-entry timelines, per-phase latency aggregates,
+// top-K slow entries, and handoff-linked chain critical paths. Kept
+// free of I/O and flag state so the tests drive them directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pdq"
+)
+
+// readEvents parses a JSONL stream of pdq.TraceEvent objects — the form
+// Queue.TraceSnapshot serializes via pdq.WriteTraceJSONL and pdqhttp
+// serves at /debug/trace. Blank lines are skipped; a malformed line is
+// an error with its line number.
+func readEvents(r io.Reader) ([]pdq.TraceEvent, error) {
+	var evs []pdq.TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev pdq.TraceEvent
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// trace is one traced entry's reconstructed timeline: every event
+// stamped with its ID, across all nodes and shards, in time order.
+type trace struct {
+	ID     uint64
+	Events []pdq.TraceEvent
+}
+
+func (t *trace) start() int64 { return t.Events[0].At }
+func (t *trace) end() int64   { return t.Events[len(t.Events)-1].At }
+func (t *trace) total() int64 { return t.end() - t.start() }
+
+// groupTraces buckets events by trace ID and sorts each bucket by
+// timestamp (ties broken by kind, so e.g. handler_start orders before
+// handler_end at equal nanoseconds). Events with a zero ID are
+// dropped — they cannot occur in well-formed input, where recording is
+// gated on a nonzero ID. Traces come back ordered by start time.
+func groupTraces(evs []pdq.TraceEvent) []*trace {
+	byID := make(map[uint64]*trace)
+	var out []*trace
+	for _, ev := range evs {
+		if ev.TraceID == 0 {
+			continue
+		}
+		t := byID[ev.TraceID]
+		if t == nil {
+			t = &trace{ID: ev.TraceID}
+			byID[ev.TraceID] = t
+			out = append(out, t)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	for _, t := range out {
+		sort.SliceStable(t.Events, func(a, b int) bool {
+			if t.Events[a].At != t.Events[b].At {
+				return t.Events[a].At < t.Events[b].At
+			}
+			return t.Events[a].Kind < t.Events[b].Kind
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].start() < out[b].start() })
+	return out
+}
+
+// phase is one derived span of a trace's timeline: the interval between
+// two lifecycle edges, named for what the entry was doing in between.
+type phase struct {
+	Name  string
+	Node  int   // node that closed the phase
+	Start int64 // ns, scheduling clock
+	End   int64
+}
+
+func (p phase) dur() int64 { return p.End - p.Start }
+
+// phases derives the per-phase breakdown of one trace by walking its
+// timeline and pairing each closing edge with the latest plausible
+// opening edge:
+//
+//	wire        forward/claim_send/release_send/retransmit -> recv
+//	claim_rtt   claim_send -> grant
+//	intake_ring enqueue(ring path) -> ring_drain
+//	delay       admission -> mature
+//	queue_wait  admission/maturity/handoff/retry -> dispatch
+//	sched       dispatch/harvest -> handler_start
+//	handler     handler_start -> handler_end
+//	completion  handler_end -> complete
+//
+// Repeated cycles (retries, coalesced runs) each contribute their own
+// spans: pairing against the *latest* opener keeps cycles disjoint.
+func phases(t *trace) []phase {
+	last := make(map[pdq.TraceKind]pdq.TraceEvent, 8)
+	var out []phase
+	emit := func(name string, ev pdq.TraceEvent, openers ...pdq.TraceKind) {
+		var open pdq.TraceEvent
+		ok := false
+		for _, k := range openers {
+			if o, have := last[k]; have && (!ok || o.At > open.At) {
+				open, ok = o, true
+			}
+		}
+		if ok && open.At <= ev.At {
+			out = append(out, phase{Name: name, Node: ev.Node, Start: open.At, End: ev.At})
+		}
+	}
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case pdq.TraceRecv:
+			emit("wire", ev, pdq.TraceForward, pdq.TraceClaimSend, pdq.TraceReleaseSend, pdq.TraceRetransmit)
+		case pdq.TraceGrant:
+			emit("claim_rtt", ev, pdq.TraceClaimSend)
+		case pdq.TraceRingDrain:
+			emit("intake_ring", ev, pdq.TraceEnqueue)
+		case pdq.TraceMature:
+			emit("delay", ev, pdq.TraceRingDrain, pdq.TraceEnqueue)
+		case pdq.TraceDispatch:
+			emit("queue_wait", ev, pdq.TraceMature, pdq.TraceRingDrain, pdq.TraceEnqueue,
+				pdq.TraceHandoff, pdq.TraceRetry)
+		case pdq.TraceHandlerStart:
+			emit("sched", ev, pdq.TraceDispatch, pdq.TraceHarvest)
+		case pdq.TraceHandlerEnd:
+			emit("handler", ev, pdq.TraceHandlerStart)
+		case pdq.TraceComplete:
+			emit("completion", ev, pdq.TraceHandlerEnd)
+		}
+		last[ev.Kind] = ev
+	}
+	return out
+}
+
+// phaseAgg aggregates one phase name across every trace.
+type phaseAgg struct {
+	Name  string
+	Count int
+	Sum   int64
+	Max   int64
+	durs  []int64
+}
+
+func (s *phaseAgg) mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / int64(s.Count)
+}
+
+// quantile returns the q-th (0..1) duration; durs must be sorted.
+func (s *phaseAgg) quantile(q float64) int64 {
+	if len(s.durs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s.durs)-1))
+	return s.durs[i]
+}
+
+// aggregate folds every trace's phase spans into per-name stats,
+// returned in descending order of total time — the breakdown's natural
+// reading order, biggest contributor first.
+func aggregate(traces []*trace) []*phaseAgg {
+	byName := make(map[string]*phaseAgg)
+	var out []*phaseAgg
+	for _, t := range traces {
+		for _, p := range phases(t) {
+			s := byName[p.Name]
+			if s == nil {
+				s = &phaseAgg{Name: p.Name}
+				byName[p.Name] = s
+				out = append(out, s)
+			}
+			d := p.dur()
+			s.Count++
+			s.Sum += d
+			if d > s.Max {
+				s.Max = d
+			}
+			s.durs = append(s.durs, d)
+		}
+	}
+	for _, s := range out {
+		sort.Slice(s.durs, func(a, b int) bool { return s.durs[a] < s.durs[b] })
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Sum != out[b].Sum {
+			return out[a].Sum > out[b].Sum
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// slowest returns the k traces with the largest first-to-last-event
+// span, slowest first.
+func slowest(traces []*trace, k int) []*trace {
+	out := append([]*trace(nil), traces...)
+	sort.Slice(out, func(a, b int) bool { return out[a].total() > out[b].total() })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// entrySeqKinds are the event kinds whose Seq field is the entry's
+// queue sequence number (cluster kinds reuse Seq for wire/op ids, so
+// they must not feed the handoff index).
+var entrySeqKinds = map[pdq.TraceKind]bool{
+	pdq.TraceRingDrain: true, pdq.TraceClaimJoin: true, pdq.TraceMature: true,
+	pdq.TraceDispatch: true, pdq.TraceHarvest: true, pdq.TraceCoalesce: true,
+	pdq.TraceHandlerStart: true, pdq.TraceHandlerEnd: true, pdq.TraceComplete: true,
+	pdq.TraceHandoff: true, pdq.TraceRelease: true, pdq.TraceExpire: true,
+}
+
+// chain is a handoff-linked run of traces: entry i+1 was claimed by
+// entry i's CompleteNext, so the run executed as one serialized chain
+// and its end-to-end span is a critical path no added parallelism can
+// shorten.
+type chain struct {
+	Traces []*trace // head first
+	Start  int64
+	End    int64
+}
+
+func (c chain) total() int64 { return c.End - c.Start }
+
+// chains reconstructs handoff chains. A handoff event on the successor
+// carries Seq = successor entry seq and Arg = predecessor entry seq,
+// both scoped to the recording node's queue; linking resolves the
+// predecessor through a (node, seq) -> trace index built from the
+// entry-seq event kinds. Chains of length >= 2 come back longest first.
+func chains(traces []*trace) []chain {
+	type nodeSeq struct {
+		node int
+		seq  uint64
+	}
+	owner := make(map[nodeSeq]*trace)
+	for _, t := range traces {
+		for _, ev := range t.Events {
+			if ev.Seq != 0 && entrySeqKinds[ev.Kind] {
+				owner[nodeSeq{ev.Node, ev.Seq}] = t
+			}
+		}
+	}
+	succ := make(map[*trace]*trace)
+	hasPred := make(map[*trace]bool)
+	for _, t := range traces {
+		for _, ev := range t.Events {
+			if ev.Kind != pdq.TraceHandoff || ev.Arg <= 0 {
+				continue
+			}
+			pred := owner[nodeSeq{ev.Node, uint64(ev.Arg)}]
+			if pred == nil || pred == t {
+				continue
+			}
+			succ[pred] = t
+			hasPred[t] = true
+		}
+	}
+	var out []chain
+	for _, t := range traces {
+		if hasPred[t] || succ[t] == nil {
+			continue
+		}
+		c := chain{Start: t.start(), End: t.end()}
+		seen := make(map[*trace]bool)
+		for cur := t; cur != nil && !seen[cur]; cur = succ[cur] {
+			seen[cur] = true
+			c.Traces = append(c.Traces, cur)
+			if cur.start() < c.Start {
+				c.Start = cur.start()
+			}
+			if cur.end() > c.End {
+				c.End = cur.end()
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Traces) != len(out[b].Traces) {
+			return len(out[a].Traces) > len(out[b].Traces)
+		}
+		return out[a].total() > out[b].total()
+	})
+	return out
+}
+
+// chromeEvent is one entry of Chrome's trace-event format (the JSON
+// array form chrome://tracing and Perfetto load).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// writeChrome renders every trace as Chrome trace-event JSON: one
+// complete ("X") event per derived phase and one instant ("i") event
+// per raw lifecycle edge, with pid = node and tid = trace ID, so a
+// cross-node trace reads as one row group per node. Timestamps are
+// rebased to the earliest event so the viewer opens at zero.
+func writeChrome(w io.Writer, traces []*trace) error {
+	var base int64
+	for i, t := range traces {
+		if i == 0 || t.start() < base {
+			base = t.start()
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+	var evs []chromeEvent
+	for _, t := range traces {
+		for _, p := range phases(t) {
+			evs = append(evs, chromeEvent{
+				Name: p.Name, Ph: "X", TS: us(p.Start), Dur: float64(p.dur()) / 1e3,
+				PID: p.Node, TID: t.ID,
+				Args: map[string]any{"trace_id": t.ID},
+			})
+		}
+		for _, ev := range t.Events {
+			evs = append(evs, chromeEvent{
+				Name: ev.Kind.String(), Ph: "i", TS: us(ev.At),
+				PID: ev.Node, TID: t.ID, S: "t",
+				Args: map[string]any{"shard": ev.Shard, "seq": ev.Seq, "arg": ev.Arg},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}

@@ -1,0 +1,144 @@
+// Command pdqtrace analyzes a pdq lifecycle trace: it reads the JSONL
+// event stream a traced queue emits (pdq.Queue.TraceSnapshot via
+// pdq.WriteTraceJSONL, or the pdqhttp /debug/trace endpoint), groups
+// events into per-entry traces by trace ID — across nodes, since the
+// cluster tier propagates IDs over the wire — and reports:
+//
+//   - a per-phase latency breakdown (wire transit, intake-ring
+//     residency, claim-queue wait, dispatch-to-handler scheduling,
+//     handler run time, completion), biggest contributor first
+//
+//   - the top-K slowest entries with their full reconstructed
+//     timelines, one line per lifecycle edge
+//
+//   - chain critical paths: runs of entries serialized by CompleteNext
+//     handoffs, stitched through the handoff events' predecessor seqs
+//
+//   - optionally, Chrome trace-event JSON (-chrome out.json) loadable
+//     in chrome://tracing or Perfetto, one row group per node
+//
+//     pdqtrace [-top 5] [-chains 5] [-chrome out.json] [trace.jsonl ...]
+//
+// With no file arguments the stream is read from stdin, so it composes
+// with the live endpoint: curl -s host/debug/trace | pdqtrace. All
+// timestamps are scheduling-clock nanoseconds, meaningful relative to
+// each other within one process run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"pdq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdqtrace: ")
+	var (
+		top       = flag.Int("top", 5, "slowest entries to detail with full timelines")
+		maxChains = flag.Int("chains", 5, "longest handoff chains to report")
+		chrome    = flag.String("chrome", "", "also write Chrome trace-event JSON to this file")
+	)
+	flag.Parse()
+
+	var evs []pdq.TraceEvent
+	if flag.NArg() == 0 {
+		var err error
+		if evs, err = readEvents(os.Stdin); err != nil {
+			log.Fatalf("stdin: %v", err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		part, err := readEvents(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		evs = append(evs, part...)
+	}
+	if len(evs) == 0 {
+		log.Fatal("no trace events in input")
+	}
+
+	traces := groupTraces(evs)
+	report(os.Stdout, evs, traces, *top, *maxChains)
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeChrome(f, traces); err != nil {
+			f.Close()
+			log.Fatalf("%s: %v", *chrome, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace-event JSON to %s\n", *chrome)
+	}
+}
+
+// report renders the full text analysis to w.
+func report(w io.Writer, evs []pdq.TraceEvent, traces []*trace, top, maxChains int) {
+	nodes := make(map[int]bool)
+	for _, ev := range evs {
+		nodes[ev.Node] = true
+	}
+	fmt.Fprintf(w, "%d events, %d traces, %d node(s)\n", len(evs), len(traces), len(nodes))
+
+	fmt.Fprintf(w, "\nper-phase latency:\n")
+	fmt.Fprintf(w, "  %-12s %8s %12s %12s %12s %12s\n", "phase", "count", "mean", "p50", "p99", "max")
+	for _, s := range aggregate(traces) {
+		fmt.Fprintf(w, "  %-12s %8d %12s %12s %12s %12s\n",
+			s.Name, s.Count, fmtNS(s.mean()), fmtNS(s.quantile(0.50)), fmtNS(s.quantile(0.99)), fmtNS(s.Max))
+	}
+
+	fmt.Fprintf(w, "\nslowest entries (first event -> last event):\n")
+	for i, t := range slowest(traces, top) {
+		fmt.Fprintf(w, "  #%d trace=%016x total=%s events=%d\n", i+1, t.ID, fmtNS(t.total()), len(t.Events))
+		for _, ev := range t.Events {
+			fmt.Fprintf(w, "     %10s  %-13s node=%d shard=%d", "+"+fmtNS(ev.At-t.start()), ev.Kind, ev.Node, ev.Shard)
+			if ev.Seq != 0 {
+				fmt.Fprintf(w, " seq=%d", ev.Seq)
+			}
+			if ev.Arg != 0 {
+				fmt.Fprintf(w, " arg=%d", ev.Arg)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if cs := chains(traces); len(cs) > 0 {
+		fmt.Fprintf(w, "\nchain critical paths (CompleteNext handoffs):\n")
+		if len(cs) > maxChains {
+			cs = cs[:maxChains]
+		}
+		for i, c := range cs {
+			fmt.Fprintf(w, "  #%d len=%d span=%s head=%016x tail=%016x\n",
+				i+1, len(c.Traces), fmtNS(c.total()), c.Traces[0].ID, c.Traces[len(c.Traces)-1].ID)
+		}
+	}
+}
+
+// fmtNS renders nanoseconds with an adaptive unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"pdq"
+	"pdq/cluster"
+)
+
+// ev is a compact TraceEvent constructor for synthetic timelines.
+func ev(id uint64, node int, kind pdq.TraceKind, at int64, seq uint64, arg int64) pdq.TraceEvent {
+	return pdq.TraceEvent{TraceID: id, Node: node, Kind: kind, At: at, Seq: seq, Arg: arg}
+}
+
+func phaseNames(ps []phase) []string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// readEvents must decode the JSONL WriteTraceJSONL emits, skip blank
+// lines, and report malformed input with its line number.
+func TestReadEvents(t *testing.T) {
+	in := []pdq.TraceEvent{
+		ev(1, 0, pdq.TraceEnqueue, 10, 0, 1),
+		ev(1, 0, pdq.TraceComplete, 30, 4, 0),
+	}
+	var buf bytes.Buffer
+	if err := pdq.WriteTraceJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n") // trailing blank line must be tolerated
+	out, err := readEvents(&buf)
+	if err != nil {
+		t.Fatalf("readEvents: %v", err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("readEvents = %+v, want %+v", out, in)
+	}
+	if _, err := readEvents(strings.NewReader("{\"trace_id\":1}\nnot json\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line error = %v, want line number 2", err)
+	}
+}
+
+// groupTraces must bucket by ID, sort each timeline, drop zero-ID
+// events, and order traces by start time.
+func TestGroupTraces(t *testing.T) {
+	evs := []pdq.TraceEvent{
+		ev(2, 0, pdq.TraceComplete, 50, 1, 0),
+		ev(1, 0, pdq.TraceEnqueue, 5, 0, 0),
+		ev(2, 0, pdq.TraceEnqueue, 20, 0, 0),
+		ev(0, 0, pdq.TraceEnqueue, 1, 0, 0), // zero ID: dropped
+	}
+	traces := groupTraces(evs)
+	if len(traces) != 2 {
+		t.Fatalf("grouped %d traces, want 2", len(traces))
+	}
+	if traces[0].ID != 1 || traces[1].ID != 2 {
+		t.Fatalf("trace order = [%d %d], want start-time order [1 2]", traces[0].ID, traces[1].ID)
+	}
+	if traces[1].Events[0].Kind != pdq.TraceEnqueue {
+		t.Fatalf("trace 2 not time-sorted: %+v", traces[1].Events)
+	}
+	if traces[1].total() != 30 {
+		t.Fatalf("trace 2 total = %d, want 30", traces[1].total())
+	}
+}
+
+// phases must pair each closing edge with its latest opener, yielding
+// the canonical breakdown for a plain lifecycle and a wire phase for a
+// forwarded one.
+func TestPhases(t *testing.T) {
+	tr := &trace{ID: 1, Events: []pdq.TraceEvent{
+		ev(1, 0, pdq.TraceForward, 0, 0, 2),
+		ev(1, 2, pdq.TraceRecv, 10, 7, 0),
+		ev(1, 2, pdq.TraceEnqueue, 12, 0, 1),
+		ev(1, 2, pdq.TraceRingDrain, 15, 3, 0),
+		ev(1, 2, pdq.TraceDispatch, 40, 3, 0),
+		ev(1, 2, pdq.TraceHandlerStart, 44, 3, 0),
+		ev(1, 2, pdq.TraceHandlerEnd, 94, 3, 0),
+		ev(1, 2, pdq.TraceComplete, 100, 3, 0),
+	}}
+	ps := phases(tr)
+	want := map[string]int64{
+		"wire": 10, "intake_ring": 3, "queue_wait": 25,
+		"sched": 4, "handler": 50, "completion": 6,
+	}
+	if len(ps) != len(want) {
+		t.Fatalf("phases = %v, want %v", phaseNames(ps), want)
+	}
+	for _, p := range ps {
+		if d, ok := want[p.Name]; !ok || p.dur() != d {
+			t.Fatalf("phase %s dur = %d, want %v", p.Name, p.dur(), want)
+		}
+	}
+}
+
+// aggregate must fold spans across traces and order phases by total
+// time; quantiles must read off the sorted durations.
+func TestAggregate(t *testing.T) {
+	mk := func(id uint64, start, handlerDur int64) *trace {
+		return &trace{ID: id, Events: []pdq.TraceEvent{
+			ev(id, 0, pdq.TraceHandlerStart, start, 1, 0),
+			ev(id, 0, pdq.TraceHandlerEnd, start+handlerDur, 1, 0),
+		}}
+	}
+	stats := aggregate([]*trace{mk(1, 0, 10), mk(2, 100, 30), mk(3, 200, 20)})
+	if len(stats) != 1 || stats[0].Name != "handler" {
+		t.Fatalf("aggregate = %+v, want one handler phase", stats)
+	}
+	s := stats[0]
+	if s.Count != 3 || s.Sum != 60 || s.Max != 30 || s.mean() != 20 {
+		t.Fatalf("handler stats = %+v, want count 3 sum 60 max 30 mean 20", s)
+	}
+	if got := s.quantile(0.5); got != 20 {
+		t.Fatalf("p50 = %d, want 20", got)
+	}
+}
+
+// chains must stitch handoff-linked traces through (node, predecessor
+// seq) and return the longest chain first.
+func TestChains(t *testing.T) {
+	a := &trace{ID: 1, Events: []pdq.TraceEvent{
+		ev(1, 0, pdq.TraceDispatch, 10, 5, 0),
+		ev(1, 0, pdq.TraceComplete, 20, 5, 0),
+	}}
+	b := &trace{ID: 2, Events: []pdq.TraceEvent{
+		ev(2, 0, pdq.TraceHandoff, 21, 6, 5), // claimed off seq 5 = trace a
+		ev(2, 0, pdq.TraceComplete, 30, 6, 0),
+	}}
+	c := &trace{ID: 3, Events: []pdq.TraceEvent{
+		ev(3, 0, pdq.TraceHandoff, 31, 7, 6), // claimed off seq 6 = trace b
+		ev(3, 0, pdq.TraceComplete, 44, 7, 0),
+	}}
+	solo := &trace{ID: 4, Events: []pdq.TraceEvent{
+		ev(4, 1, pdq.TraceComplete, 99, 5, 0), // same seq, different node: no link
+	}}
+	cs := chains([]*trace{a, b, c, solo})
+	if len(cs) != 1 {
+		t.Fatalf("chains = %d, want 1", len(cs))
+	}
+	got := cs[0]
+	if len(got.Traces) != 3 || got.Traces[0] != a || got.Traces[1] != b || got.Traces[2] != c {
+		t.Fatalf("chain order wrong: %v", got.Traces)
+	}
+	if got.total() != 34 {
+		t.Fatalf("chain span = %d, want 44-10=34", got.total())
+	}
+}
+
+// The acceptance path: a traced 4-node cluster run, serialized to JSONL
+// and read back, must reconstruct the full per-phase timeline of a
+// forwarded entry — wire hop included — and the report and Chrome
+// export must render it.
+func TestAnalyzeClusterRun(t *testing.T) {
+	c, err := cluster.New(4, cluster.WithQueueOptions(pdq.WithTrace(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register("noop", func(any) {}); err != nil {
+		t.Fatal(err)
+	}
+	// A key per node plus a cross-owner pair: locals, forwards, and a
+	// spanning op all in one run.
+	var spanKeys []pdq.Key
+	for n := 0; n < 4; n++ {
+		for k := pdq.Key(0); k < 100000; k++ {
+			if c.Owner(k) == n {
+				spanKeys = append(spanKeys, k)
+				break
+			}
+		}
+	}
+	if len(spanKeys) != 4 {
+		t.Fatalf("found keys for %d nodes, want 4", len(spanKeys))
+	}
+	for i := 0; i < 40; i++ {
+		if err := c.Enqueue(i%4, "noop", nil, spanKeys[(i+1)%4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Enqueue(0, "noop", nil, spanKeys[1], spanKeys[3]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+
+	// Round-trip through the JSONL interchange form, as a scrape would.
+	var jsonl bytes.Buffer
+	if err := pdq.WriteTraceJSONL(&jsonl, c.TraceSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := readEvents(&jsonl)
+	if err != nil {
+		t.Fatalf("readEvents: %v", err)
+	}
+	traces := groupTraces(evs)
+	if len(traces) == 0 {
+		t.Fatal("no traces reconstructed")
+	}
+
+	var fwd *trace
+	for _, tr := range traces {
+		hasFwd, hasSpan := false, false
+		for _, e := range tr.Events {
+			hasFwd = hasFwd || e.Kind == pdq.TraceForward
+			hasSpan = hasSpan || e.Kind == pdq.TraceSpanStart
+		}
+		if hasFwd && !hasSpan {
+			fwd = tr
+			break
+		}
+	}
+	if fwd == nil {
+		t.Fatal("no forwarded trace in the run")
+	}
+	nodes := make(map[int]bool)
+	for _, e := range fwd.Events {
+		nodes[e.Node] = true
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("forwarded trace confined to nodes %v, want origin + home", nodes)
+	}
+	got := make(map[string]bool)
+	for _, p := range phases(fwd) {
+		if p.dur() < 0 {
+			t.Fatalf("negative phase duration: %+v", p)
+		}
+		got[p.Name] = true
+	}
+	for _, name := range []string{"wire", "queue_wait", "sched", "handler", "completion"} {
+		if !got[name] {
+			t.Fatalf("forwarded trace phases = %v, missing %q (events: %v)", got, name, fwd.Events)
+		}
+	}
+
+	// The report must render without panicking and mention the phases.
+	var out bytes.Buffer
+	report(&out, evs, traces, 3, 3)
+	for _, want := range []string{"per-phase latency", "wire", "handler", "slowest entries"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	// The Chrome export must be valid trace-event JSON.
+	var chrome bytes.Buffer
+	if err := writeChrome(&chrome, traces); err != nil {
+		t.Fatalf("writeChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome output has no events")
+	}
+}

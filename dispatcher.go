@@ -204,6 +204,13 @@ type Message struct {
 	// reaches the dead-letter hook with ErrExpired (see
 	// WithDeadline/WithTTL).
 	Deadline time.Time
+
+	// TraceID, when nonzero, puts the message in the lifecycle flight
+	// recorder under that ID (see WithTrace and trace.go). Zero — the
+	// common case — lets the admitting queue's sampler decide. The ID
+	// rides the message through retries, coalescing, and cross-node
+	// forwarding, so one trace follows the work wherever it goes.
+	TraceID uint64
 }
 
 // Entry is a dispatched queue entry. Callers using the low-level dequeue
@@ -285,6 +292,7 @@ type Queue struct {
 	coalesceMax int                        // messages per merged entry; <= 0 unbounded
 	mask        uint32                     // len(shards) - 1; shard count is a power of two
 	ring        int                        // per-shard intake ring size; 0 = mutex-only intake
+	tr          *tracer                    // lifecycle flight recorder; nil = tracing off (WithTrace)
 	shards      []shard                    // fixed at construction, indexed by key hash
 
 	// closed shares the read-only config lines above by design: it is
@@ -374,8 +382,12 @@ func New(opts ...Option) *Queue {
 		ring:        resolveIntakeRing(cfg.intakeRing),
 		shards:      make([]shard, n),
 	}
+	if cfg.traceRate > 0 {
+		q.tr = newTracer(cfg.traceRate, cfg.traceNode, n)
+	}
 	for i := range q.shards {
 		q.shards[i].init(uint32(i), q.ring)
+		q.shards[i].tr = q.tr
 	}
 	q.space = sync.NewCond(&q.spaceMu)
 	q.waitCond = sync.NewCond(&q.waitMu)
@@ -542,6 +554,13 @@ func checkMessage(m *Message) error {
 // lastErr carry the failure lifecycle state on the retry path (0, nil on
 // first admission).
 func (q *Queue) enqueueReserved(m *Message, attempt uint32, lastErr error) error {
+	if t := q.tr; t != nil && m.TraceID == 0 && attempt == 0 {
+		// Sampling happens here — the single admission choke point — so
+		// Enqueue, EnqueueWait, and the Message forms all sample
+		// identically. Retries keep (or keep lacking) the ID they
+		// already carry.
+		m.TraceID = t.sample()
+	}
 	if m.Mode == ModeSequential {
 		if err := q.enqueueSequential(m, attempt, lastErr); err != nil {
 			q.releaseSlot()
@@ -616,6 +635,12 @@ func (q *Queue) enqueueSharded(m *Message, attempt uint32, lastErr error) (*shar
 		// acquisition by key availability alone, outside enqueue order.
 		for _, k := range m.Keys {
 			q.shardOf(k).pushClaim(k, seq)
+		}
+	}
+	if t := q.tr; t != nil && m.TraceID != 0 {
+		t.record(home, m.TraceID, TraceEnqueue, seq, 0)
+		if m.Mode != ModeBarge && len(m.Keys) > 0 {
+			t.record(home, m.TraceID, TraceClaimJoin, seq, int64(len(m.Keys)))
 		}
 	}
 	n := h.newNode()
@@ -758,6 +783,9 @@ func (q *Queue) Complete(e *Entry) {
 	} else {
 		q.bar.completed.Add(1)
 	}
+	if t := q.tr; t != nil && e.msg.TraceID != 0 {
+		t.record(q.shardFromMask(e.smask).idx, e.msg.TraceID, TraceComplete, e.seq, 0)
+	}
 	q.finishInflight(ws, len(e.msg.Keys))
 }
 
@@ -786,11 +814,20 @@ func (q *Queue) CompleteNext(e *Entry) (next *Entry, ok bool) {
 	} else {
 		q.bar.completed.Add(1)
 	}
+	if t := q.tr; t != nil && e.msg.TraceID != 0 {
+		t.record(q.shardFromMask(e.smask).idx, e.msg.TraceID, TraceComplete, e.seq, 0)
+	}
 	nkeys := len(e.msg.Keys)
 	if ws != nil && nkeys > 0 && !q.bar.active.Load() {
 		if n, claimed, _ := q.scanShard(ws); claimed {
 			next, ok = n, true
 			q.g.handoffs.Add(1)
+			if t := q.tr; t != nil && n.msg.TraceID != 0 {
+				// The handoff event belongs to the claimed successor; Arg
+				// carries the completer's seq so the analyzer can stitch
+				// chain critical paths link to link.
+				t.record(ws.idx, n.msg.TraceID, TraceHandoff, n.seq, int64(e.seq))
+			}
 			// The claimed entry consumes a wake slot only when it IS one
 			// of the completion's successors (shares a released key).
 			// The scan picks the shard's oldest dispatchable entry, which

@@ -49,6 +49,9 @@ func (p *PanicError) Unwrap() error {
 func (q *Queue) Release(e *Entry, err error) {
 	ws := q.releaseEntryState(e)
 	q.g.released.Add(1)
+	if t := q.tr; t != nil && e.msg.TraceID != 0 {
+		t.record(q.shardFromMask(e.smask).idx, e.msg.TraceID, TraceRelease, e.seq, int64(e.attempt))
+	}
 	// Each retried message is linked (pending > 0) before the in-flight
 	// count drops below, so a concurrent Drain cannot observe an idle
 	// queue between the two.
@@ -64,6 +67,9 @@ func (q *Queue) Release(e *Entry, err error) {
 func (q *Queue) resolveFailed(m Message, attempt uint32, err error) {
 	if q.requeue(m, attempt, err) {
 		q.g.retries.Add(1)
+		if t := q.tr; t != nil && m.TraceID != 0 {
+			t.record(0, m.TraceID, TraceRetry, 0, int64(attempt)+1)
+		}
 		return
 	}
 	q.deadLetterMsg(m, err)
@@ -110,6 +116,9 @@ func (q *Queue) requeue(m Message, attempt uint32, err error) bool {
 // kill the worker the way the handler's own panic would have.
 func (q *Queue) deadLetterMsg(m Message, err error) {
 	q.g.deadLettered.Add(1)
+	if t := q.tr; t != nil && m.TraceID != 0 {
+		t.record(0, m.TraceID, TraceDeadLetter, 0, 0)
+	}
 	hook := q.deadLetter
 	if hook == nil {
 		hook = logDeadLetter
@@ -182,6 +191,10 @@ func (q *Queue) runHandler(e *Entry) (pe *PanicError) {
 		}
 	}()
 	m := e.Message()
+	t := q.tr
+	if t != nil && m.TraceID != 0 {
+		t.record(q.shardFromMask(e.smask).idx, m.TraceID, TraceHandlerStart, e.seq, int64(e.attempt))
+	}
 	if m.Batch != nil {
 		// Batch-form handler (BatchHandler): one invocation covers every
 		// message the entry carries — one, unless coalescing merged more.
@@ -190,5 +203,8 @@ func (q *Queue) runHandler(e *Entry) (pe *PanicError) {
 		m.Handler(m.Data)
 	}
 	returned = true
+	if t != nil && m.TraceID != 0 {
+		t.record(q.shardFromMask(e.smask).idx, m.TraceID, TraceHandlerEnd, e.seq, 0)
+	}
 	return nil
 }

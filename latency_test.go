@@ -161,3 +161,110 @@ func TestLatencyDelayedFromMaturity(t *testing.T) {
 		t.Fatalf("recorded latency bound %v includes the intentional %v delay", got, delay)
 	}
 }
+
+// An empty histogram must answer every summary query with 0, including
+// degenerate quantile arguments.
+func TestLatencyHistogramEmpty(t *testing.T) {
+	var h LatencyHistogram
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v, want 0", got)
+	}
+}
+
+// A single observation must pin every quantile to its bucket bound and
+// the mean to the sample, with negative durations clamped to zero.
+func TestLatencyHistogramSingleObservation(t *testing.T) {
+	var h LatencyHistogram
+	d := 3 * time.Microsecond
+	h.Observe(d)
+	if h.Count != 1 || h.SumNanos != uint64(d) {
+		t.Fatalf("count=%d sum=%d, want 1 and %d", h.Count, h.SumNanos, uint64(d))
+	}
+	bound := LatencyBucketBound(latencyBucket(d))
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != bound {
+			t.Fatalf("Quantile(%v) = %v, want the single sample's bound %v", q, got, bound)
+		}
+	}
+	if got := h.Mean(); got != d {
+		t.Fatalf("Mean = %v, want %v", got, d)
+	}
+
+	var neg LatencyHistogram
+	neg.Observe(-time.Second)
+	if neg.SumNanos != 0 || neg.Buckets[0] != 1 {
+		t.Fatalf("negative observation: sum=%d bucket0=%d, want clamped to 0 in bucket 0", neg.SumNanos, neg.Buckets[0])
+	}
+}
+
+// Samples beyond the last finite bound must saturate the overflow
+// bucket, and every quantile touching it must report the maximum
+// duration rather than a fabricated finite bound.
+func TestLatencyHistogramOverflowSaturation(t *testing.T) {
+	var h LatencyHistogram
+	huge := time.Duration(1<<62 - 1)
+	for i := 0; i < 5; i++ {
+		h.Observe(huge)
+	}
+	if got := h.Buckets[LatencyBuckets-1]; got != 5 {
+		t.Fatalf("overflow bucket = %d, want 5", got)
+	}
+	if got := h.Quantile(0.5); got != LatencyBucketBound(LatencyBuckets-1) {
+		t.Fatalf("overflow Quantile(0.5) = %v, want the overflow bound", got)
+	}
+	// One fast sample: the low quantiles leave the overflow bucket, the
+	// high ones stay.
+	h.Observe(time.Microsecond)
+	if got := h.Quantile(0.1); got != time.Microsecond {
+		t.Fatalf("Quantile(0.1) = %v, want 1µs", got)
+	}
+	if got := h.Quantile(1); got != LatencyBucketBound(LatencyBuckets-1) {
+		t.Fatalf("Quantile(1) = %v, want the overflow bound", got)
+	}
+}
+
+// Merging histograms with very different populations must sum counts,
+// sums, and buckets exactly, and leave the source untouched.
+func TestLatencyHistogramMergeMismatched(t *testing.T) {
+	var fast, slow LatencyHistogram
+	for i := 0; i < 1000; i++ {
+		fast.Observe(time.Microsecond / 2)
+	}
+	slow.Observe(time.Second)
+	slowBefore := slow
+
+	fast.Merge(&slow)
+	if fast.Count != 1001 {
+		t.Fatalf("merged count = %d, want 1001", fast.Count)
+	}
+	if want := uint64(1000)*uint64(time.Microsecond/2) + uint64(time.Second); fast.SumNanos != want {
+		t.Fatalf("merged sum = %d, want %d", fast.SumNanos, want)
+	}
+	if fast.Buckets[0] != 1000 || fast.Buckets[latencyBucket(time.Second)] != 1 {
+		t.Fatalf("merged buckets wrong: %v", fast.Buckets)
+	}
+	if slow != slowBefore {
+		t.Fatal("Merge mutated its source")
+	}
+	// The merged distribution is dominated by the fast population: p50
+	// stays in bucket 0, p100 reflects the slow outlier.
+	if got := fast.Quantile(0.5); got != time.Microsecond {
+		t.Fatalf("merged Quantile(0.5) = %v, want 1µs", got)
+	}
+	if got := fast.Quantile(1); got != LatencyBucketBound(latencyBucket(time.Second)) {
+		t.Fatalf("merged Quantile(1) = %v, want the 1s bucket bound", got)
+	}
+
+	// Merging an empty histogram is the identity.
+	var empty LatencyHistogram
+	before := fast
+	fast.Merge(&empty)
+	if fast != before {
+		t.Fatal("merging an empty histogram changed the target")
+	}
+}

@@ -13,6 +13,8 @@ type config struct {
 	deadLetter   func(m Message, err error)
 	coalesce     bool
 	coalesceMax  int
+	traceRate    float64
+	traceNode    int
 }
 
 // Option configures a Queue at construction time. Options are applied in
@@ -126,6 +128,33 @@ func WithCoalesce(max int) Option {
 	}
 }
 
+// WithTrace enables the entry-lifecycle flight recorder (trace.go),
+// sampling rate of admissions: each sampled message is stamped with a
+// process-unique trace ID and every lifecycle edge it crosses —
+// admission path, ring drain, claim join, maturity, dispatch, harvest,
+// handler run, completion, handoff, failure resolution — is recorded as
+// a timestamped event in per-shard bounded rings, drained by
+// Queue.TraceSnapshot. rate is clamped to (0, 1]: 1 traces everything,
+// 0.01 every ~100th admission; rate <= 0 leaves tracing off (the
+// default), in which case the record sites cost a single predictable
+// nil-check branch.
+func WithTrace(rate float64) Option {
+	return func(c *config) {
+		if rate > 1 {
+			rate = 1
+		}
+		c.traceRate = rate
+	}
+}
+
+// WithTraceNode labels every trace event this queue records with a node
+// identity, so the merged event streams of several queues — the node
+// queues of a cluster — attribute each event to the queue that recorded
+// it. Purely a label; it has no effect without WithTrace.
+func WithTraceNode(id int) Option {
+	return func(c *config) { c.traceNode = id }
+}
+
 // EnqueueOption shapes one enqueued message. It is a small value type (not
 // a closure) so option construction costs nothing on the enqueue hot path.
 type EnqueueOption struct {
@@ -150,6 +179,10 @@ type EnqueueOption struct {
 	hasTTL       bool
 	deadline     time.Time
 	hasDeadline  bool
+
+	// Trace identity (trace.go): nonzero forces the message into the
+	// flight recorder under that ID, bypassing the sampler.
+	traceID uint64
 }
 
 // WithKey adds a single key to the message's synchronization key set. It
@@ -200,6 +233,16 @@ func Sequential() EnqueueOption {
 // not be combined with key options.
 func NoSync() EnqueueOption {
 	return EnqueueOption{mode: ModeNoSync, hasMode: true}
+}
+
+// WithTraceID stamps the message with an explicit trace ID (normally
+// from NewTraceID), forcing it into the flight recorder regardless of
+// the sampling rate — provided the admitting queue was built WithTrace.
+// The cluster tier uses this to carry one trace ID across nodes: the
+// origin samples, every downstream queue records under the stamped ID.
+// id 0 is ignored (the sampler decides, the default).
+func WithTraceID(id uint64) EnqueueOption {
+	return EnqueueOption{traceID: id}
 }
 
 // Barge marks the message as an out-of-band key acquisition: it dispatches
@@ -271,6 +314,9 @@ func buildMessage(handler func(data any), opts []EnqueueOption) (Message, error)
 		}
 		if o.hasDeadline {
 			m.Deadline = o.deadline
+		}
+		if o.traceID != 0 {
+			m.TraceID = o.traceID
 		}
 	}
 	if err := checkMessage(&m); err != nil {

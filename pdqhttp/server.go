@@ -21,6 +21,7 @@ import (
 //	GET  /v1/handlers                 - registered handler names, JSON
 //	GET  /metrics                     - Prometheus text over every stats surface
 //	GET  /healthz                     - liveness (200 "ok")
+//	GET  /debug/trace                 - drain lifecycle trace events, JSONL
 //	GET  /debug/pprof/                - the standard pprof handlers
 //
 // The server only routes requests; the queues are drained by whatever
@@ -96,6 +97,7 @@ func NewServer(m *pdq.Mux, reg *Registry, opts ...ServerOption) *Server {
 	h.HandleFunc("GET /v1/queues/{queue}/stats", s.handleQueueStats)
 	h.HandleFunc("GET /v1/handlers", s.handleHandlers)
 	h.HandleFunc("GET /metrics", s.handleMetrics)
+	h.HandleFunc("GET /debug/trace", s.handleTrace)
 	h.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -234,6 +236,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.srcMu.Unlock()
 	for _, src := range sources {
 		WriteMetrics(w, src.prefix, src.labels, src.snapshot())
+	}
+}
+
+// handleTrace drains every queue's lifecycle flight recorder
+// (pdq.Queue.TraceSnapshot) and streams the events as JSONL — one
+// pdq.TraceEvent object per line, the format cmd/pdqtrace consumes.
+// Draining is consuming: each event is served once, so a periodic
+// scraper assembles the full event log without duplicates. Queues built
+// without pdq.WithTrace contribute nothing. The ?queue=name parameter
+// restricts the drain to one queue.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	names := s.mux.Names()
+	if want := r.URL.Query().Get("queue"); want != "" {
+		if !s.hasQueue(want) {
+			s.writeError(w, fmt.Errorf("%w: %q", errUnknownQueue, want))
+			return
+		}
+		names = []string{want}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, name := range names {
+		q, err := s.mux.Queue(name)
+		if err != nil {
+			continue
+		}
+		if evs := q.TraceSnapshot(); len(evs) > 0 {
+			if err := pdq.WriteTraceJSONL(w, evs); err != nil {
+				return // client went away mid-stream
+			}
+		}
 	}
 }
 

@@ -94,6 +94,12 @@ type WireMessage struct {
 	// Deadline expires the message at an absolute instant; overrides
 	// TTLMS when both are set.
 	Deadline *time.Time `json:"deadline,omitempty"`
+	// TraceID forces the message into the lifecycle flight recorder
+	// under that ID (pdq.WithTraceID) when the receiving queue was built
+	// with pdq.WithTrace. 0 — the default — lets the queue's sampler
+	// decide. Clients propagate an upstream trace here so the queue's
+	// events join an existing distributed trace.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // ParseMode maps a wire mode string to a pdq.Mode. The empty string is
@@ -160,6 +166,9 @@ func (wm *WireMessage) ToMessage(reg *Registry) (pdq.Message, error) {
 		opts = append(opts, pdq.WithDeadline(*wm.Deadline))
 	} else if wm.TTLMS > 0 {
 		opts = append(opts, pdq.WithTTL(time.Duration(wm.TTLMS)*time.Millisecond))
+	}
+	if wm.TraceID != 0 {
+		opts = append(opts, pdq.WithTraceID(wm.TraceID))
 	}
 	return pdq.NewMessage(func(d any) {
 		raw, _ := d.(json.RawMessage)

@@ -183,6 +183,11 @@ func (q *Queue) enqueueIntake(s *shard, m *Message, smask uint64, attempt uint32
 	if !m.Deadline.IsZero() {
 		n.entry.deadline = toNanos(m.Deadline)
 	}
+	if t := q.tr; t != nil && m.TraceID != 0 {
+		// Seq is not assigned yet on the ring path; the drain records
+		// TraceRingDrain with the seq once it links the entry.
+		t.record(s.idx, m.TraceID, TraceEnqueue, 0, 1)
+	}
 	q.publishIntake(s, n)
 	return nil
 }
@@ -336,6 +341,12 @@ func (q *Queue) linkDrained(s *shard, n *node) {
 	if m.Mode != ModeBarge {
 		for _, k := range m.Keys {
 			s.pushClaim(k, seq)
+		}
+	}
+	if t := s.tr; t != nil && m.TraceID != 0 {
+		t.record(s.idx, m.TraceID, TraceRingDrain, seq, 0)
+		if m.Mode != ModeBarge && len(m.Keys) > 0 {
+			t.record(s.idx, m.TraceID, TraceClaimJoin, seq, int64(len(m.Keys)))
 		}
 	}
 	if n.entry.notBefore != 0 {

@@ -311,6 +311,9 @@ func (s *shard) matureRipe(now int64) {
 		n := s.timers.pop()
 		s.delayed.remove(n)
 		s.bands[n.entry.msg.Priority].insertBySeq(n)
+		if t := s.tr; t != nil && n.entry.msg.TraceID != 0 {
+			t.record(s.idx, n.entry.msg.TraceID, TraceMature, n.entry.seq, 0)
+		}
 		moved = true
 	}
 	if moved {
@@ -382,6 +385,9 @@ func (s *shard) creditDispatch(b int, e *Entry, now *int64) {
 		base = e.notBefore
 	}
 	s.stats.latency[b].Observe(time.Duration(*now - base))
+	if t := s.tr; t != nil && e.msg.TraceID != 0 {
+		t.record(s.idx, e.msg.TraceID, TraceDispatch, e.seq, int64(b))
+	}
 	s.credit[b] = 0
 	for i := 0; i < b; i++ {
 		if s.bands[i].head != nil {
@@ -422,6 +428,9 @@ func (q *Queue) tryExpire(s *shard, n *node, expired *[]Message) bool {
 		}
 	}
 	q.unlockMask(locked)
+	if t := s.tr; t != nil && e.msg.TraceID != 0 {
+		t.record(s.idx, e.msg.TraceID, TraceExpire, e.seq, 0)
+	}
 	s.unlink(n)
 	q.releaseSlot()
 	s.stats.expired++

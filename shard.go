@@ -23,6 +23,7 @@ import (
 type shard struct {
 	mu      sync.Mutex
 	idx     uint32
+	tr      *tracer                  // back-reference to the queue's flight recorder; nil = tracing off
 	bands   [NumPriorities]entryList // mature pending entries, one seq-ascending list per band
 	credit  [NumPriorities]uint32    // anti-starvation credits (see creditDispatch)
 	delayed entryList                // immature delayed entries in seq order

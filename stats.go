@@ -154,6 +154,9 @@ type Stats struct {
 	RingMaxOccupancy   int    `json:"ring_max_occupancy"`  // deepest intake-ring backlog met by a drain (max across shards)
 	NodesReclaimed     uint64 `json:"nodes_reclaimed"`     // pending-list nodes recycled through the epoch pools
 	NodesCapped        uint64 `json:"nodes_capped"`        // nodes dropped to the GC because an epoch pool was full
+	TraceSampled       uint64 `json:"trace_sampled"`       // admissions elected for lifecycle tracing (WithTrace)
+	TraceRecorded      uint64 `json:"trace_recorded"`      // trace events written into the flight-recorder rings
+	TraceDropped       uint64 `json:"trace_dropped"`       // trace events lost to ring overwrite or torn reads (detected at TraceSnapshot)
 
 	// PriorityDispatched counts dispatched messages per priority band
 	// (band 0 first; coalesced messages and retries re-count, sequential
@@ -230,13 +233,18 @@ func (q *Queue) Stats() Stats {
 	s.ChainHandoffs = q.g.handoffs.Load()
 	s.MaxKeySet = int(q.g.maxKeySet.Load())
 	s.Shards = len(q.shards)
+	if t := q.tr; t != nil {
+		s.TraceSampled = t.sampled.Load()
+		s.TraceRecorded = t.recorded.Load()
+		s.TraceDropped = t.dropped.Load()
+	}
 	return s
 }
 
 // String renders the counters compactly for logs and reports.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"enq=%d disp=%d done=%d seq=%d nosync=%d barge=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d expired=%d delayed=%d timerWakeups=%d handoffs=%d prio=%v panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d ring=%d ringPub=%d ringFallbacks=%d ringSpins=%d ringMaxOcc=%d nodesReclaimed=%d nodesCapped=%d",
+		"enq=%d disp=%d done=%d seq=%d nosync=%d barge=%d multikey=%d conflicts=%d orderConflicts=%d seqStalls=%d barrierStalls=%d windowStalls=%d waits=%d enqWaits=%d crossShard=%d batches=%d batchEntries=%d maxBatch=%d coalesced=%d expired=%d delayed=%d timerWakeups=%d handoffs=%d prio=%v panics=%d released=%d retries=%d deadLettered=%d shards=%d maxPending=%d maxKeySet=%d rejected=%d ring=%d ringPub=%d ringFallbacks=%d ringSpins=%d ringMaxOcc=%d nodesReclaimed=%d nodesCapped=%d traceSampled=%d traceRecorded=%d traceDropped=%d",
 		s.Enqueued, s.Dispatched, s.Completed, s.SeqDispatched, s.NoSyncDispatched,
 		s.BargeDispatched, s.MultiKeyDispatched, s.KeyConflicts, s.OrderConflicts, s.SeqStalls, s.BarrierStalls,
 		s.WindowStalls, s.Waits, s.EnqueueWaits, s.CrossShard,
@@ -245,5 +253,6 @@ func (s Stats) String() string {
 		s.Panics, s.Released, s.Retries, s.DeadLettered,
 		s.Shards, s.MaxPending, s.MaxKeySet, s.Rejected,
 		s.IntakeRing, s.RingPublished, s.RingFallbacks, s.RingSpins,
-		s.RingMaxOccupancy, s.NodesReclaimed, s.NodesCapped)
+		s.RingMaxOccupancy, s.NodesReclaimed, s.NodesCapped,
+		s.TraceSampled, s.TraceRecorded, s.TraceDropped)
 }
